@@ -1,0 +1,268 @@
+package dtdevolve_test
+
+// One benchmark per experiment of the evaluation harness (DESIGN.md §5 /
+// EXPERIMENTS.md), plus micro-benchmarks of the core operations. The
+// corresponding tables are regenerated with cmd/evolvebench.
+
+import (
+	"testing"
+
+	"dtdevolve"
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/experiments"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/mine"
+	"dtdevolve/internal/record"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xtract"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 1, Quick: true}
+}
+
+// --- experiment benchmarks (one per table/figure) ---
+
+func BenchmarkE1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E1Classification(benchOptions())
+	}
+}
+
+func BenchmarkE2Evolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E2Evolution(benchOptions())
+	}
+}
+
+func BenchmarkE3Incremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E3Incremental(benchOptions())
+	}
+}
+
+func BenchmarkE4PsiSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E4PsiSweep(benchOptions())
+	}
+}
+
+func BenchmarkE5SupportSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E5SupportSweep(benchOptions())
+	}
+}
+
+func BenchmarkE6Mining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E6Mining(benchOptions())
+	}
+}
+
+func BenchmarkE7Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E7Throughput(benchOptions())
+	}
+}
+
+func BenchmarkE8SigmaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E8SigmaSweep(benchOptions())
+	}
+}
+
+// --- micro-benchmarks of the core operations ---
+
+var benchDTD = func() *dtd.DTD {
+	d := dtd.MustParse(`
+<!ELEMENT doc (head, section+)>
+<!ELEMENT head (title, meta*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT section (heading?, (para | list)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>`)
+	d.Name = "doc"
+	return d
+}()
+
+func benchCorpus(n int, mutRate float64) []*dtdevolve.Document {
+	g := gen.New(gen.DefaultConfig(42))
+	return g.MutatedDocuments(benchDTD, n, 2, mutRate)
+}
+
+func BenchmarkParseDocument(b *testing.B) {
+	src := benchCorpus(1, 0)[0].Root.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtdevolve.ParseDocumentString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseDTD(b *testing.B) {
+	src := benchDTD.String()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtdevolve.ParseDTDString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	docs := benchCorpus(100, 0.3)
+	v := validate.New(benchDTD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.ValidateDocument(docs[i%len(docs)])
+	}
+}
+
+// BenchmarkSimilarityDP measures the alignment-based similarity measure —
+// the cost of the flexible classification the paper proposes over boolean
+// validation (compare with BenchmarkValidate).
+func BenchmarkSimilarityDP(b *testing.B) {
+	docs := benchCorpus(100, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := similarity.NewEvaluator(benchDTD, similarity.DefaultConfig())
+		e.GlobalSim(docs[i%len(docs)].Root)
+	}
+}
+
+func BenchmarkRecordDocument(b *testing.B) {
+	docs := benchCorpus(100, 0.3)
+	rec := record.New(benchDTD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkEvolvePhase(b *testing.B) {
+	docs := benchCorpus(500, 0.5)
+	rec := record.New(benchDTD)
+	for _, doc := range docs {
+		rec.Record(doc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = evolve.Evolve(rec, evolve.DefaultConfig())
+	}
+}
+
+func BenchmarkXtractInfer(b *testing.B) {
+	docs := benchCorpus(500, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xtract.Infer(docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSourceAdd(b *testing.B) {
+	docs := benchCorpus(200, 0.3)
+	cfg := source.DefaultConfig()
+	cfg.AutoEvolve = false
+	s := source.New(cfg)
+	s.AddDTD("doc", benchDTD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkApriori(b *testing.B) {
+	txs := benchTransactions(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mine.Apriori{}.FrequentItemsets(txs, 0.1, 4)
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	txs := benchTransactions(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mine.FPGrowth{}.FrequentItemsets(txs, 0.1, 4)
+	}
+}
+
+func benchTransactions(n int) []mine.Transaction {
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	txs := make([]mine.Transaction, n)
+	for i := range txs {
+		var its []string
+		for j, it := range items {
+			if (i+j)%3 == 0 {
+				its = append(its, it)
+			}
+		}
+		if len(its) == 0 {
+			its = []string{"a"}
+		}
+		txs[i] = mine.NewTransaction(its, 1)
+	}
+	return txs
+}
+
+func BenchmarkE9AbsentAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E9AbsentAblation(benchOptions())
+	}
+}
+
+func BenchmarkE10DecaySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10DecaySweep(benchOptions())
+	}
+}
+
+// BenchmarkEquivalence measures the automata-based language-equivalence
+// check used to compare evolved DTDs against ground truths.
+func BenchmarkEquivalence(b *testing.B) {
+	x, err := dtd.ParseContentModel("(a, (b | c)*, (d, e)+, f?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := dtd.ParseContentModel("(a, (c | b)*, (d, e), (d, e)*, f?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !dtd.Equivalent(x, y) {
+			b.Fatal("should be equivalent")
+		}
+	}
+}
+
+// BenchmarkAdapt measures document adaptation to an evolved DTD.
+func BenchmarkAdapt(b *testing.B) {
+	docs := benchCorpus(100, 1.0)
+	a := dtdevolve.NewAdapter(benchDTD, dtdevolve.DefaultAdaptOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Adapt(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkE11ThesaurusRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E11ThesaurusRetention(benchOptions())
+	}
+}
+
+func BenchmarkE12AdaptationQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E12AdaptationQuality(benchOptions())
+	}
+}

@@ -1,0 +1,110 @@
+// Command dtdadapt transforms XML documents so they conform to a DTD —
+// typically documents stored before a schema evolution, adapted to the
+// evolved structure (the paper's §6 open problem).
+//
+// Usage:
+//
+//	dtdadapt -dtd evolved.dtd [-root name] [-thesaurus th.txt] \
+//	         [-keep-extras] [-placeholder TBD] doc.xml...
+//
+// Each adapted document is written next to its input with an ".adapted.xml"
+// suffix (or to stdout with -stdout); the applied changes are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtdevolve"
+)
+
+func main() {
+	dtdPath := flag.String("dtd", "", "path to the target DTD (required)")
+	rootName := flag.String("root", "", "root element name the DTD describes")
+	thesaurusPath := flag.String("thesaurus", "", "optional thesaurus file (synonym renaming)")
+	keepExtras := flag.Bool("keep-extras", false, "keep elements the DTD has no place for")
+	placeholder := flag.String("placeholder", "", "text content for inserted #PCDATA elements")
+	stdout := flag.Bool("stdout", false, "write adapted documents to stdout instead of files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dtdadapt -dtd evolved.dtd [flags] doc.xml...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dtdPath == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := dtdevolve.ParseDTDFile(*dtdPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *rootName != "" {
+		d.Name = *rootName
+	}
+
+	opts := dtdevolve.DefaultAdaptOptions()
+	opts.DropExtras = !*keepExtras
+	opts.PlaceholderText = *placeholder
+	if *thesaurusPath != "" {
+		f, err := os.Open(*thesaurusPath)
+		if err != nil {
+			fatal(err)
+		}
+		th, err := dtdevolve.LoadThesaurus(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Similarity.TagSimilarity = th.SimilarityFunc()
+	}
+	adapter := dtdevolve.NewAdapter(d, opts)
+
+	exit := 0
+	for _, path := range flag.Args() {
+		doc, err := dtdevolve.ParseDocumentFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtdadapt: %v\n", err)
+			exit = 1
+			continue
+		}
+		out, report := adapter.Adapt(doc)
+		fmt.Printf("%s: %d matched, %d dropped, %d inserted, %d renamed\n",
+			path, report.Matched, report.Dropped, report.Inserted, report.Renamed)
+		for _, c := range report.Changes {
+			fmt.Printf("  %s\n", c)
+		}
+		still := dtdevolve.Validate(out, d)
+		if len(still) > 0 {
+			fmt.Fprintf(os.Stderr, "dtdadapt: %s: %d violations remain after adaptation\n", path, len(still))
+			exit = 1
+		}
+		if *stdout {
+			if _, err := out.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		target := strings.TrimSuffix(path, ".xml") + ".adapted.xml"
+		f, err := os.Create(target)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := out.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  written to %s\n", target)
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dtdadapt: %v\n", err)
+	os.Exit(1)
+}

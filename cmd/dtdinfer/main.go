@@ -1,0 +1,44 @@
+// Command dtdinfer infers a DTD from scratch for a set of XML documents
+// sharing a root element (the XTRACT-style baseline of the paper's related
+// work, §5).
+//
+// Usage:
+//
+//	dtdinfer doc1.xml doc2.xml ...
+//
+// The inferred DTD is written to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdevolve"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dtdinfer doc.xml...\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var docs []*dtdevolve.Document
+	for _, path := range flag.Args() {
+		doc, err := dtdevolve.ParseDocumentFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtdinfer: %v\n", err)
+			os.Exit(1)
+		}
+		docs = append(docs, doc)
+	}
+	d, err := dtdevolve.InferDTD(docs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtdinfer: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(d.String())
+}

@@ -1,0 +1,112 @@
+// Command dtdserved runs the evolution lifecycle as an HTTP service: a
+// long-lived "source of XML documents" whose DTD set follows the incoming
+// population. See internal/api for the routes.
+//
+// Usage:
+//
+//	dtdserved [-addr :8080] [-sigma 0.7] [-tau 0.25] [-mindocs 20] \
+//	          [-store dir] [-snapshot file]
+//
+// With -snapshot the service restores from the checkpoint at startup (when
+// the file exists) and writes a new checkpoint on SIGINT/SIGTERM shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dtdevolve"
+	"dtdevolve/internal/api"
+	"dtdevolve/internal/source"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sigma := flag.Float64("sigma", 0.7, "classification threshold σ")
+	tau := flag.Float64("tau", 0.25, "evolution activation threshold τ")
+	minDocs := flag.Int("mindocs", 20, "minimum documents between evolutions")
+	storeDir := flag.String("store", "", "directory for the durable document store (empty: no store)")
+	snapshotPath := flag.String("snapshot", "", "checkpoint file restored at startup and written at shutdown")
+	flag.Parse()
+
+	cfg := dtdevolve.DefaultConfig()
+	cfg.Sigma = *sigma
+	cfg.Tau = *tau
+	cfg.MinDocs = *minDocs
+
+	src, err := buildSource(cfg, *snapshotPath)
+	if err != nil {
+		log.Fatalf("dtdserved: %v", err)
+	}
+	if *storeDir != "" {
+		if err := src.EnableStore(*storeDir); err != nil {
+			log.Fatalf("dtdserved: %v", err)
+		}
+		defer src.CloseStore()
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           api.New(src),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("dtdserved: listening on %s", *addr)
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("dtdserved: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("dtdserved: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = server.Shutdown(ctx)
+	if *snapshotPath != "" {
+		if err := writeSnapshot(src, *snapshotPath); err != nil {
+			log.Printf("dtdserved: checkpoint failed: %v", err)
+		} else {
+			log.Printf("dtdserved: checkpoint written to %s", *snapshotPath)
+		}
+	}
+}
+
+func buildSource(cfg dtdevolve.Config, snapshotPath string) (*source.Source, error) {
+	if snapshotPath != "" {
+		data, err := os.ReadFile(snapshotPath)
+		switch {
+		case err == nil:
+			src, err := dtdevolve.RestoreSource(cfg, data)
+			if err != nil {
+				return nil, fmt.Errorf("restoring %s: %w", snapshotPath, err)
+			}
+			log.Printf("dtdserved: restored from %s", snapshotPath)
+			return src, nil
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	return dtdevolve.NewSource(cfg), nil
+}
+
+func writeSnapshot(src *source.Source, path string) error {
+	data, err := src.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,39 @@
+// Command evolvebench regenerates every table and figure of the evaluation
+// (EXPERIMENTS.md / DESIGN.md §5).
+//
+// Usage:
+//
+//	evolvebench             # run all experiments
+//	evolvebench -e e3       # run one experiment
+//	evolvebench -seed 7     # change the workload seed
+//	evolvebench -quick      # reduced corpus sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdevolve/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("e", "", "experiment id (e1..e8; default: all)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	quick := flag.Bool("quick", false, "reduced corpus sizes")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Quick: *quick}
+	if *exp != "" {
+		table, ok := experiments.ByID(*exp, o)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "evolvebench: unknown experiment %q (want e1..e8)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Println(table)
+		return
+	}
+	for _, table := range experiments.All(o) {
+		fmt.Println(table)
+	}
+}

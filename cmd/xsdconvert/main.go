@@ -1,0 +1,102 @@
+// Command xsdconvert converts between DTDs and the supported XML Schema
+// subset, and optionally evolves a schema against a corpus — the paper's
+// §6 extension ("we are currently extending the approach to the evolution
+// of XML schemas").
+//
+// Usage:
+//
+//	xsdconvert -to-xsd schema.dtd [-root name]        # DTD  -> XSD (stdout)
+//	xsdconvert -to-dtd schema.xsd                      # XSD  -> DTD (stdout)
+//	xsdconvert -evolve schema.xsd doc.xml...           # evolve the schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdevolve"
+	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/xsd"
+)
+
+func main() {
+	toXSD := flag.String("to-xsd", "", "DTD file to convert to XSD")
+	toDTD := flag.String("to-dtd", "", "XSD file to convert to DTD")
+	evolvePath := flag.String("evolve", "", "XSD file to evolve against the given documents")
+	rootName := flag.String("root", "", "root element name (DTD input)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xsdconvert (-to-xsd schema.dtd | -to-dtd schema.xsd | -evolve schema.xsd doc.xml...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *toXSD != "":
+		d, err := dtdevolve.ParseDTDFile(*toXSD)
+		if err != nil {
+			fatal(err)
+		}
+		if *rootName != "" {
+			d.Name = *rootName
+		}
+		if err := xsd.FromDTD(d).Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *toDTD != "":
+		s, err := parseXSDFile(*toDTD)
+		if err != nil {
+			fatal(err)
+		}
+		d, notes := xsd.ToDTD(s)
+		for _, note := range notes {
+			fmt.Fprintf(os.Stderr, "xsdconvert: note: %s\n", note)
+		}
+		fmt.Print(d.String())
+	case *evolvePath != "":
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("-evolve needs documents"))
+		}
+		s, err := parseXSDFile(*evolvePath)
+		if err != nil {
+			fatal(err)
+		}
+		var docs []*dtdevolve.Document
+		for _, path := range flag.Args() {
+			doc, err := dtdevolve.ParseDocumentFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			docs = append(docs, doc)
+		}
+		evolved, report, notes := xsd.Evolve(s, docs, evolve.DefaultConfig())
+		for _, note := range notes {
+			fmt.Fprintf(os.Stderr, "xsdconvert: note: %s\n", note)
+		}
+		for _, c := range report.Changes {
+			if c.Action.String() != "unchanged" {
+				fmt.Fprintf(os.Stderr, "xsdconvert: %s %s -> %s\n", c.Name, c.Action, c.New)
+			}
+		}
+		if err := evolved.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseXSDFile(path string) (*xsd.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xsd.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xsdconvert: %v\n", err)
+	os.Exit(1)
+}

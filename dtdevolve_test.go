@@ -1,0 +1,277 @@
+package dtdevolve_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtdevolve"
+)
+
+const articleDTDSrc = `
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`
+
+func articleDTD(t *testing.T) *dtdevolve.DTD {
+	t.Helper()
+	d, err := dtdevolve.ParseDTDString(articleDTDSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Name = "article"
+	return d
+}
+
+func TestFacadeParseAndValidate(t *testing.T) {
+	d := articleDTD(t)
+	doc, err := dtdevolve.ParseDocumentString(`<article><title>t</title><body>b</body></article>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := dtdevolve.Validate(doc, d); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+	if sim := dtdevolve.Similarity(doc, d); sim != 1 {
+		t.Errorf("similarity = %v, want 1", sim)
+	}
+	bad, _ := dtdevolve.ParseDocumentString(`<article><title>t</title></article>`)
+	if vs := dtdevolve.Validate(bad, d); len(vs) == 0 {
+		t.Error("missing body not flagged")
+	}
+	if sim := dtdevolve.Similarity(bad, d); sim >= 1 {
+		t.Errorf("similarity of invalid doc = %v", sim)
+	}
+}
+
+func TestFacadeSimilarityDetail(t *testing.T) {
+	d := articleDTD(t)
+	doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><extra/><body>b</body></article>`)
+	res := dtdevolve.SimilarityDetail(doc, d, dtdevolve.DefaultSimilarityConfig())
+	if res.Global >= 1 || res.Global <= 0 {
+		t.Errorf("global = %v", res.Global)
+	}
+	if res.Triple.Plus == 0 {
+		t.Error("extra element not reflected in triple")
+	}
+}
+
+func TestFacadeSourceLifecycle(t *testing.T) {
+	cfg := dtdevolve.DefaultConfig()
+	cfg.MinDocs = 5
+	src := dtdevolve.NewSource(cfg)
+	src.AddDTD("article", articleDTD(t))
+	drifted := `<article><title>t</title><author>a</author><body>b</body></article>`
+	evolved := false
+	for i := 0; i < 20 && !evolved; i++ {
+		doc, err := dtdevolve.ParseDocumentString(drifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := src.Add(doc)
+		evolved = res.Evolved
+	}
+	if !evolved {
+		t.Fatal("no evolution over drifted stream")
+	}
+	if !strings.Contains(src.DTD("article").String(), "author") {
+		t.Errorf("evolved DTD lacks author:\n%s", src.DTD("article"))
+	}
+}
+
+func TestFacadeEvolveOnce(t *testing.T) {
+	d := articleDTD(t)
+	var docs []*dtdevolve.Document
+	for i := 0; i < 10; i++ {
+		doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><author>a</author><body>b</body></article>`)
+		docs = append(docs, doc)
+	}
+	evolved, report := dtdevolve.EvolveOnce(d, docs, dtdevolve.DefaultEvolveConfig())
+	if !strings.Contains(evolved.Elements["article"].String(), "author") {
+		t.Errorf("evolved article = %s", evolved.Elements["article"])
+	}
+	if len(report.Changes) == 0 {
+		t.Error("empty report")
+	}
+}
+
+func TestFacadeInferDTD(t *testing.T) {
+	var docs []*dtdevolve.Document
+	for _, src := range []string{`<r><a/><b/></r>`, `<r><a/></r>`} {
+		doc, _ := dtdevolve.ParseDocumentString(src)
+		docs = append(docs, doc)
+	}
+	d, err := dtdevolve.InferDTD(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"].String(); got != "(a, b?)" {
+		t.Errorf("inferred r = %s", got)
+	}
+}
+
+func TestFacadeDocumentDTD(t *testing.T) {
+	doc, err := dtdevolve.ParseDocumentString(`<!DOCTYPE a [<!ELEMENT a (b)> <!ELEMENT b EMPTY>]><a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dtdevolve.DocumentDTD(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Name != "a" || len(d.Elements) != 2 {
+		t.Fatalf("embedded DTD = %v", d)
+	}
+	if vs := dtdevolve.Validate(doc, d); len(vs) != 0 {
+		t.Errorf("doc invalid against its own DTD: %v", vs)
+	}
+	plain, _ := dtdevolve.ParseDocumentString(`<a/>`)
+	if d, err := dtdevolve.DocumentDTD(plain); err != nil || d != nil {
+		t.Errorf("DocumentDTD(no doctype) = %v, %v", d, err)
+	}
+}
+
+func TestFacadeSnapshotRestore(t *testing.T) {
+	cfg := dtdevolve.DefaultConfig()
+	src := dtdevolve.NewSource(cfg)
+	src.AddDTD("article", articleDTD(t))
+	doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><body>b</body></article>`)
+	src.Add(doc)
+	data, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dtdevolve.RestoreSource(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Names()) != 1 {
+		t.Errorf("restored names = %v", restored.Names())
+	}
+}
+
+func TestFacadeFileAndReaderParsers(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "s.dtd")
+	xmlPath := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(dtdPath, []byte(articleDTDSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(xmlPath, []byte(`<article><title>t</title><body>b</body></article>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dtdevolve.ParseDTDFile(dtdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := dtdevolve.ParseDocumentFile(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := dtdevolve.Validate(doc, d); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+	if _, err := dtdevolve.ParseDTD(strings.NewReader(articleDTDSrc)); err != nil {
+		t.Error(err)
+	}
+	if _, err := dtdevolve.ParseDocument(strings.NewReader(`<a/>`)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeClassifier(t *testing.T) {
+	c := dtdevolve.NewClassifier(0.7, dtdevolve.DefaultSimilarityConfig())
+	c.Set("article", articleDTD(t))
+	doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><body>b</body></article>`)
+	res := c.Classify(doc)
+	if !res.Classified || res.DTDName != "article" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFacadeThesaurus(t *testing.T) {
+	th := dtdevolve.NewThesaurus()
+	th.AddSynonyms("body", "content")
+	cfg := dtdevolve.DefaultSimilarityConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><content>b</content></article>`)
+	res := dtdevolve.SimilarityDetail(doc, articleDTD(t), cfg)
+	if res.Global != 1 {
+		t.Errorf("synonym similarity = %v, want 1", res.Global)
+	}
+	th2, err := dtdevolve.LoadThesaurus(strings.NewReader("body = content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th2.Similarity("body", "content") != 1 {
+		t.Error("LoadThesaurus lost the synonym")
+	}
+	if _, err := dtdevolve.LoadThesaurusString("broken line"); err == nil {
+		t.Error("bad thesaurus accepted")
+	}
+}
+
+func TestFacadeAdapter(t *testing.T) {
+	d := articleDTD(t)
+	opts := dtdevolve.DefaultAdaptOptions()
+	opts.PlaceholderText = "?"
+	a := dtdevolve.NewAdapter(d, opts)
+	doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><junk/></article>`)
+	out, report := a.Adapt(doc)
+	if len(dtdevolve.Validate(out, d)) != 0 {
+		t.Errorf("adapted doc invalid")
+	}
+	if report.Dropped != 1 || report.Inserted != 1 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestFacadeSchemaRoundTrip(t *testing.T) {
+	d := articleDTD(t)
+	s := dtdevolve.DTDToSchema(d)
+	back, notes := dtdevolve.SchemaToDTD(s)
+	if len(notes) != 0 {
+		t.Errorf("notes = %v", notes)
+	}
+	if len(back.Elements) != len(d.Elements) {
+		t.Errorf("element count changed: %d vs %d", len(back.Elements), len(d.Elements))
+	}
+	parsed, err := dtdevolve.ParseSchema(strings.NewReader(s.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(s) {
+		t.Error("schema round trip changed")
+	}
+}
+
+func TestFacadeEvolveSchema(t *testing.T) {
+	s := dtdevolve.DTDToSchema(articleDTD(t))
+	var docs []*dtdevolve.Document
+	for i := 0; i < 10; i++ {
+		doc, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><author>a</author><body>b</body></article>`)
+		docs = append(docs, doc)
+	}
+	evolved, report, notes := dtdevolve.EvolveSchema(s, docs, dtdevolve.DefaultEvolveConfig())
+	if len(notes) != 0 {
+		t.Errorf("notes = %v", notes)
+	}
+	if evolved.Elements["author"] == nil {
+		t.Error("author not declared in evolved schema")
+	}
+	if len(report.Changes) == 0 {
+		t.Error("empty report")
+	}
+}
+
+func TestFacadeCheckDeterminism(t *testing.T) {
+	d, err := dtdevolve.ParseDTDString(`<!ELEMENT a ((b, c) | (b, d))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := dtdevolve.CheckDeterminism(d)
+	if len(issues) != 1 || len(issues["a"]) == 0 {
+		t.Errorf("issues = %v", issues)
+	}
+}

@@ -1,0 +1,122 @@
+package dtdevolve_test
+
+import (
+	"fmt"
+	"log"
+
+	"dtdevolve"
+)
+
+// ExampleSimilarity shows the flexible classification measure: a document
+// close to a DTD gets a high degree instead of a boolean rejection.
+func ExampleSimilarity() {
+	d, err := dtdevolve.ParseDTDString(`
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><body>b</body></article>`)
+	drifted, _ := dtdevolve.ParseDocumentString(`<article><title>t</title><author>a</author><body>b</body></article>`)
+	fmt.Printf("valid:   %.2f\n", dtdevolve.Similarity(valid, d))
+	fmt.Printf("drifted: %.2f\n", dtdevolve.Similarity(drifted, d))
+	fmt.Printf("valid is strictly valid: %v\n", len(dtdevolve.Validate(valid, d)) == 0)
+	// Output:
+	// valid:   1.00
+	// drifted: 0.77
+	// valid is strictly valid: true
+}
+
+// ExampleEvolveOnce evolves a DTD against a batch of drifted documents.
+func ExampleEvolveOnce() {
+	d, err := dtdevolve.ParseDTDString(`
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var docs []*dtdevolve.Document
+	for i := 0; i < 10; i++ {
+		doc, _ := dtdevolve.ParseDocumentString(
+			`<article><title>t</title><author>a</author><body>b</body></article>`)
+		docs = append(docs, doc)
+	}
+	evolved, _ := dtdevolve.EvolveOnce(d, docs, dtdevolve.DefaultEvolveConfig())
+	fmt.Println(evolved.Elements["article"])
+	// Output:
+	// (title, author, body)
+}
+
+// ExampleSource demonstrates the automatic lifecycle: classify, record,
+// and evolve once enough documents deviate.
+func ExampleSource() {
+	d, err := dtdevolve.ParseDTDString(`
+<!ELEMENT event (ts, msg)>
+<!ELEMENT ts (#PCDATA)>
+<!ELEMENT msg (#PCDATA)>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Name = "event"
+	cfg := dtdevolve.DefaultConfig()
+	cfg.MinDocs = 5
+	src := dtdevolve.NewSource(cfg)
+	src.AddDTD("event", d)
+	for i := 0; i < 10; i++ {
+		doc, _ := dtdevolve.ParseDocumentString(
+			`<event><ts>now</ts><msg>ok</msg><level>info</level></event>`)
+		if res := src.Add(doc); res.Evolved {
+			fmt.Printf("evolved after %d documents\n", i+1)
+			break
+		}
+	}
+	fmt.Print(src.DTD("event"))
+	// Output:
+	// evolved after 5 documents
+	// <!ELEMENT event (ts, msg, level)>
+	// <!ELEMENT ts (#PCDATA)>
+	// <!ELEMENT msg (#PCDATA)>
+	// <!ELEMENT level (#PCDATA)>
+}
+
+// ExampleNewAdapter adapts an old document to an evolved schema.
+func ExampleNewAdapter() {
+	d, err := dtdevolve.ParseDTDString(`
+<!ELEMENT order (customer, total)>
+<!ELEMENT customer (#PCDATA)>
+<!ELEMENT total (#PCDATA)>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dtdevolve.DefaultAdaptOptions()
+	opts.PlaceholderText = "0.00"
+	adapter := dtdevolve.NewAdapter(d, opts)
+	old, _ := dtdevolve.ParseDocumentString(`<order><customer>acme</customer><legacy/></order>`)
+	adapted, report := adapter.Adapt(old)
+	fmt.Println(adapted.Root)
+	fmt.Printf("dropped %d, inserted %d\n", report.Dropped, report.Inserted)
+	// Output:
+	// <order><customer>acme</customer><total>0.00</total></order>
+	// dropped 1, inserted 1
+}
+
+// ExampleInferDTD runs the XTRACT-style from-scratch baseline.
+func ExampleInferDTD() {
+	var docs []*dtdevolve.Document
+	for _, src := range []string{
+		`<r><item/><item/><note/></r>`,
+		`<r><item/></r>`,
+	} {
+		doc, _ := dtdevolve.ParseDocumentString(src)
+		docs = append(docs, doc)
+	}
+	d, err := dtdevolve.InferDTD(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Elements["r"])
+	// Output:
+	// (item+, note?)
+}

@@ -1,0 +1,3 @@
+module dtdevolve
+
+go 1.22

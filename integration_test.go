@@ -1,0 +1,154 @@
+package dtdevolve_test
+
+// Integration tests driving the whole pipeline over the file corpora in
+// testdata/: real DTD files, real XML files, end to end.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dtdevolve"
+)
+
+func loadDTD(t *testing.T, path, root string) *dtdevolve.DTD {
+	t.Helper()
+	d, err := dtdevolve.ParseDTDFile(path)
+	if err != nil {
+		t.Fatalf("ParseDTDFile(%s): %v", path, err)
+	}
+	d.Name = root
+	return d
+}
+
+func loadDocs(t *testing.T, dir string) []*dtdevolve.Document {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var docs []*dtdevolve.Document
+	for _, name := range names {
+		doc, err := dtdevolve.ParseDocumentFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+func TestIntegrationPlayCorpus(t *testing.T) {
+	d := loadDTD(t, "testdata/plays/play.dtd", "play")
+	docs := loadDocs(t, "testdata/plays")
+	if len(docs) != 2 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	// hamlet-excerpt is valid; modern-play deviates (author, footnote).
+	if vs := dtdevolve.Validate(docs[0], d); len(vs) != 0 {
+		t.Errorf("hamlet violations: %v", vs)
+	}
+	if sim := dtdevolve.Similarity(docs[0], d); sim != 1 {
+		t.Errorf("hamlet similarity = %v", sim)
+	}
+	if vs := dtdevolve.Validate(docs[1], d); len(vs) == 0 {
+		t.Error("modern-play should not be valid")
+	}
+	sim := dtdevolve.Similarity(docs[1], d)
+	if !(sim > 0.7 && sim < 1) {
+		t.Errorf("modern-play similarity = %v, want high but below 1", sim)
+	}
+	// Adapting the modern play to the classic DTD makes it valid.
+	a := dtdevolve.NewAdapter(d, dtdevolve.DefaultAdaptOptions())
+	fixed, report := a.Adapt(docs[1])
+	if vs := dtdevolve.Validate(fixed, d); len(vs) != 0 {
+		t.Errorf("adapted modern-play still invalid: %v", vs)
+	}
+	if report.Dropped == 0 {
+		t.Error("adaptation should have dropped the novel elements")
+	}
+}
+
+func TestIntegrationFeedEvolution(t *testing.T) {
+	d := loadDTD(t, "testdata/feeds/feed.dtd", "feed")
+	docs := loadDocs(t, "testdata/feeds")
+	if len(docs) != 12 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	// Every feed carries <tag> elements the DTD does not know.
+	for i, doc := range docs {
+		if len(dtdevolve.Validate(doc, d)) == 0 {
+			t.Fatalf("feed %d unexpectedly valid", i)
+		}
+	}
+	evolved, report := dtdevolve.EvolveOnce(d, docs, dtdevolve.DefaultEvolveConfig())
+	for i, doc := range docs {
+		if vs := dtdevolve.Validate(doc, evolved); len(vs) != 0 {
+			t.Errorf("feed %d invalid after evolution: %v\n%s", i, vs, evolved)
+		}
+	}
+	if evolved.Elements["tag"] == nil {
+		t.Errorf("tag not declared:\n%s", evolved)
+	}
+	var entryChange string
+	for _, c := range report.Changes {
+		if c.Name == "entry" {
+			entryChange = c.New
+		}
+	}
+	if !strings.Contains(entryChange, "tag") {
+		t.Errorf("entry did not gain tag: %s", entryChange)
+	}
+	// The evolved DTD serializes and reparses.
+	if _, err := dtdevolve.ParseDTDString(evolved.String()); err != nil {
+		t.Fatalf("evolved DTD does not reparse: %v", err)
+	}
+}
+
+func TestIntegrationFeedSourceWithStoreAndSnapshot(t *testing.T) {
+	d := loadDTD(t, "testdata/feeds/feed.dtd", "feed")
+	cfg := dtdevolve.DefaultConfig()
+	cfg.MinDocs = 8
+	src := dtdevolve.NewSource(cfg)
+	src.AddDTD("feed", d)
+	dir := t.TempDir()
+	if err := src.EnableStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer src.CloseStore()
+
+	evolved := false
+	for _, doc := range loadDocs(t, "testdata/feeds") {
+		if res := src.Add(doc); res.Evolved {
+			evolved = true
+		}
+	}
+	if !evolved {
+		t.Fatal("the feed corpus did not trigger an evolution")
+	}
+	// The store is durable: the segment file exists on disk.
+	if _, err := os.Stat(filepath.Join(dir, "feed.seg")); err != nil {
+		t.Errorf("segment missing: %v", err)
+	}
+	// Snapshot and restore preserve the evolved DTD.
+	data, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dtdevolve.RestoreSource(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.DTD("feed").Equal(src.DTD("feed")) {
+		t.Error("restored DTD differs")
+	}
+}

@@ -1,0 +1,351 @@
+// Package adapt transforms documents to conform to a DTD: the open problem
+// the paper names in §6 ("how to adapt documents, already stored in the
+// source, to the new structure prescribed by the evolved set of DTDs").
+//
+// Adaptation reuses the similarity measure's optimal alignment: per
+// element, the children are aligned against the (evolved) content model;
+// matched children recurse (renamed to the declared tag when the match came
+// from a thesaurus), extra children are dropped, and missing mandatory
+// elements are inserted as minimal valid instances. The result is valid for
+// DTDs with finitely satisfiable declarations; a report records every
+// transformation so nothing is lost silently.
+package adapt
+
+import (
+	"fmt"
+	"strings"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/xmltree"
+)
+
+// Options configures the adapter.
+type Options struct {
+	// DropExtras removes elements with no place in the content model. When
+	// false they are kept in place (the output may then stay invalid).
+	DropExtras bool
+	// InsertMissing creates minimal instances of mandatory elements the
+	// document lacks. When false they remain missing.
+	InsertMissing bool
+	// PlaceholderText fills created #PCDATA-only elements ("" keeps them
+	// empty, which is valid).
+	PlaceholderText string
+	// Similarity configures the alignment (including an optional
+	// thesaurus; synonym children are renamed to the declared tag).
+	Similarity similarity.Config
+}
+
+// DefaultOptions returns full adaptation: drop extras, insert missing.
+func DefaultOptions() Options {
+	return Options{
+		DropExtras:    true,
+		InsertMissing: true,
+		Similarity:    similarity.DefaultConfig(),
+	}
+}
+
+// Change records one transformation applied to the document.
+type Change struct {
+	// Path locates the parent element, e.g. "/catalog/product[0]".
+	Path string
+	// Kind is "drop", "insert", "rename", or "drop-text".
+	Kind string
+	// Detail names the element involved.
+	Detail string
+}
+
+func (c Change) String() string {
+	return fmt.Sprintf("%s: %s %s", c.Path, c.Kind, c.Detail)
+}
+
+// Report summarizes one adaptation.
+type Report struct {
+	Matched  int
+	Dropped  int
+	Inserted int
+	Renamed  int
+	Changes  []Change
+}
+
+// Adapter transforms documents to conform to one DTD.
+type Adapter struct {
+	d    *dtd.DTD
+	opts Options
+	eval *similarity.Evaluator
+}
+
+// New returns an Adapter for d.
+func New(d *dtd.DTD, opts Options) *Adapter {
+	if opts.Similarity.MaxDepth == 0 {
+		opts.Similarity = similarity.DefaultConfig()
+	}
+	return &Adapter{d: d, opts: opts, eval: similarity.NewEvaluator(d, opts.Similarity)}
+}
+
+// Adapt returns a transformed copy of the document (the input is not
+// modified) and the report of applied changes.
+func (a *Adapter) Adapt(doc *xmltree.Document) (*xmltree.Document, *Report) {
+	report := &Report{}
+	root := doc.Root.Clone()
+	a.adaptElement(root, "/"+root.Name, report)
+	return &xmltree.Document{Doctype: doc.Doctype, Root: root}, report
+}
+
+// AdaptElement transforms the subtree rooted at n in place and returns the
+// report.
+func (a *Adapter) AdaptElement(n *xmltree.Node) *Report {
+	report := &Report{}
+	a.adaptElement(n, "/"+n.Name, report)
+	return report
+}
+
+func (a *Adapter) adaptElement(n *xmltree.Node, path string, report *Report) {
+	model, declared := a.d.Elements[n.Name]
+	if !declared {
+		// An undeclared element cannot be made valid; its parent decides
+		// whether it survives (as an extra). Children are left as-is.
+		return
+	}
+	switch {
+	case model.Kind == dtd.Any:
+		for i, c := range n.ChildElements() {
+			a.adaptElement(c, childPath(path, c.Name, i), report)
+		}
+		return
+	case model.Kind == dtd.Empty:
+		if len(n.Children) > 0 && a.opts.DropExtras {
+			report.Dropped += len(n.Children)
+			report.Changes = append(report.Changes, Change{
+				Path: path, Kind: "drop", Detail: fmt.Sprintf("%d children of EMPTY element", len(n.Children)),
+			})
+			n.Children = nil
+		}
+		return
+	case model.Kind == dtd.PCDATA:
+		a.dropElementChildren(n, path, report)
+		return
+	case model.IsMixed():
+		a.adaptMixed(n, model, path, report)
+		return
+	}
+	a.adaptElementContent(n, model, path, report)
+}
+
+func (a *Adapter) dropElementChildren(n *xmltree.Node, path string, report *Report) {
+	if !a.opts.DropExtras {
+		return
+	}
+	var kept []*xmltree.Node
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Element {
+			report.Dropped++
+			report.Changes = append(report.Changes, Change{Path: path, Kind: "drop", Detail: "<" + c.Name + ">"})
+			continue
+		}
+		kept = append(kept, c)
+	}
+	n.Children = kept
+}
+
+func (a *Adapter) adaptMixed(n *xmltree.Node, model *dtd.Content, path string, report *Report) {
+	ops := a.eval.AlignChildren(model, n.ChildElements())
+	decision := make(map[*xmltree.Node]similarity.AlignOp, len(ops))
+	for _, op := range ops {
+		if op.Child != nil {
+			decision[op.Child] = op
+		}
+	}
+	var kept []*xmltree.Node
+	idx := 0
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			kept = append(kept, c)
+			continue
+		}
+		op := decision[c]
+		switch op.Kind {
+		case similarity.OpMatch:
+			a.applyMatch(c, op.Name, childPath(path, c.Name, idx), report)
+			kept = append(kept, c)
+		default:
+			if a.opts.DropExtras {
+				report.Dropped++
+				report.Changes = append(report.Changes, Change{Path: path, Kind: "drop", Detail: "<" + c.Name + ">"})
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		idx++
+	}
+	n.Children = kept
+}
+
+func (a *Adapter) adaptElementContent(n *xmltree.Node, model *dtd.Content, path string, report *Report) {
+	// Character data is not allowed in element content.
+	if a.opts.DropExtras {
+		var kept []*xmltree.Node
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				if strings.TrimSpace(c.Data) != "" {
+					report.Dropped++
+					report.Changes = append(report.Changes, Change{Path: path, Kind: "drop-text", Detail: fmt.Sprintf("%q", snippet(c.Data))})
+				}
+				continue
+			}
+			kept = append(kept, c)
+		}
+		n.Children = kept
+	}
+
+	ops := a.eval.AlignChildren(model, n.ChildElements())
+	var out []*xmltree.Node
+	idx := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case similarity.OpMatch:
+			a.applyMatch(op.Child, op.Name, childPath(path, op.Child.Name, idx), report)
+			out = append(out, op.Child)
+			idx++
+		case similarity.OpExtra:
+			if a.opts.DropExtras {
+				report.Dropped++
+				report.Changes = append(report.Changes, Change{Path: path, Kind: "drop", Detail: "<" + op.Child.Name + ">"})
+			} else {
+				out = append(out, op.Child)
+				idx++
+			}
+		case similarity.OpMissing:
+			if a.opts.InsertMissing {
+				created := a.minimal(op.Name, make(map[string]bool))
+				if created != nil {
+					report.Inserted++
+					report.Changes = append(report.Changes, Change{Path: path, Kind: "insert", Detail: "<" + op.Name + ">"})
+					out = append(out, created)
+					idx++
+				}
+			}
+		}
+	}
+	// Preserve non-element children that survived (only whitespace text
+	// remains after the drop above); append after elements is wrong, so
+	// interleave: element content has no meaningful text, drop silently.
+	n.Children = make([]*xmltree.Node, len(out))
+	copy(n.Children, out)
+	report.Matched += countMatches(ops)
+}
+
+func countMatches(ops []similarity.AlignOp) int {
+	n := 0
+	for _, op := range ops {
+		if op.Kind == similarity.OpMatch {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *Adapter) applyMatch(c *xmltree.Node, declName, path string, report *Report) {
+	if c.Name != declName {
+		report.Renamed++
+		report.Changes = append(report.Changes, Change{
+			Path: path, Kind: "rename", Detail: fmt.Sprintf("<%s> to <%s>", c.Name, declName),
+		})
+		c.Name = declName
+	}
+	a.adaptElement(c, path, report)
+}
+
+// minimal builds a minimal valid instance of the named element; nil when
+// the name is undeclared or only infinitely satisfiable (required cycle).
+func (a *Adapter) minimal(name string, building map[string]bool) *xmltree.Node {
+	if building[name] {
+		return nil // required cycle: no finite instance
+	}
+	n := xmltree.NewElement(name)
+	model, ok := a.d.Elements[name]
+	if !ok {
+		return n
+	}
+	building[name] = true
+	defer delete(building, name)
+	switch {
+	case model.Kind == dtd.PCDATA:
+		if a.opts.PlaceholderText != "" {
+			n.Children = append(n.Children, xmltree.NewText(a.opts.PlaceholderText))
+		}
+		return n
+	case model.Kind == dtd.Empty, model.Kind == dtd.Any, model.IsMixed():
+		return n
+	}
+	kids, ok := a.minimalContent(model, building)
+	if !ok {
+		return nil
+	}
+	n.Children = kids
+	return n
+}
+
+// minimalContent returns the cheapest child list satisfying the model.
+func (a *Adapter) minimalContent(model *dtd.Content, building map[string]bool) ([]*xmltree.Node, bool) {
+	switch model.Kind {
+	case dtd.Empty, dtd.Any, dtd.PCDATA:
+		return nil, true
+	case dtd.Opt, dtd.Star:
+		return nil, true
+	case dtd.Plus:
+		return a.minimalContent(model.Children[0], building)
+	case dtd.Name:
+		c := a.minimal(model.Name, building)
+		if c == nil {
+			return nil, false
+		}
+		return []*xmltree.Node{c}, true
+	case dtd.Seq:
+		var out []*xmltree.Node
+		for _, ch := range model.Children {
+			kids, ok := a.minimalContent(ch, building)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, kids...)
+		}
+		return out, true
+	case dtd.Choice:
+		// Prefer the alternative with the fewest created nodes.
+		var best []*xmltree.Node
+		found := false
+		for _, ch := range model.Children {
+			kids, ok := a.minimalContent(ch, building)
+			if !ok {
+				continue
+			}
+			if !found || countNodes(kids) < countNodes(best) {
+				best, found = kids, true
+			}
+		}
+		return best, found
+	default:
+		return nil, true
+	}
+}
+
+func countNodes(nodes []*xmltree.Node) int {
+	n := 0
+	for _, node := range nodes {
+		n += node.CountElements()
+	}
+	return n
+}
+
+func childPath(parent, name string, i int) string {
+	return fmt.Sprintf("%s/%s[%d]", parent, name, i)
+}
+
+func snippet(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}

@@ -1,0 +1,272 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/thesaurus"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return doc
+}
+
+var productDTD = func() *dtd.DTD {
+	d := dtd.MustParse(`
+<!ELEMENT catalog (product+)>
+<!ELEMENT product (name, price, tag*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT tag (#PCDATA)>`)
+	d.Name = "catalog"
+	return d
+}()
+
+func adaptAndValidate(t *testing.T, d *dtd.DTD, src string) (*xmltree.Document, *Report) {
+	t.Helper()
+	a := New(d, DefaultOptions())
+	out, report := a.Adapt(parseDoc(t, src))
+	if vs := validate.New(d).ValidateDocument(out); len(vs) != 0 {
+		t.Fatalf("adapted doc invalid: %v\nbefore: %s\nafter: %s", vs, src, out.Root)
+	}
+	return out, report
+}
+
+func TestAdaptValidDocumentUnchanged(t *testing.T) {
+	src := `<catalog><product><name>n</name><price>1</price><tag>t</tag></product></catalog>`
+	out, report := adaptAndValidate(t, productDTD, src)
+	if !out.Root.Equal(parseDoc(t, src).Root) {
+		t.Error("valid document changed")
+	}
+	if report.Dropped+report.Inserted+report.Renamed != 0 {
+		t.Errorf("report = %+v, want no changes", report)
+	}
+}
+
+func TestAdaptDropsExtras(t *testing.T) {
+	src := `<catalog><product><name>n</name><price>1</price><sku>S</sku></product></catalog>`
+	out, report := adaptAndValidate(t, productDTD, src)
+	if report.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", report.Dropped)
+	}
+	if strings.Contains(out.Root.String(), "sku") {
+		t.Error("sku still present")
+	}
+	if len(report.Changes) == 0 || report.Changes[0].Kind != "drop" {
+		t.Errorf("changes = %v", report.Changes)
+	}
+}
+
+func TestAdaptInsertsMissing(t *testing.T) {
+	src := `<catalog><product><name>n</name></product></catalog>`
+	out, report := adaptAndValidate(t, productDTD, src)
+	if report.Inserted != 1 {
+		t.Errorf("inserted = %d, want 1", report.Inserted)
+	}
+	if !strings.Contains(out.Root.String(), "<price") {
+		t.Errorf("price not inserted: %s", out.Root)
+	}
+}
+
+func TestAdaptPlaceholderText(t *testing.T) {
+	opts := DefaultOptions()
+	opts.PlaceholderText = "TBD"
+	a := New(productDTD, opts)
+	out, _ := a.Adapt(parseDoc(t, `<catalog><product><name>n</name></product></catalog>`))
+	if !strings.Contains(out.Root.String(), "<price>TBD</price>") {
+		t.Errorf("placeholder missing: %s", out.Root)
+	}
+}
+
+func TestAdaptDropTextInElementContent(t *testing.T) {
+	src := `<catalog>stray text<product><name>n</name><price>1</price></product></catalog>`
+	_, report := adaptAndValidate(t, productDTD, src)
+	found := false
+	for _, c := range report.Changes {
+		if c.Kind == "drop-text" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stray text not reported: %+v", report.Changes)
+	}
+}
+
+func TestAdaptEmptyAndPCDATA(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (e, p)> <!ELEMENT e EMPTY> <!ELEMENT p (#PCDATA)>`)
+	src := `<r><e><junk/></e><p>keep<junk/></p></r>`
+	out, report := adaptAndValidate(t, d, src)
+	if report.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", report.Dropped)
+	}
+	if got := out.Root.String(); !strings.Contains(got, "<p>keep</p>") {
+		t.Errorf("PCDATA text lost: %s", got)
+	}
+}
+
+func TestAdaptMixedContent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>`)
+	src := `<p>one <em>two</em> three <bad>x</bad> four</p>`
+	out, report := adaptAndValidate(t, d, src)
+	if report.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", report.Dropped)
+	}
+	if got := out.Root.Text(); !strings.Contains(got, "four") {
+		t.Errorf("text lost: %q", got)
+	}
+}
+
+func TestAdaptRenamesSynonyms(t *testing.T) {
+	th, _ := thesaurus.LoadString(`price = cost`)
+	opts := DefaultOptions()
+	opts.Similarity = similarity.DefaultConfig()
+	opts.Similarity.TagSimilarity = th.SimilarityFunc()
+	a := New(productDTD, opts)
+	out, report := a.Adapt(parseDoc(t, `<catalog><product><name>n</name><cost>5</cost></product></catalog>`))
+	if report.Renamed != 1 {
+		t.Fatalf("renamed = %d, want 1\nchanges: %v", report.Renamed, report.Changes)
+	}
+	if !strings.Contains(out.Root.String(), "<price>5</price>") {
+		t.Errorf("cost not renamed: %s", out.Root)
+	}
+	if vs := validate.New(productDTD).ValidateDocument(out); len(vs) != 0 {
+		t.Errorf("adapted doc invalid: %v", vs)
+	}
+}
+
+func TestAdaptKeepExtrasMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DropExtras = false
+	a := New(productDTD, opts)
+	out, report := a.Adapt(parseDoc(t, `<catalog><product><name>n</name><price>1</price><sku>S</sku></product></catalog>`))
+	if report.Dropped != 0 {
+		t.Errorf("dropped = %d in keep mode", report.Dropped)
+	}
+	if !strings.Contains(out.Root.String(), "sku") {
+		t.Error("sku removed despite keep mode")
+	}
+}
+
+func TestAdaptChoiceInsertsCheapestAlternative(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (x, (big | small))>
+<!ELEMENT x EMPTY>
+<!ELEMENT big (p, q, s)>
+<!ELEMENT small EMPTY>
+<!ELEMENT p EMPTY> <!ELEMENT q EMPTY> <!ELEMENT s EMPTY>`)
+	out, _ := adaptAndValidate(t, d, `<r><x/></r>`)
+	if !strings.Contains(out.Root.String(), "<small/>") {
+		t.Errorf("cheapest alternative not chosen: %s", out.Root)
+	}
+}
+
+func TestAdaptRequiredCycleGivesUpGracefully(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b)> <!ELEMENT b (a)>`)
+	a := New(d, DefaultOptions())
+	out, _ := a.Adapt(parseDoc(t, `<a/>`))
+	// No finite valid instance exists; the adapter must terminate and
+	// return something sensible, not loop.
+	if out == nil || out.Root == nil {
+		t.Fatal("adapter returned nothing")
+	}
+}
+
+func TestAdaptDoesNotMutateInput(t *testing.T) {
+	src := `<catalog><product><name>n</name><junk/></product></catalog>`
+	doc := parseDoc(t, src)
+	before := doc.Root.String()
+	a := New(productDTD, DefaultOptions())
+	a.Adapt(doc)
+	if doc.Root.String() != before {
+		t.Error("input mutated")
+	}
+}
+
+// TestAdaptPropertyMutatedCorpusBecomesValid is the headline property:
+// whatever the mutation, adaptation yields a valid document (the DTD here
+// has no required cycles).
+func TestAdaptPropertyMutatedCorpusBecomesValid(t *testing.T) {
+	truth := dtd.MustParse(`
+<!ELEMENT doc (head, section+)>
+<!ELEMENT head (title, meta*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT section (heading?, (para | list)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>`)
+	truth.Name = "doc"
+	g := gen.New(gen.DefaultConfig(31))
+	a := New(truth, DefaultOptions())
+	v := validate.New(truth)
+	for i := 0; i < 150; i++ {
+		doc := g.Mutate(g.Document(truth), 1+i%4)
+		out, _ := a.Adapt(doc)
+		if vs := v.ValidateDocument(out); len(vs) != 0 {
+			t.Fatalf("doc %d not valid after adaptation: %v\nbefore:\n%safter:\n%s",
+				i, vs, doc.Root.Indent(), out.Root.Indent())
+		}
+	}
+}
+
+func TestAdaptElementInPlace(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b)> <!ELEMENT b EMPTY>`)
+	a := New(d, DefaultOptions())
+	root := parseDoc(t, `<a><junk/></a>`).Root
+	report := a.AdaptElement(root)
+	if report.Dropped != 1 || report.Inserted != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if len(validate.New(d).ValidateElement(root)) != 0 {
+		t.Errorf("in-place adaptation left %s invalid", root)
+	}
+	if report.Changes[0].String() == "" {
+		t.Error("empty change string")
+	}
+}
+
+func TestAdaptUndeclaredRootLeftAlone(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b)> <!ELEMENT b EMPTY>`)
+	a := New(d, DefaultOptions())
+	doc := parseDoc(t, `<mystery><x/></mystery>`)
+	out, report := a.Adapt(doc)
+	if !out.Root.Equal(doc.Root) {
+		t.Error("undeclared root modified")
+	}
+	if len(report.Changes) != 0 {
+		t.Errorf("changes = %v", report.Changes)
+	}
+}
+
+func TestAdaptAnyContentRecursesDeclaredChildren(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a ANY> <!ELEMENT b (c)> <!ELEMENT c EMPTY>`)
+	a := New(d, DefaultOptions())
+	out, report := a.Adapt(parseDoc(t, `<a><b/></a>`))
+	// b under ANY must still be repaired against its own declaration.
+	if report.Inserted != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if len(validate.New(d).ValidateDocument(out)) != 0 {
+		t.Errorf("out = %s", out.Root)
+	}
+}
+
+func TestAdaptPlusInsertsOneInstance(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b+)> <!ELEMENT b (c, c)> <!ELEMENT c EMPTY>`)
+	a := New(d, DefaultOptions())
+	out, _ := a.Adapt(parseDoc(t, `<a/>`))
+	if got := out.Root.String(); got != `<a><b><c/><c/></b></a>` {
+		t.Errorf("out = %s", got)
+	}
+}

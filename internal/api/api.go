@@ -1,0 +1,219 @@
+// Package api exposes the source lifecycle over HTTP: the paper's scenario
+// is a Web document source, and this handler turns the library into the
+// long-lived service a downstream user would deploy — register DTDs, stream
+// documents in, watch evolutions happen, manage triggers, checkpoint state.
+//
+// Routes (all JSON unless noted):
+//
+//	GET  /status                  per-DTD status
+//	GET  /dtds                    registered DTD names
+//	PUT  /dtds/{name}?root=r      register/replace a DTD (body: DTD text)
+//	GET  /dtds/{name}             current DTD (text/plain)
+//	POST /dtds/{name}/evolve      force the evolution phase
+//	POST /documents               classify+record one document (body: XML)
+//	GET  /repository              repository size
+//	POST /repository/reclassify   re-classify the repository
+//	PUT  /triggers                install trigger rules (body: rule list)
+//	GET  /triggers                installed rules
+//	GET  /snapshot                JSON checkpoint of the whole source
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/source"
+)
+
+// maxBodyBytes bounds request bodies (documents, DTDs, rule lists).
+const maxBodyBytes = 16 << 20
+
+// Handler serves the lifecycle API for one Source.
+type Handler struct {
+	src *source.Source
+	mux *http.ServeMux
+}
+
+// New returns an http.Handler managing src.
+func New(src *source.Source) *Handler {
+	h := &Handler{src: src, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /status", h.status)
+	h.mux.HandleFunc("GET /dtds", h.listDTDs)
+	h.mux.HandleFunc("PUT /dtds/{name}", h.putDTD)
+	h.mux.HandleFunc("GET /dtds/{name}", h.getDTD)
+	h.mux.HandleFunc("POST /dtds/{name}/evolve", h.evolve)
+	h.mux.HandleFunc("POST /documents", h.addDocument)
+	h.mux.HandleFunc("GET /repository", h.repository)
+	h.mux.HandleFunc("POST /repository/reclassify", h.reclassify)
+	h.mux.HandleFunc("PUT /triggers", h.putTriggers)
+	h.mux.HandleFunc("GET /triggers", h.getTriggers)
+	h.mux.HandleFunc("GET /snapshot", h.snapshot)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+func (h *Handler) status(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.src.Status())
+}
+
+func (h *Handler) listDTDs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"dtds": h.src.Names()})
+}
+
+func (h *Handler) putDTD(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	d, err := dtd.ParseString(string(data))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing DTD: %v", err)
+		return
+	}
+	if root := r.URL.Query().Get("root"); root != "" {
+		d.Name = root
+	}
+	h.src.AddDTD(name, d)
+	writeJSON(w, http.StatusCreated, map[string]any{"registered": name, "elements": len(d.Elements)})
+}
+
+func (h *Handler) getDTD(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d := h.src.DTD(name)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "no DTD named %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, d.String())
+}
+
+// evolveResponse is the JSON shape of a forced evolution.
+type evolveResponse struct {
+	Reclassified int             `json:"reclassified"`
+	Changes      []elementChange `json:"changes"`
+}
+
+type elementChange struct {
+	Name       string  `json:"name"`
+	Action     string  `json:"action"`
+	Invalidity float64 `json:"invalidity"`
+	Old        string  `json:"old,omitempty"`
+	New        string  `json:"new"`
+}
+
+func (h *Handler) evolve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	report, reclassified, err := h.src.EvolveNow(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	resp := evolveResponse{Reclassified: reclassified}
+	for _, c := range report.Changes {
+		resp.Changes = append(resp.Changes, elementChange{
+			Name:       c.Name,
+			Action:     c.Action.String(),
+			Invalidity: c.Invalidity,
+			Old:        c.Old,
+			New:        c.New,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// addResponse is the JSON shape of a document classification.
+type addResponse struct {
+	Classified   bool     `json:"classified"`
+	DTD          string   `json:"dtd,omitempty"`
+	Similarity   float64  `json:"similarity"`
+	Evolved      bool     `json:"evolved"`
+	Reclassified int      `json:"reclassified,omitempty"`
+	Triggered    []string `json:"triggered,omitempty"`
+}
+
+func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	doc, err := parseDocument(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing document: %v", err)
+		return
+	}
+	res := h.src.Add(doc)
+	writeJSON(w, http.StatusOK, addResponse{
+		Classified:   res.Classified,
+		DTD:          res.DTDName,
+		Similarity:   res.Similarity,
+		Evolved:      res.Evolved,
+		Reclassified: res.Reclassified,
+		Triggered:    res.Triggered,
+	})
+}
+
+func (h *Handler) repository(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"size": h.src.RepositorySize()})
+}
+
+func (h *Handler) reclassify(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"recovered": h.src.ReclassifyRepository()})
+}
+
+func (h *Handler) putTriggers(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if err := h.src.SetTriggerRules(string(data)); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": h.src.TriggerRules()})
+}
+
+func (h *Handler) getTriggers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"rules": h.src.TriggerRules()})
+}
+
+func (h *Handler) snapshot(w http.ResponseWriter, _ *http.Request) {
+	data, err := h.src.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}

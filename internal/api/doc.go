@@ -1,0 +1,12 @@
+package api
+
+import (
+	"bytes"
+
+	"dtdevolve/internal/xmltree"
+)
+
+// parseDocument parses an XML request body.
+func parseDocument(data []byte) (*xmltree.Document, error) {
+	return xmltree.Parse(bytes.NewReader(data))
+}

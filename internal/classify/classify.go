@@ -1,0 +1,134 @@
+// Package classify implements the paper's classification phase: an
+// incoming document is matched against every DTD of the source, and is
+// associated with the DTD yielding the highest structural similarity,
+// provided that similarity reaches the threshold σ; otherwise the document
+// is destined for the repository of unclassified documents.
+//
+// The package also provides the rigid validator-based classifier the paper
+// argues against ("classification based on validators is very rigid, with a
+// boolean answer"), used as the baseline of experiment E1.
+package classify
+
+import (
+	"sort"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+// Result is the outcome of classifying one document.
+type Result struct {
+	// DTDName is the best-matching DTD (empty when the set is empty).
+	DTDName string
+	// Similarity is the best global similarity value.
+	Similarity float64
+	// Classified reports whether Similarity reached the threshold σ.
+	Classified bool
+	// All holds the similarity against every DTD in the set.
+	All map[string]float64
+}
+
+// Classifier matches documents against a set of named DTDs by structural
+// similarity.
+type Classifier struct {
+	sigma float64
+	cfg   similarity.Config
+	dtds  map[string]*dtd.DTD
+	evals map[string]*similarity.Evaluator
+}
+
+// New returns a Classifier with threshold σ and measure configuration cfg.
+func New(sigma float64, cfg similarity.Config) *Classifier {
+	return &Classifier{
+		sigma: sigma,
+		cfg:   cfg,
+		dtds:  make(map[string]*dtd.DTD),
+		evals: make(map[string]*similarity.Evaluator),
+	}
+}
+
+// Sigma returns the classification threshold.
+func (c *Classifier) Sigma() float64 { return c.sigma }
+
+// Set adds or replaces the DTD registered under name.
+func (c *Classifier) Set(name string, d *dtd.DTD) {
+	c.dtds[name] = d
+	c.evals[name] = similarity.NewEvaluator(d, c.cfg)
+}
+
+// Remove deletes the DTD registered under name.
+func (c *Classifier) Remove(name string) {
+	delete(c.dtds, name)
+	delete(c.evals, name)
+}
+
+// Names returns the registered DTD names, sorted.
+func (c *Classifier) Names() []string {
+	out := make([]string, 0, len(c.dtds))
+	for name := range c.dtds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DTD returns the DTD registered under name, or nil.
+func (c *Classifier) DTD(name string) *dtd.DTD { return c.dtds[name] }
+
+// Classify evaluates the document against every DTD and returns the best
+// match. Ties break deterministically by DTD name.
+func (c *Classifier) Classify(doc *xmltree.Document) Result {
+	return c.ClassifyElement(doc.Root)
+}
+
+// ClassifyElement classifies the document subtree rooted at root.
+func (c *Classifier) ClassifyElement(root *xmltree.Node) Result {
+	res := Result{All: make(map[string]float64, len(c.dtds))}
+	for _, name := range c.Names() {
+		var sim float64
+		// A DTD with a declared root only matches documents rooted there.
+		if d := c.dtds[name]; d.Name == "" || root == nil || d.Name == root.Name {
+			sim = c.evals[name].GlobalSim(root)
+		}
+		res.All[name] = sim
+		if sim > res.Similarity || res.DTDName == "" {
+			res.Similarity = sim
+			res.DTDName = name
+		}
+	}
+	res.Classified = res.DTDName != "" && res.Similarity >= c.sigma
+	return res
+}
+
+// ValidatorClassifier is the boolean baseline: a document is associated
+// with a DTD only when it is strictly valid for it. Heterogeneous documents
+// are rejected outright, which is the loss of information the paper's
+// similarity-based approach avoids.
+type ValidatorClassifier struct {
+	names      []string
+	validators map[string]*validate.Validator
+}
+
+// NewValidator returns a ValidatorClassifier over the given DTD set.
+func NewValidator(dtds map[string]*dtd.DTD) *ValidatorClassifier {
+	c := &ValidatorClassifier{validators: make(map[string]*validate.Validator, len(dtds))}
+	for name, d := range dtds {
+		c.names = append(c.names, name)
+		c.validators[name] = validate.New(d)
+	}
+	sort.Strings(c.names)
+	return c
+}
+
+// Classify returns the first DTD (in name order) for which the document is
+// valid — including the root-element check — and whether any matched.
+func (c *ValidatorClassifier) Classify(doc *xmltree.Document) (string, bool) {
+	for _, name := range c.names {
+		if len(c.validators[name].ValidateDocument(doc)) == 0 {
+			return name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,135 @@
+package classify
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/xmltree"
+)
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return doc
+}
+
+func testDTDs() map[string]*dtd.DTD {
+	catalog := dtd.MustParse(`
+<!ELEMENT catalog (product+)>
+<!ELEMENT product (name, price)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>`)
+	catalog.Name = "catalog"
+	article := dtd.MustParse(`
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`)
+	article.Name = "article"
+	return map[string]*dtd.DTD{"catalog": catalog, "article": article}
+}
+
+func newClassifier(sigma float64) *Classifier {
+	c := New(sigma, similarity.DefaultConfig())
+	for name, d := range testDTDs() {
+		c.Set(name, d)
+	}
+	return c
+}
+
+func TestClassifyValidDocuments(t *testing.T) {
+	c := newClassifier(0.7)
+	cases := map[string]string{
+		`<catalog><product><name>x</name><price>1</price></product></catalog>`: "catalog",
+		`<article><title>t</title><body>b</body></article>`:                    "article",
+	}
+	for src, want := range cases {
+		res := c.Classify(parseDoc(t, src))
+		if !res.Classified || res.DTDName != want || res.Similarity != 1 {
+			t.Errorf("Classify(%s) = %+v, want %s with similarity 1", src, res, want)
+		}
+	}
+}
+
+func TestClassifyNearMiss(t *testing.T) {
+	c := newClassifier(0.5)
+	// A product catalog missing prices: similar to catalog, not article.
+	res := c.Classify(parseDoc(t, `<catalog><product><name>x</name></product></catalog>`))
+	if res.DTDName != "catalog" || !res.Classified {
+		t.Errorf("res = %+v, want classified in catalog", res)
+	}
+	if res.Similarity >= 1 {
+		t.Errorf("similarity = %v, want < 1", res.Similarity)
+	}
+	if res.All["article"] != 0 {
+		t.Errorf("similarity vs article = %v, want 0 (root mismatch)", res.All["article"])
+	}
+}
+
+func TestClassifyBelowThresholdGoesUnclassified(t *testing.T) {
+	c := newClassifier(0.95)
+	res := c.Classify(parseDoc(t, `<catalog><junk/><junk/><junk/></catalog>`))
+	if res.Classified {
+		t.Errorf("res = %+v, want unclassified at σ = 0.95", res)
+	}
+	if res.DTDName != "catalog" {
+		t.Errorf("best DTD = %q, want catalog even when below threshold", res.DTDName)
+	}
+}
+
+func TestClassifyUnknownRoot(t *testing.T) {
+	c := newClassifier(0.3)
+	res := c.Classify(parseDoc(t, `<mystery><a/></mystery>`))
+	if res.Classified || res.Similarity != 0 {
+		t.Errorf("res = %+v, want unclassified with similarity 0", res)
+	}
+}
+
+func TestClassifyEmptySet(t *testing.T) {
+	c := New(0.5, similarity.DefaultConfig())
+	res := c.Classify(parseDoc(t, `<a/>`))
+	if res.Classified || res.DTDName != "" {
+		t.Errorf("res = %+v, want nothing on empty set", res)
+	}
+}
+
+func TestSetReplaceAndRemove(t *testing.T) {
+	c := newClassifier(0.5)
+	if got := len(c.Names()); got != 2 {
+		t.Fatalf("names = %v", c.Names())
+	}
+	relaxed := dtd.MustParse(`<!ELEMENT catalog ANY>`)
+	relaxed.Name = "catalog"
+	c.Set("catalog", relaxed)
+	if c.DTD("catalog") != relaxed {
+		t.Error("Set did not replace")
+	}
+	c.Remove("article")
+	if got := len(c.Names()); got != 1 {
+		t.Errorf("names after remove = %v", c.Names())
+	}
+	if c.Sigma() != 0.5 {
+		t.Errorf("sigma = %v", c.Sigma())
+	}
+}
+
+func TestValidatorClassifierBaseline(t *testing.T) {
+	vc := NewValidator(testDTDs())
+	if name, ok := vc.Classify(parseDoc(t, `<article><title>t</title><body>b</body></article>`)); !ok || name != "article" {
+		t.Errorf("valid doc: %q, %v", name, ok)
+	}
+	// The paper's core argument: a slightly deviating document is rejected
+	// outright by the validator baseline...
+	deviant := parseDoc(t, `<article><title>t</title><subtitle>s</subtitle><body>b</body></article>`)
+	if _, ok := vc.Classify(deviant); ok {
+		t.Error("validator accepted a non-valid document")
+	}
+	// ...but retained by the similarity classifier.
+	c := newClassifier(0.6)
+	if res := c.Classify(deviant); !res.Classified || res.DTDName != "article" {
+		t.Errorf("similarity classifier lost the deviant document: %+v", res)
+	}
+}

@@ -1,0 +1,270 @@
+// Package docstore is a small embedded document store: the "source of XML
+// documents ... stored in a database" the paper's scenario assumes. It
+// keeps the documents classified in each DTD, durably when given a
+// directory, so that after an evolution step the stored population can be
+// re-validated or adapted to the new schema (the §6 open problem, closed by
+// package adapt).
+//
+// The on-disk layout is one append-only segment file per collection
+// (collection = DTD name), each record holding a length-prefixed XML
+// serialization. Writes are immediately flushed; reads replay the segment.
+// The store is safe for concurrent use.
+package docstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dtdevolve/internal/xmltree"
+)
+
+// Store holds documents grouped into named collections. A Store with an
+// empty directory path is purely in-memory.
+type Store struct {
+	mu          sync.Mutex
+	dir         string // "" = in-memory
+	collections map[string]*collection
+}
+
+type collection struct {
+	docs []*xmltree.Document
+	file *os.File // nil for in-memory stores
+}
+
+// Open returns a Store rooted at dir, loading any existing segments.
+// An empty dir yields an in-memory store.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, collections: make(map[string]*collection)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".seg")
+		if err := s.loadCollection(name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close releases the segment files. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, c := range s.collections {
+		if c.file != nil {
+			if err := c.file.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			c.file = nil
+		}
+	}
+	return firstErr
+}
+
+func (s *Store) segPath(name string) string {
+	return filepath.Join(s.dir, name+".seg")
+}
+
+func (s *Store) loadCollection(name string) error {
+	path := s.segPath(name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	c := &collection{file: f}
+	r := bufio.NewReader(f)
+	for {
+		var length uint32
+		err := binary.Read(r, binary.LittleEndian, &length)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("docstore: reading %s: %w", path, err)
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			f.Close()
+			return fmt.Errorf("docstore: reading %s: %w", path, err)
+		}
+		doc, err := xmltree.ParseString(string(buf))
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("docstore: corrupt record in %s: %w", path, err)
+		}
+		c.docs = append(c.docs, doc)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("docstore: %w", err)
+	}
+	s.collections[name] = c
+	return nil
+}
+
+// ensure returns (creating if needed) the named collection. Callers hold
+// s.mu.
+func (s *Store) ensure(name string) (*collection, error) {
+	if c, ok := s.collections[name]; ok {
+		return c, nil
+	}
+	c := &collection{}
+	if s.dir != "" {
+		f, err := os.OpenFile(s.segPath(name), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: %w", err)
+		}
+		c.file = f
+	}
+	s.collections[name] = c
+	return c, nil
+}
+
+// Put appends a document to the named collection.
+func (s *Store) Put(name string, doc *xmltree.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.ensure(name)
+	if err != nil {
+		return err
+	}
+	if c.file != nil {
+		if err := appendRecord(c.file, doc); err != nil {
+			return err
+		}
+	}
+	c.docs = append(c.docs, doc)
+	return nil
+}
+
+func appendRecord(f *os.File, doc *xmltree.Document) error {
+	var b strings.Builder
+	if _, err := doc.WriteTo(&b); err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	data := []byte(b.String())
+	var header [4]byte
+	binary.LittleEndian.PutUint32(header[:], uint32(len(data)))
+	if _, err := f.Write(header[:]); err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	return nil
+}
+
+// Docs returns a copy of the documents of the named collection.
+func (s *Store) Docs(name string) []*xmltree.Document {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return nil
+	}
+	return append([]*xmltree.Document(nil), c.docs...)
+}
+
+// Len returns the number of documents in the named collection.
+func (s *Store) Len(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return len(c.docs)
+	}
+	return 0
+}
+
+// Collections returns the collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.collections))
+	for name := range s.collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replace atomically replaces the contents of the named collection (used
+// after adapting stored documents to an evolved schema). For durable
+// stores the segment is rewritten via a temp file and renamed into place.
+func (s *Store) Replace(name string, docs []*xmltree.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.ensure(name)
+	if err != nil {
+		return err
+	}
+	if c.file != nil {
+		tmpPath := s.segPath(name) + ".tmp"
+		tmp, err := os.Create(tmpPath)
+		if err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+		for _, doc := range docs {
+			if err := appendRecord(tmp, doc); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmpPath)
+			return fmt.Errorf("docstore: %w", err)
+		}
+		old := c.file
+		if err := os.Rename(tmpPath, s.segPath(name)); err != nil {
+			os.Remove(tmpPath)
+			return fmt.Errorf("docstore: %w", err)
+		}
+		old.Close()
+		f, err := os.OpenFile(s.segPath(name), os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+		c.file = f
+	}
+	c.docs = append([]*xmltree.Document(nil), docs...)
+	return nil
+}
+
+// Drop removes the named collection (and its segment file).
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return nil
+	}
+	delete(s.collections, name)
+	if c.file != nil {
+		c.file.Close()
+		if err := os.Remove(s.segPath(name)); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package docstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dtdevolve/internal/xmltree"
+)
+
+func doc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInMemoryStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("a", doc(t, `<x><y/></x>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", doc(t, `<x><z/></x>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", doc(t, `<q/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len("a") != 2 || s.Len("b") != 1 || s.Len("zz") != 0 {
+		t.Errorf("lens = %d, %d, %d", s.Len("a"), s.Len("b"), s.Len("zz"))
+	}
+	if got := s.Collections(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("collections = %v", got)
+	}
+	docs := s.Docs("a")
+	if len(docs) != 2 || docs[0].Root.ChildTags()[0] != "y" {
+		t.Errorf("docs = %v", docs)
+	}
+}
+
+func TestDurableStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put("articles", doc(t, `<article><title>t</title></article>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("other", doc(t, `<o attr="v">text &amp; more</o>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len("articles") != 10 {
+		t.Errorf("articles after reopen = %d, want 10", s2.Len("articles"))
+	}
+	other := s2.Docs("other")
+	if len(other) != 1 {
+		t.Fatalf("other = %v", other)
+	}
+	if got := other[0].Root.Text(); got != "text & more" {
+		t.Errorf("text round trip = %q", got)
+	}
+	if v, _ := other[0].Root.Attr("attr"); v != "v" {
+		t.Errorf("attr round trip = %q", v)
+	}
+	// Appending after reopen keeps old records.
+	if err := s2.Put("articles", doc(t, `<article><title>new</title></article>`)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len("articles") != 11 {
+		t.Errorf("articles after append+reopen = %d, want 11", s3.Len("articles"))
+	}
+}
+
+func TestReplace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("c", doc(t, `<a><old/></a>`))
+	s.Put("c", doc(t, `<a><old/></a>`))
+	if err := s.Replace("c", []*xmltree.Document{doc(t, `<a><new/></a>`)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len("c") != 1 {
+		t.Errorf("len after replace = %d", s.Len("c"))
+	}
+	// Appends after replace still work and survive reopen.
+	s.Put("c", doc(t, `<a><more/></a>`))
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	docs := s2.Docs("c")
+	if len(docs) != 2 || docs[0].Root.ChildTags()[0] != "new" || docs[1].Root.ChildTags()[0] != "more" {
+		t.Errorf("docs after reopen = %v, %v", docs[0].Root, docs[1].Root)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("gone", doc(t, `<x/>`))
+	if err := s.Drop("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len("gone") != 0 {
+		t.Error("collection still has docs")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone.seg")); !os.IsNotExist(err) {
+		t.Error("segment file not removed")
+	}
+	if err := s.Drop("never-existed"); err != nil {
+		t.Errorf("dropping a missing collection: %v", err)
+	}
+}
+
+func TestCorruptSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.seg"), []byte{0xFF, 0xFF, 0xFF, 0x7F, 'x'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt segment accepted")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put("c", doc(t, `<x><y/></x>`)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len("c") != 400 {
+		t.Errorf("len = %d, want 400", s.Len("c"))
+	}
+}

@@ -1,0 +1,138 @@
+package dtd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func cm(t *testing.T, src string) *Content {
+	t.Helper()
+	m, err := ParseContentModel(src)
+	if err != nil {
+		t.Fatalf("ParseContentModel(%q): %v", src, err)
+	}
+	return m
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"EMPTY", true},
+		{"ANY", true},
+		{"(#PCDATA)", true},
+		{"(a)", false},
+		{"(a?)", true},
+		{"(a*)", true},
+		{"(a+)", false},
+		{"(a, b)", false},
+		{"(a?, b?)", true},
+		{"(a?, b)", false},
+		{"(a | b)", false},
+		{"(a? | b)", true},
+		{"((a, b)* )", true},
+		{"((a | b?), c?)", true},
+	}
+	for _, tc := range cases {
+		if got := cm(t, tc.src).Nullable(); got != tc.want {
+			t.Errorf("Nullable(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	m := cm(t, "(b, (c | d)*, b?, e+)")
+	if got := m.Labels(); !reflect.DeepEqual(got, []string{"b", "c", "d", "e"}) {
+		t.Errorf("Labels = %v", got)
+	}
+	if got := cm(t, "EMPTY").Labels(); len(got) != 0 {
+		t.Errorf("Labels(EMPTY) = %v", got)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m := cm(t, "(a, (b | c)+)")
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Children[1].Children[0].Children[0].Name = "z"
+	if m.Equal(c) {
+		t.Fatal("mutation of clone affected equality with original (shallow copy?)")
+	}
+	if m.Children[1].Children[0].Children[0].Name != "b" {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if got := cm(t, "(a)").NodeCount(); got != 1 {
+		t.Errorf("NodeCount((a)) = %d, want 1", got)
+	}
+	// Seq + 2 names + Plus + Choice + 2 names = 7
+	if got := cm(t, "(a, b, (c | d)+)").NodeCount(); got != 7 {
+		t.Errorf("NodeCount = %d, want 7", got)
+	}
+}
+
+func TestDTDDeclareAndRoot(t *testing.T) {
+	d := NewDTD("doc")
+	d.Declare("doc", cm(t, "(p*)"))
+	d.Declare("p", NewPCDATA())
+	name, model := d.Root()
+	if name != "doc" || model.Kind != Star {
+		t.Errorf("Root = %q, %s", name, model)
+	}
+	// Redeclaring replaces but keeps order.
+	d.Declare("doc", cm(t, "(p+)"))
+	if len(d.Order) != 2 {
+		t.Errorf("order = %v", d.Order)
+	}
+	// Unnamed DTD falls back to first declared element.
+	d2 := NewDTD("")
+	d2.Declare("x", NewEmpty())
+	if name, _ := d2.Root(); name != "x" {
+		t.Errorf("Root of unnamed = %q", name)
+	}
+}
+
+func TestDTDClone(t *testing.T) {
+	d := NewDTD("a")
+	d.Declare("a", cm(t, "(b)"))
+	d.Attlists["a"] = []AttDef{{Name: "id", Type: "ID", Mode: "#REQUIRED"}}
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone not Equal")
+	}
+	c.Elements["a"].Name = "z"
+	if d.Elements["a"].Name != "b" {
+		t.Fatal("clone shares content models")
+	}
+	c.Attlists["a"][0].Name = "other"
+	if d.Attlists["a"][0].Name != "id" {
+		t.Fatal("clone shares attlists")
+	}
+}
+
+func TestContentStringParenthesization(t *testing.T) {
+	// A bare name with an occurrence operator at the top level must be
+	// parenthesized to stay legal DTD syntax.
+	m := NewPlus(NewName("item"))
+	s := m.String()
+	if s != "(item)+" {
+		t.Errorf("String = %q, want (item)+", s)
+	}
+	if _, err := ParseContentModel(s); err != nil {
+		t.Errorf("reparse %q: %v", s, err)
+	}
+}
+
+func TestTreeStringExample5Result(t *testing.T) {
+	// The final DTD declaration of Example 5: ((b, c)*, (d | e)).
+	m := cm(t, "((b, c)*, (d | e))")
+	want := "AND\n  *\n    AND\n      b\n      c\n  OR\n    d\n    e\n"
+	if got := m.TreeString(); got != want {
+		t.Errorf("TreeString =\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// XML 1.0 requires content models to be deterministic ("compatibility"
+// constraint, Appendix E): while matching a child sequence, an element must
+// match exactly one occurrence of its name in the model without lookahead.
+// Formally, in the Glushkov automaton of the model no state may carry two
+// outgoing transitions on the same element name.
+//
+// Evolved declarations — in particular misc-window merges like
+// ((a, b) | (a, c)) — can be nondeterministic; they are still well-defined
+// DTDs for this library's NFA-based validator, but a strictly conforming
+// XML processor may reject them. CheckDeterminism lets callers detect (and
+// reformulate) such declarations.
+
+// CheckDeterminism returns a description of every determinism conflict in
+// the content model: pairs of competing occurrences of the same element
+// name. An empty result means the model satisfies the XML 1.0
+// deterministic-content-model constraint.
+func CheckDeterminism(c *Content) []string {
+	if c == nil {
+		return nil
+	}
+	g := buildGlushkov(c)
+	var out []string
+	seen := make(map[string]bool)
+	report := func(context string, set []int) {
+		byName := make(map[string][]int)
+		for _, p := range set {
+			name := g.names[p]
+			byName[name] = append(byName[name], p)
+		}
+		names := make([]string, 0, len(byName))
+		for name, ps := range byName {
+			if len(ps) > 1 {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			msg := fmt.Sprintf("%s: element %q matches %d competing occurrences", context, name, len(byName[name]))
+			if !seen[msg] {
+				seen[msg] = true
+				out = append(out, msg)
+			}
+		}
+	}
+	report("at start", g.first)
+	positions := make([]int, 0, len(g.follow))
+	for p := range g.follow {
+		positions = append(positions, p)
+	}
+	sort.Ints(positions)
+	for _, p := range positions {
+		report(fmt.Sprintf("after %q", g.names[p]), g.follow[p])
+	}
+	return out
+}
+
+// IsDeterministic reports whether the content model satisfies the XML 1.0
+// determinism constraint.
+func IsDeterministic(c *Content) bool {
+	return len(CheckDeterminism(c)) == 0
+}
+
+// DTDDeterminism returns the determinism conflicts of every declaration,
+// keyed by element name; an empty map means the whole DTD is deterministic.
+func DTDDeterminism(d *DTD) map[string][]string {
+	out := make(map[string][]string)
+	for name, model := range d.Elements {
+		if issues := CheckDeterminism(model); len(issues) > 0 {
+			out[name] = issues
+		}
+	}
+	return out
+}
+
+// glushkov holds position-based first/follow sets of a content model.
+type glushkov struct {
+	names  []string      // position -> element name
+	first  []int         // positions matching the first child
+	follow map[int][]int // position -> positions matching the next child
+}
+
+type gsets struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func buildGlushkov(c *Content) *glushkov {
+	g := &glushkov{follow: make(map[int][]int)}
+	root := g.build(c)
+	g.first = root.first
+	return g
+}
+
+func (g *glushkov) newPos(name string) int {
+	g.names = append(g.names, name)
+	return len(g.names) - 1
+}
+
+func (g *glushkov) addFollow(from int, to []int) {
+	g.follow[from] = append(g.follow[from], to...)
+}
+
+func (g *glushkov) build(c *Content) gsets {
+	switch c.Kind {
+	case Name:
+		p := g.newPos(c.Name)
+		return gsets{first: []int{p}, last: []int{p}}
+	case PCDATA, Empty, Any:
+		return gsets{nullable: true}
+	case Opt:
+		s := g.build(c.Children[0])
+		s.nullable = true
+		return s
+	case Star:
+		s := g.build(c.Children[0])
+		for _, p := range s.last {
+			g.addFollow(p, s.first)
+		}
+		s.nullable = true
+		return s
+	case Plus:
+		s := g.build(c.Children[0])
+		for _, p := range s.last {
+			g.addFollow(p, s.first)
+		}
+		return s
+	case Choice:
+		out := gsets{}
+		for _, ch := range c.Children {
+			s := g.build(ch)
+			out.nullable = out.nullable || s.nullable
+			out.first = append(out.first, s.first...)
+			out.last = append(out.last, s.last...)
+		}
+		return out
+	case Seq:
+		out := gsets{nullable: true}
+		for _, ch := range c.Children {
+			s := g.build(ch)
+			for _, p := range out.last {
+				g.addFollow(p, s.first)
+			}
+			if out.nullable {
+				out.first = append(out.first, s.first...)
+			}
+			if s.nullable {
+				out.last = append(out.last, s.last...)
+			} else {
+				out.last = s.last
+			}
+			out.nullable = out.nullable && s.nullable
+		}
+		return out
+	default:
+		return gsets{nullable: true}
+	}
+}

@@ -1,0 +1,82 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsDeterministic(t *testing.T) {
+	cases := []struct {
+		model string
+		want  bool
+	}{
+		{"EMPTY", true},
+		{"ANY", true},
+		{"(#PCDATA)", true},
+		{"(a)", true},
+		{"(a, b)", true},
+		{"(a | b)", true},
+		{"(a, b?, c*)", true},
+		{"((a, b)+, c)", true},
+		{"(#PCDATA | a | b)*", true},
+		// The classic nondeterministic example: (a, b) | (a, c).
+		{"((a, b) | (a, c))", false},
+		// (a?, a): after seeing a, is it the first or the second?
+		{"(a?, a)", false},
+		// (a*, a) likewise.
+		{"(a*, a)", false},
+		// ((a | b)*, a): after a, loop back or finish?
+		{"((a | b)*, a)", false},
+		// Deterministic reformulation of (a,b)|(a,c).
+		{"(a, (b | c))", true},
+		// Repetition with a clear boundary is fine.
+		{"((a, b)*, c)", true},
+		// Nondeterministic across a nullable boundary: (a?, (a | b)).
+		{"(a?, (a | b))", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model, func(t *testing.T) {
+			m := cm(t, tc.model)
+			if got := IsDeterministic(m); got != tc.want {
+				t.Errorf("IsDeterministic(%s) = %v, want %v\nissues: %v",
+					tc.model, got, tc.want, CheckDeterminism(m))
+			}
+		})
+	}
+}
+
+func TestCheckDeterminismMessages(t *testing.T) {
+	issues := CheckDeterminism(cm(t, "((a, b) | (a, c))"))
+	if len(issues) == 0 {
+		t.Fatal("no issues reported")
+	}
+	if !strings.Contains(issues[0], `element "a"`) {
+		t.Errorf("issue = %q, want a mention of element a", issues[0])
+	}
+	if got := CheckDeterminism(nil); got != nil {
+		t.Errorf("nil model issues = %v", got)
+	}
+}
+
+func TestDTDDeterminism(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT ok (a, b)>
+<!ELEMENT bad ((a, b) | (a, c))>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	issues := DTDDeterminism(d)
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v, want only bad", issues)
+	}
+	if _, ok := issues["bad"]; !ok {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+// The evolution's misc-window merges are the documented source of
+// nondeterminism: ((headline, body) | (headline, byline, body)).
+func TestMiscMergeShapeDetected(t *testing.T) {
+	m := cm(t, "((headline, body) | (headline, byline, body))")
+	if IsDeterministic(m) {
+		t.Error("merge shape should be flagged as nondeterministic")
+	}
+}

@@ -1,0 +1,221 @@
+package dtd
+
+import "sort"
+
+// Language equivalence of content models: two models are equivalent when
+// they accept exactly the same child-tag sequences. The paper's DTD
+// re-writing rules promise equivalence ("with the same set of valid
+// documents"); Equivalent makes that promise checkable, and the evaluation
+// harness uses it to decide whether an evolved DTD recovered a drifted
+// ground truth exactly.
+//
+// The check builds the Glushkov automaton of each model (positions as
+// states), determinizes both over the union alphabet with the subset
+// construction, and searches the product DFA for a state pair disagreeing
+// on acceptance.
+
+// Equivalent reports whether two content models accept the same set of
+// child-element sequences. Character data is ignored: (#PCDATA) and EMPTY
+// are equivalent at the child-sequence level, while ANY (which admits any
+// declared element) is only equivalent to ANY.
+func Equivalent(a, b *Content) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	// ANY is not a regular language over a fixed alphabet here; treat it
+	// nominally.
+	if a.Kind == Any || b.Kind == Any {
+		return a.Kind == b.Kind
+	}
+	da := determinize(a)
+	db := determinize(b)
+	return dfaEquivalent(da, db)
+}
+
+// EquivalentDTDs reports whether two DTDs declare the same element names
+// with pairwise equivalent content models.
+func EquivalentDTDs(a, b *DTD) bool {
+	if len(a.Elements) != len(b.Elements) {
+		return false
+	}
+	for name, ma := range a.Elements {
+		mb, ok := b.Elements[name]
+		if !ok || !Equivalent(ma, mb) {
+			return false
+		}
+	}
+	return true
+}
+
+// dfa is a deterministic automaton over element names.
+type dfa struct {
+	// trans[state][symbol] = next state; missing entries go to the
+	// implicit dead state (-1).
+	trans  []map[string]int
+	accept []bool
+}
+
+// determinize builds the DFA of a content model via Glushkov positions and
+// the subset construction.
+func determinize(c *Content) *dfa {
+	g := buildGlushkov(c)
+	nullable := contentNullable(c)
+
+	// last positions: those that can end a word. Recompute via gsets on a
+	// fresh build to obtain last (buildGlushkov keeps only first/follow).
+	lastSet := glushkovLast(c)
+	isLast := make(map[int]bool, len(lastSet))
+	for _, p := range lastSet {
+		isLast[p] = true
+	}
+
+	type subset string // canonical key of a sorted position set
+	key := func(ps []int, initial bool) subset {
+		sort.Ints(ps)
+		b := make([]byte, 0, len(ps)*2+1)
+		// The initial state carries its own acceptance (nullability), so
+		// it must not collide with an equal follow-derived subset.
+		if initial {
+			b = append(b, 0xFF)
+		}
+		for _, p := range ps {
+			b = append(b, byte(p>>8), byte(p))
+		}
+		return subset(b)
+	}
+	// A DFA state is the set of positions that could have matched the last
+	// consumed symbol. The initial state (no symbol consumed) accepts iff
+	// the model is nullable; any other state accepts iff it contains a
+	// last position.
+	acceptOf := func(ps []int, initial bool) bool {
+		if initial {
+			return nullable
+		}
+		for _, p := range ps {
+			if isLast[p] {
+				return true
+			}
+		}
+		return false
+	}
+
+	d := &dfa{}
+	index := make(map[subset]int)
+	var queue [][]int
+	var ids []int // queue-parallel state ids
+
+	addState := func(ps []int, initial bool) int {
+		k := key(ps, initial)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(d.trans)
+		index[k] = id
+		d.trans = append(d.trans, make(map[string]int))
+		d.accept = append(d.accept, acceptOf(ps, initial))
+		queue = append(queue, ps)
+		ids = append(ids, id)
+		return id
+	}
+
+	// The initial state's successors come from the first set; every other
+	// state's successors come from the union of its follow sets. Both are
+	// grouped by the *successor's* symbol.
+	successors := func(candidates []int) map[string][]int {
+		bySym := make(map[string][]int)
+		for _, q := range candidates {
+			bySym[g.names[q]] = append(bySym[g.names[q]], q)
+		}
+		return bySym
+	}
+
+	startID := addState(nil, true)
+	bySym := successors(g.first)
+	installTransitions(d, startID, bySym, addState)
+	for i := 1; i < len(queue); i++ {
+		ps := queue[i]
+		id := ids[i]
+		var candidates []int
+		for _, p := range ps {
+			candidates = append(candidates, g.follow[p]...)
+		}
+		installTransitions(d, id, successors(dedupInts(candidates)), addState)
+	}
+	return d
+}
+
+func installTransitions(d *dfa, from int, bySym map[string][]int, addState func([]int, bool) int) {
+	syms := make([]string, 0, len(bySym))
+	for s := range bySym {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		d.trans[from][s] = addState(dedupInts(bySym[s]), false)
+	}
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func contentNullable(c *Content) bool { return c.Nullable() }
+
+// glushkovLast returns the last-position set of a content model.
+func glushkovLast(c *Content) []int {
+	g := &glushkov{follow: make(map[int][]int)}
+	return g.build(c).last
+}
+
+// dfaEquivalent checks DFA equivalence with a product-automaton BFS
+// (Hopcroft–Karp style union of reached pairs). State -1 is the dead state
+// of either machine.
+func dfaEquivalent(a, b *dfa) bool {
+	type pair struct{ x, y int }
+	seen := map[pair]bool{}
+	queue := []pair{{0, 0}}
+	acceptOf := func(d *dfa, s int) bool { return s >= 0 && d.accept[s] }
+	transOf := func(d *dfa, s int, sym string) int {
+		if s < 0 {
+			return -1
+		}
+		if t, ok := d.trans[s][sym]; ok {
+			return t
+		}
+		return -1
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if acceptOf(a, p.x) != acceptOf(b, p.y) {
+			return false
+		}
+		// The union of outgoing symbols from both states.
+		syms := make(map[string]bool)
+		if p.x >= 0 {
+			for s := range a.trans[p.x] {
+				syms[s] = true
+			}
+		}
+		if p.y >= 0 {
+			for s := range b.trans[p.y] {
+				syms[s] = true
+			}
+		}
+		for s := range syms {
+			queue = append(queue, pair{transOf(a, p.x, s), transOf(b, p.y, s)})
+		}
+	}
+	return true
+}

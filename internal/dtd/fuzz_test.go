@@ -1,0 +1,61 @@
+package dtd
+
+import "testing"
+
+// FuzzParseDTD checks the declaration parser never panics and that accepted
+// DTDs round-trip through the serializer.
+func FuzzParseDTD(f *testing.F) {
+	seeds := []string{
+		`<!ELEMENT a (b, c)>`,
+		`<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b EMPTY>`,
+		`<!ELEMENT a ((b | c)+, d?)> <!ATTLIST a x CDATA #REQUIRED>`,
+		`<!ENTITY % p "(x | y)"> <!ELEMENT a %p;>`,
+		`<!-- comment --> <?pi?> <!NOTATION n SYSTEM "s">`,
+		`<!ELEMENT a (b,>`,
+		`<!ELEMENT (b)>`,
+		`<!ELEMENT a EMPTY> <!ELEMENT a ANY>`,
+		`<!ATTLIST a k (v1 | v2) "v1">`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := d.String()
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized DTD does not reparse: %v\nsrc: %q\nout: %q", err, src, out)
+		}
+		if !d.Equal(d2) {
+			t.Fatalf("round trip changed DTD\nsrc: %q\nout: %q", src, out)
+		}
+	})
+}
+
+// FuzzParseContentModel additionally checks that Rewrite of any accepted
+// model terminates and preserves nullability.
+func FuzzParseContentModel(f *testing.F) {
+	seeds := []string{
+		"(a)", "(a, b?)", "((a | b)*, c+)", "EMPTY", "ANY",
+		"(#PCDATA)", "(#PCDATA | a | b)*", "((a))", "(a,)", "(a | b, c)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseContentModel(src)
+		if err != nil {
+			return
+		}
+		rw := Rewrite(m)
+		if rw.Nullable() != m.Nullable() {
+			t.Fatalf("Rewrite changed nullability of %q: %s -> %s", src, m, rw)
+		}
+		if _, err := ParseContentModel(rw.String()); err != nil {
+			t.Fatalf("rewritten model does not reparse: %v (%s)", err, rw)
+		}
+	})
+}

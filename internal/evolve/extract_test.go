@@ -1,0 +1,215 @@
+package evolve
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/record"
+	"dtdevolve/internal/validate"
+)
+
+// statsFor records the given documents (as children of a root element whose
+// declaration never matches, forcing every instance to be non-valid) and
+// returns the root element's statistics, ready for ExtractStructure.
+func statsFor(t *testing.T, docs map[string]int) *record.ElementStats {
+	t.Helper()
+	// Declare r with a content model that no document satisfies so that
+	// every instance records its sequence.
+	d := dtd.MustParse(`<!ELEMENT r (neverpresent)> <!ELEMENT neverpresent EMPTY>`)
+	rec := recordDocs(t, d, docs)
+	s := rec.Stats("r")
+	if s == nil {
+		t.Fatal("no stats recorded")
+	}
+	return s
+}
+
+func extract(t *testing.T, docs map[string]int) string {
+	t.Helper()
+	return ExtractStructure(statsFor(t, docs), DefaultConfig()).String()
+}
+
+func TestExtractEmpty(t *testing.T) {
+	if got := extract(t, map[string]int{`<r/>`: 5}); got != "EMPTY" {
+		t.Errorf("extract = %s, want EMPTY", got)
+	}
+}
+
+func TestExtractPCDATA(t *testing.T) {
+	if got := extract(t, map[string]int{`<r>text only</r>`: 5}); got != "(#PCDATA)" {
+		t.Errorf("extract = %s, want (#PCDATA)", got)
+	}
+}
+
+func TestExtractMixed(t *testing.T) {
+	got := extract(t, map[string]int{`<r>text <em/> more</r>`: 5})
+	if got != "(#PCDATA | em)*" {
+		t.Errorf("extract = %s, want (#PCDATA | em)*", got)
+	}
+}
+
+func TestExtractSingleRequired(t *testing.T) {
+	if got := extract(t, map[string]int{`<r><x/></r>`: 5}); got != "(x)" {
+		t.Errorf("extract = %s, want (x)", got)
+	}
+}
+
+func TestExtractSingleOptional(t *testing.T) {
+	got := extract(t, map[string]int{`<r><x/></r>`: 5, `<r/>`: 5})
+	if got != "(x)?" {
+		t.Errorf("extract = %s, want (x)?", got)
+	}
+}
+
+func TestExtractSingleRepeated(t *testing.T) {
+	got := extract(t, map[string]int{`<r><x/><x/><x/></r>`: 5})
+	if got != "(x)+" {
+		t.Errorf("extract = %s, want (x)+", got)
+	}
+}
+
+func TestExtractSingleOptionalRepeated(t *testing.T) {
+	got := extract(t, map[string]int{`<r><x/><x/></r>`: 5, `<r/>`: 5})
+	if got != "(x)*" {
+		t.Errorf("extract = %s, want (x)*", got)
+	}
+}
+
+func TestExtractSequenceInDocumentOrder(t *testing.T) {
+	got := extract(t, map[string]int{`<r><first/><second/><third/></r>`: 8})
+	if got != "(first, second, third)" {
+		t.Errorf("extract = %s, want (first, second, third)", got)
+	}
+}
+
+func TestExtractExclusivePair(t *testing.T) {
+	got := extract(t, map[string]int{`<r><x/></r>`: 5, `<r><y/></r>`: 5})
+	if got != "(x | y)" && got != "(y | x)" {
+		t.Errorf("extract = %s, want an OR of x and y", got)
+	}
+}
+
+func TestExtractExclusiveTriple(t *testing.T) {
+	got := extract(t, map[string]int{`<r><x/></r>`: 4, `<r><y/></r>`: 4, `<r><z/></r>`: 4})
+	m, err := dtd.ParseContentModel(got)
+	if err != nil {
+		t.Fatalf("parse %q: %v", got, err)
+	}
+	if m.Kind != dtd.Choice || len(m.Children) != 3 {
+		t.Errorf("extract = %s, want a 3-way OR", got)
+	}
+}
+
+func TestExtractGroupRepetition(t *testing.T) {
+	// {b, c} always together, repeated the same number of times: Policy 1
+	// sub-case 2 yields (b, c)*.
+	got := extract(t, map[string]int{`<r><b/><c/><b/><c/></r>`: 6})
+	if got != "((b, c))*" && got != "(b, c)*" {
+		t.Errorf("extract = %s, want (b, c)*", got)
+	}
+}
+
+func TestExtractPolicy2StarThenElement(t *testing.T) {
+	// F1: repeated (b, c) group plus d; F2: d alone. Policy 1 builds
+	// (b, c)*; Policy 2 then binds d because {b, c} => d has confidence 1.
+	got := extract(t, map[string]int{
+		`<r><b/><c/><b/><c/><d/></r>`: 5,
+		`<r><d/></r>`:                 5,
+	})
+	if got != "((b, c)*, d)" {
+		t.Errorf("extract = %s, want ((b, c)*, d)", got)
+	}
+}
+
+func TestExtractPolicy1SubcaseThree(t *testing.T) {
+	// b, c repeat together as a group; d occurs exactly once; all mutually
+	// present: Policy 1 sub-case 3 yields ((b, c)+, d).
+	got := extract(t, map[string]int{`<r><b/><c/><b/><c/><d/></r>`: 6})
+	if got != "((b, c)+, d)" {
+		t.Errorf("extract = %s, want ((b, c)+, d)", got)
+	}
+}
+
+func TestExtractOrBetweenGroupAndElement(t *testing.T) {
+	// Either the pair (b, c) or the single z: the AND tree from Policy 1
+	// and element z are mutually exclusive (Policy 7).
+	got := extract(t, map[string]int{
+		`<r><b/><c/></r>`: 5,
+		`<r><z/></r>`:     5,
+	})
+	if got != "((b, c) | z)" && got != "(z | (b, c))" {
+		t.Errorf("extract = %s, want ((b, c) | z)", got)
+	}
+}
+
+func TestExtractSupportFiltersRareSequences(t *testing.T) {
+	// The one-off {weird} sequence is below µ = 0.2 and must not surface
+	// in the extracted structure.
+	got := extract(t, map[string]int{
+		`<r><x/></r>`:     19,
+		`<r><weird/></r>`: 1,
+	})
+	if got != "(x)" {
+		t.Errorf("extract = %s, want (x) — rare sequence must be discarded", got)
+	}
+}
+
+func TestExtractFallbackWhenNothingFrequent(t *testing.T) {
+	// Every sequence distinct: at µ = 0.2 and six distinct shapes nothing
+	// reaches the threshold; the engine falls back to the full set instead
+	// of emitting EMPTY.
+	docs := map[string]int{
+		`<r><a1/></r>`: 1, `<r><a2/></r>`: 1, `<r><a3/></r>`: 1,
+		`<r><a4/></r>`: 1, `<r><a5/></r>`: 1, `<r><a6/></r>`: 1,
+	}
+	got := extract(t, docs)
+	if got == "EMPTY" {
+		t.Errorf("extract = EMPTY, want a structure from the fallback")
+	}
+}
+
+func TestExtractOptionalTail(t *testing.T) {
+	// x always present, tail sometimes: (x, tail?).
+	got := extract(t, map[string]int{
+		`<r><x/><tail/></r>`: 5,
+		`<r><x/></r>`:        5,
+	})
+	if got != "(x, tail?)" {
+		t.Errorf("extract = %s, want (x, tail?)", got)
+	}
+}
+
+// TestExtractAcceptsItsOwnCorpus is the key soundness property: the
+// structure extracted from a corpus must accept every frequent shape of
+// that corpus.
+func TestExtractAcceptsItsOwnCorpus(t *testing.T) {
+	corpora := []map[string]int{
+		{`<r><a/><b/></r>`: 6, `<r><a/><b/><c/></r>`: 6},
+		{`<r><a/><a/></r>`: 5, `<r><b/></r>`: 5},
+		{`<r><p/><q/><p/><q/></r>`: 4, `<r><p/><q/></r>`: 4},
+		{`<r><x/><y/><z/></r>`: 3, `<r><x/><z/></r>`: 3, `<r><x/></r>`: 3},
+		{`<r><m/></r>`: 9, `<r><n/></r>`: 1}, // n is rare: may be rejected
+	}
+	for i, docs := range corpora {
+		stats := statsFor(t, docs)
+		model := ExtractStructure(stats, DefaultConfig())
+		d := dtd.NewDTD("r")
+		d.Declare("r", model)
+		v := validate.New(d)
+		table := stats.Transactions()
+		total := 0
+		for _, tx := range table {
+			total += tx.Count
+		}
+		for src, n := range docs {
+			doc := parseDoc(t, src)
+			frequent := float64(n)/float64(total) >= DefaultConfig().MinSupport
+			if !frequent {
+				continue
+			}
+			if !v.LocalValid(doc.Root, model) {
+				t.Errorf("corpus %d: extracted %s rejects frequent doc %s", i, model, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package evolve
+
+// Direct tests of individual heuristic policies (DESIGN.md §3.2): each
+// builds the engine's working set and rule base by hand and fires exactly
+// one policy, verifying its condition and rewrite. Full-corpus flows are
+// covered in extract_test.go; these unit tests reach the policies that
+// corpus-level mutual-presence classes tend to absorb (P3, P8, P11, P12).
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/mine"
+	"dtdevolve/internal/record"
+)
+
+// policyStats builds ElementStats with explicit positions, repetitions and
+// groups for engine-level tests.
+func policyStats(pos map[string]float64, repeated map[string]bool, groups [][]string) *record.ElementStats {
+	s := &record.ElementStats{
+		Labels:       map[string]*record.LabelStats{},
+		Sequences:    map[string]*record.SeqStats{},
+		Groups:       map[string]*record.GroupStats{},
+		PresentCount: map[string]int{},
+		RepeatCount:  map[string]int{},
+		PosSum:       map[string]float64{},
+		PosCount:     map[string]int{},
+	}
+	for tag, p := range pos {
+		s.PosSum[tag] = p
+		s.PosCount[tag] = 1
+		s.PresentCount[tag] = 1
+	}
+	for tag, r := range repeated {
+		if r {
+			s.RepeatCount[tag] = 1
+		}
+	}
+	for _, g := range groups {
+		s.Groups[mine.Key(g)] = &record.GroupStats{Tags: g, Count: 1}
+	}
+	return s
+}
+
+// policyEngine builds an engine with a hand-made working set.
+func policyEngine(stats *record.ElementStats, txs []mine.Transaction, universe []string, trees ...*workTree) *engine {
+	aug := mine.AugmentAll(txs, universe)
+	e := &engine{
+		stats:  stats,
+		cfg:    DefaultConfig(),
+		rules:  mine.NewRuleSet(aug, 0.2, 1.0),
+		txs:    aug,
+		allTxs: aug,
+		C:      trees,
+	}
+	for _, tx := range aug {
+		e.total += tx.Count
+	}
+	e.sortByPos()
+	return e
+}
+
+func elemTree(name string, pos float64) *workTree {
+	return &workTree{c: dtd.NewName(name), labels: []string{name}, pos: pos}
+}
+
+func tx(count int, items ...string) mine.Transaction { return mine.NewTransaction(items, count) }
+
+func TestPolicy3InsertsElementIntoANDTree(t *testing.T) {
+	// Working set: AND(b, c) and element d; every sequence has all three,
+	// and d's document position falls between b and c.
+	stats := policyStats(map[string]float64{"b": 0, "d": 1, "c": 2}, nil, nil)
+	and := &workTree{c: dtd.NewSeq(dtd.NewName("b"), dtd.NewName("c")), labels: []string{"b", "c"}, pos: 0}
+	e := policyEngine(stats, []mine.Transaction{tx(10, "b", "c", "d")}, []string{"b", "c", "d"},
+		and, elemTree("d", 1))
+	if !e.p3() {
+		t.Fatal("p3 did not fire")
+	}
+	if len(e.C) != 1 {
+		t.Fatalf("C = %d trees", len(e.C))
+	}
+	if got := e.C[0].c.String(); got != "(b, d, c)" {
+		t.Errorf("p3 result = %s, want (b, d, c) — inserted at its position", got)
+	}
+}
+
+func TestPolicy3AppendsWhenLast(t *testing.T) {
+	stats := policyStats(map[string]float64{"b": 0, "c": 1, "d": 5}, nil, nil)
+	and := &workTree{c: dtd.NewSeq(dtd.NewName("b"), dtd.NewName("c")), labels: []string{"b", "c"}, pos: 0}
+	e := policyEngine(stats, []mine.Transaction{tx(10, "b", "c", "d")}, []string{"b", "c", "d"},
+		and, elemTree("d", 5))
+	if !e.p3() {
+		t.Fatal("p3 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(b, c, d)" {
+		t.Errorf("p3 result = %s, want (b, c, d)", got)
+	}
+}
+
+func TestPolicy3RequiresMutualImplication(t *testing.T) {
+	stats := policyStats(map[string]float64{"b": 0, "c": 1, "d": 2}, nil, nil)
+	and := &workTree{c: dtd.NewSeq(dtd.NewName("b"), dtd.NewName("c")), labels: []string{"b", "c"}, pos: 0}
+	// d appears only in half the sequences containing {b, c}.
+	e := policyEngine(stats, []mine.Transaction{tx(5, "b", "c", "d"), tx(5, "b", "c")},
+		[]string{"b", "c", "d"}, and, elemTree("d", 2))
+	if e.p3() {
+		t.Fatal("p3 fired without mutual implication")
+	}
+}
+
+func TestPolicy8MergesANDTrees(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "c": 2, "d": 3}, nil, nil)
+	and1 := &workTree{c: dtd.NewSeq(dtd.NewName("a"), dtd.NewName("c")), labels: []string{"a", "c"}, pos: 0}
+	and2 := &workTree{c: dtd.NewSeq(dtd.NewName("b"), dtd.NewName("d")), labels: []string{"b", "d"}, pos: 1}
+	e := policyEngine(stats, []mine.Transaction{tx(10, "a", "b", "c", "d")},
+		[]string{"a", "b", "c", "d"}, and1, and2)
+	if !e.p8() {
+		t.Fatal("p8 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(a, b, c, d)" {
+		t.Errorf("p8 result = %s, want (a, b, c, d) — children interleaved by position", got)
+	}
+}
+
+func TestPolicy8RequiresMutualImplication(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "c": 2, "d": 3}, nil, nil)
+	and1 := &workTree{c: dtd.NewSeq(dtd.NewName("a"), dtd.NewName("c")), labels: []string{"a", "c"}, pos: 0}
+	and2 := &workTree{c: dtd.NewSeq(dtd.NewName("b"), dtd.NewName("d")), labels: []string{"b", "d"}, pos: 1}
+	e := policyEngine(stats, []mine.Transaction{tx(5, "a", "c", "b", "d"), tx(5, "a", "c")},
+		[]string{"a", "b", "c", "d"}, and1, and2)
+	if e.p8() {
+		t.Fatal("p8 fired without mutual implication")
+	}
+}
+
+func TestPolicy9RepetitionWraps(t *testing.T) {
+	// Repeated and always present: +.
+	stats := policyStats(map[string]float64{"x": 0}, map[string]bool{"x": true}, nil)
+	e := policyEngine(stats, []mine.Transaction{tx(10, "x")}, []string{"x"}, elemTree("x", 0))
+	if !e.p9() {
+		t.Fatal("p9 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(x)+" {
+		t.Errorf("p9 result = %s, want x+", got)
+	}
+	// Repeated and sometimes absent: *.
+	stats = policyStats(map[string]float64{"x": 0, "y": 0}, map[string]bool{"x": true}, nil)
+	e = policyEngine(stats, []mine.Transaction{tx(5, "x"), tx(5, "y")}, []string{"x", "y"},
+		elemTree("x", 0))
+	if !e.p9() {
+		t.Fatal("p9 did not fire in optional case")
+	}
+	if got := e.C[0].c.String(); got != "(x)*" {
+		t.Errorf("p9 result = %s, want x*", got)
+	}
+}
+
+func TestPolicy11ORBindsExclusiveOperatorTrees(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1}, nil, nil)
+	plusA := &workTree{c: dtd.NewPlus(dtd.NewName("a")), labels: []string{"a"}, pos: 0}
+	optB := &workTree{c: dtd.NewOpt(dtd.NewName("b")), labels: []string{"b"}, pos: 1}
+	e := policyEngine(stats, []mine.Transaction{tx(5, "a"), tx(5, "b")}, []string{"a", "b"},
+		plusA, optB)
+	if !e.p11() {
+		t.Fatal("p11 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(a+ | b?)" {
+		t.Errorf("p11 result = %s, want (a+ | b?)", got)
+	}
+}
+
+func TestPolicy11RequiresExclusion(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1}, nil, nil)
+	plusA := &workTree{c: dtd.NewPlus(dtd.NewName("a")), labels: []string{"a"}, pos: 0}
+	optB := &workTree{c: dtd.NewOpt(dtd.NewName("b")), labels: []string{"b"}, pos: 1}
+	e := policyEngine(stats, []mine.Transaction{tx(10, "a", "b")}, []string{"a", "b"},
+		plusA, optB)
+	if e.p11() {
+		t.Fatal("p11 fired for co-occurring trees")
+	}
+}
+
+func TestPolicy12MergesORTrees(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "c": 2, "d": 3}, nil, nil)
+	or1 := &workTree{c: dtd.NewChoice(dtd.NewName("a"), dtd.NewName("b")), labels: []string{"a", "b"}, pos: 0}
+	or2 := &workTree{c: dtd.NewChoice(dtd.NewName("c"), dtd.NewName("d")), labels: []string{"c", "d"}, pos: 2}
+	e := policyEngine(stats, []mine.Transaction{tx(3, "a"), tx(3, "b"), tx(3, "c"), tx(3, "d")},
+		[]string{"a", "b", "c", "d"}, or1, or2)
+	if !e.p12() {
+		t.Fatal("p12 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(a | b | c | d)" {
+		t.Errorf("p12 result = %s, want (a | b | c | d)", got)
+	}
+}
+
+func TestPolicy12RequiresCrossExclusion(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "c": 2, "d": 3}, nil, nil)
+	or1 := &workTree{c: dtd.NewChoice(dtd.NewName("a"), dtd.NewName("b")), labels: []string{"a", "b"}, pos: 0}
+	or2 := &workTree{c: dtd.NewChoice(dtd.NewName("c"), dtd.NewName("d")), labels: []string{"c", "d"}, pos: 2}
+	// a co-occurs with c: the ORs must not merge.
+	e := policyEngine(stats, []mine.Transaction{tx(5, "a", "c"), tx(5, "b"), tx(5, "d")},
+		[]string{"a", "b", "c", "d"}, or1, or2)
+	if e.p12() {
+		t.Fatal("p12 fired despite a co-occurring cross pair")
+	}
+}
+
+func TestPolicy5FourWayClique(t *testing.T) {
+	stats := policyStats(map[string]float64{"w": 0, "x": 1, "y": 2, "z": 3}, nil, nil)
+	e := policyEngine(stats,
+		[]mine.Transaction{tx(3, "w"), tx(3, "x"), tx(3, "y"), tx(3, "z")},
+		[]string{"w", "x", "y", "z"},
+		elemTree("w", 0), elemTree("x", 1), elemTree("y", 2), elemTree("z", 3))
+	if !e.p5() {
+		t.Fatal("p5 did not fire")
+	}
+	if len(e.C) != 1 {
+		t.Fatalf("C = %d trees", len(e.C))
+	}
+	m := e.C[0].c
+	if m.Kind != dtd.Choice || len(m.Children) != 4 {
+		t.Errorf("p5 result = %s, want a 4-way OR", m)
+	}
+}
+
+func TestPolicy2StarBinding(t *testing.T) {
+	stats := policyStats(map[string]float64{"b": 0, "c": 1, "d": 2}, nil, nil)
+	star := &workTree{c: dtd.NewStar(dtd.NewSeq(dtd.NewName("b"), dtd.NewName("c"))), labels: []string{"b", "c"}, pos: 0}
+	e := policyEngine(stats, []mine.Transaction{tx(5, "b", "c", "d"), tx(5, "d")},
+		[]string{"b", "c", "d"}, star, elemTree("d", 2))
+	if !e.p2() {
+		t.Fatal("p2 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "((b, c)*, d)" {
+		t.Errorf("p2 result = %s", got)
+	}
+}
+
+func TestPolicy6ExtendsOR(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "c": 2}, nil, nil)
+	or := &workTree{c: dtd.NewChoice(dtd.NewName("a"), dtd.NewName("b")), labels: []string{"a", "b"}, pos: 0}
+	e := policyEngine(stats, []mine.Transaction{tx(3, "a"), tx(3, "b"), tx(3, "c")},
+		[]string{"a", "b", "c"}, or, elemTree("c", 2))
+	if !e.p6() {
+		t.Fatal("p6 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "(a | b | c)" {
+		t.Errorf("p6 result = %s", got)
+	}
+}
+
+func TestPolicy7ORBindsANDAndElement(t *testing.T) {
+	stats := policyStats(map[string]float64{"a": 0, "b": 1, "z": 0.5}, nil, nil)
+	and := &workTree{c: dtd.NewSeq(dtd.NewName("a"), dtd.NewName("b")), labels: []string{"a", "b"}, pos: 0}
+	e := policyEngine(stats, []mine.Transaction{tx(5, "a", "b"), tx(5, "z")},
+		[]string{"a", "b", "z"}, and, elemTree("z", 0.5))
+	if !e.p7() {
+		t.Fatal("p7 did not fire")
+	}
+	if got := e.C[0].c.String(); got != "((a, b) | z)" {
+		t.Errorf("p7 result = %s", got)
+	}
+}

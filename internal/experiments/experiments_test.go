@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Seed: 1, Quick: true} }
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	tables := All(quick())
+	if len(tables) != 12 {
+		t.Fatalf("tables = %d, want 12", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || tab.Claim == "" {
+			t.Errorf("table %q missing metadata", tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("table %q has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("table %q row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+		}
+		if s := tab.String(); !strings.Contains(s, tab.Title) {
+			t.Errorf("table %q String() missing title", tab.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		if _, ok := ByID(id, quick()); !ok {
+			t.Errorf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("e99", quick()); ok {
+		t.Error("ByID(e99) found")
+	}
+}
+
+func cell(t *testing.T, tab Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tab.ID, col, tab.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %s[%d,%s] = %q not a float", tab.ID, row, col, cell(t, tab, row, col))
+	}
+	return v
+}
+
+// TestE1Shape pins the qualitative claim: at mutation rate 0 both
+// classifiers retain everything; at high rates the validator loses most
+// documents while the similarity classifier retains far more.
+func TestE1Shape(t *testing.T) {
+	tab := E1Classification(quick())
+	last := len(tab.Rows) - 1
+	if v := cellF(t, tab, 0, "val_retained"); v != 1 {
+		t.Errorf("validator retention at rate 0 = %v, want 1", v)
+	}
+	simHigh := cellF(t, tab, last, "sim_retained")
+	valHigh := cellF(t, tab, last, "val_retained")
+	if !(simHigh > valHigh) {
+		t.Errorf("similarity retention (%v) should exceed validator retention (%v) at high mutation", simHigh, valHigh)
+	}
+}
+
+// TestE2Shape pins the claim: the evolved DTD conforms better to the
+// drifted corpus than the original.
+func TestE2Shape(t *testing.T) {
+	tab := E2Evolution(quick())
+	orig := cellF(t, tab, 0, "conformance")
+	evolved := cellF(t, tab, 1, "conformance")
+	if !(evolved > orig) {
+		t.Errorf("evolved conformance (%v) should exceed original (%v)", evolved, orig)
+	}
+	truth := cellF(t, tab, 2, "conformance")
+	if truth != 1 {
+		t.Errorf("drifted ground truth conformance = %v, want 1", truth)
+	}
+}
+
+// TestE3Shape pins the claim: evolution cost does not grow with corpus
+// size the way from-scratch inference does.
+func TestE3Shape(t *testing.T) {
+	tab := E3Incremental(quick())
+	if len(tab.Rows) < 2 {
+		t.Fatal("need at least two sizes")
+	}
+	// The evolve column must not blow up with corpus size: allow generous
+	// noise but catch linear growth (quick sizes double).
+	first := cellF(t, tab, 0, "evolve_ms")
+	last := cellF(t, tab, len(tab.Rows)-1, "evolve_ms")
+	if first > 0.001 && last > first*20 {
+		t.Errorf("evolve time grew from %v to %v ms across corpus sizes", first, last)
+	}
+}
+
+// TestE8Shape pins the claim: stricter σ grows the repository, and the
+// evolution recovers documents.
+func TestE8Shape(t *testing.T) {
+	tab := E8SigmaSweep(quick())
+	firstRepo := cellF(t, tab, 0, "repository")
+	lastRepo := cellF(t, tab, len(tab.Rows)-1, "repository")
+	if lastRepo < firstRepo {
+		t.Errorf("repository at σ=0.95 (%v) should be ≥ at σ=0.5 (%v)", lastRepo, firstRepo)
+	}
+}
+
+// TestE9Shape pins the ablation claim: with augmentation the exclusive
+// pair yields an OR; without it no OR can be discovered.
+func TestE9Shape(t *testing.T) {
+	tab := E9AbsentAblation(quick())
+	with := cell(t, tab, 0, "with_augmentation")
+	without := cell(t, tab, 0, "without_augmentation")
+	if !strings.Contains(with, "|") {
+		t.Errorf("with augmentation = %s, want an OR", with)
+	}
+	if strings.Contains(without, "|") {
+		t.Errorf("without augmentation = %s, want no OR", without)
+	}
+	// Plain sequences are unaffected by the ablation.
+	if a, b := cell(t, tab, 2, "with_augmentation"), cell(t, tab, 2, "without_augmentation"); a != b {
+		t.Errorf("plain sequence diverged: %s vs %s", a, b)
+	}
+}
+
+// TestE10Shape pins the decay claim: deep mutants always hurt less than
+// shallow ones, and the gap shrinks as γ grows.
+func TestE10Shape(t *testing.T) {
+	tab := E10DecaySweep(quick())
+	for i := range tab.Rows {
+		if gap := cellF(t, tab, i, "gap"); gap <= 0 {
+			t.Errorf("row %d: deep mutants should score higher than shallow (gap %v)", i, gap)
+		}
+	}
+	first := cellF(t, tab, 0, "gap")
+	last := cellF(t, tab, len(tab.Rows)-1, "gap")
+	if !(last < first) {
+		t.Errorf("gap should shrink with γ: %v -> %v", first, last)
+	}
+}
+
+// TestE11Shape pins the thesaurus claim: at full synonym drift the plain
+// classifier loses everything while the thesaurus classifier keeps all.
+func TestE11Shape(t *testing.T) {
+	tab := E11ThesaurusRetention(quick())
+	last := len(tab.Rows) - 1
+	if v := cellF(t, tab, last, "plain_retained"); v != 0 {
+		t.Errorf("plain retention at rate 1 = %v, want 0", v)
+	}
+	if v := cellF(t, tab, last, "thesaurus_retained"); v != 1 {
+		t.Errorf("thesaurus retention at rate 1 = %v, want 1", v)
+	}
+	if v := cellF(t, tab, 0, "plain_retained"); v != 1 {
+		t.Errorf("plain retention at rate 0 = %v, want 1", v)
+	}
+}
+
+// TestE12Shape pins the adaptation claim: adaptation always reaches full
+// validity on this cycle-free DTD, retaining most content.
+func TestE12Shape(t *testing.T) {
+	tab := E12AdaptationQuality(quick())
+	for i := range tab.Rows {
+		if v := cellF(t, tab, i, "valid_after"); v != 1 {
+			t.Errorf("row %d: valid_after = %v, want 1", i, v)
+		}
+		if r := cellF(t, tab, i, "content_retained"); r < 0.8 {
+			t.Errorf("row %d: content_retained = %v, want >= 0.8", i, r)
+		}
+	}
+	if b, a := cellF(t, tab, 0, "valid_before"), cellF(t, tab, len(tab.Rows)-1, "valid_before"); a > b {
+		t.Errorf("validity before adaptation should fall with mutations: %v -> %v", b, a)
+	}
+}

@@ -1,0 +1,355 @@
+// Package gen generates synthetic XML workloads: valid document instances
+// of a DTD, controlled structural mutations (the paper's three regularity
+// classes: missing declared elements, novel elements, operator violations),
+// schema drift, and random DTD sets.
+//
+// The paper evaluated on Web-gathered corpora that are unavailable; this
+// generator is the documented substitution (DESIGN.md §4). Everything is
+// deterministic under a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// Config controls generation.
+type Config struct {
+	// Seed makes the generator deterministic.
+	Seed int64
+	// OptProb is the probability that optional content (?, and the zero
+	// case of *) is emitted.
+	OptProb float64
+	// MaxRepeat bounds how many instances a * or + emits.
+	MaxRepeat int
+	// MaxDepth bounds recursion for cyclic DTDs.
+	MaxDepth int
+	// NovelTags is the pool of tags used for inserted novel elements.
+	NovelTags []string
+}
+
+// DefaultConfig returns the configuration used by the evaluation harness.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		OptProb:   0.5,
+		MaxRepeat: 3,
+		MaxDepth:  12,
+		NovelTags: []string{"novel", "extra", "annex", "note"},
+	}
+}
+
+// Generator produces documents and DTDs.
+type Generator struct {
+	cfg Config
+	r   *rand.Rand
+}
+
+// New returns a Generator for the configuration.
+func New(cfg Config) *Generator {
+	if cfg.MaxRepeat <= 0 {
+		cfg.MaxRepeat = 3
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.OptProb <= 0 {
+		cfg.OptProb = 0.5
+	}
+	if len(cfg.NovelTags) == 0 {
+		cfg.NovelTags = []string{"novel"}
+	}
+	return &Generator{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Document generates one valid instance of the DTD, rooted at the DTD's
+// root element.
+func (g *Generator) Document(d *dtd.DTD) *xmltree.Document {
+	rootName, _ := d.Root()
+	root := g.element(d, rootName, 0)
+	return &xmltree.Document{Root: root}
+}
+
+// Documents generates n valid instances.
+func (g *Generator) Documents(d *dtd.DTD, n int) []*xmltree.Document {
+	out := make([]*xmltree.Document, n)
+	for i := range out {
+		out[i] = g.Document(d)
+	}
+	return out
+}
+
+func (g *Generator) element(d *dtd.DTD, name string, depth int) *xmltree.Node {
+	n := xmltree.NewElement(name)
+	model, ok := d.Elements[name]
+	if !ok || depth >= g.cfg.MaxDepth {
+		return n
+	}
+	n.Children = g.instantiate(d, model, depth)
+	return n
+}
+
+func (g *Generator) instantiate(d *dtd.DTD, model *dtd.Content, depth int) []*xmltree.Node {
+	switch model.Kind {
+	case dtd.Empty:
+		return nil
+	case dtd.Any:
+		return []*xmltree.Node{xmltree.NewText("any")}
+	case dtd.PCDATA:
+		return []*xmltree.Node{xmltree.NewText(g.text())}
+	case dtd.Name:
+		return []*xmltree.Node{g.element(d, model.Name, depth+1)}
+	case dtd.Seq:
+		var out []*xmltree.Node
+		for _, ch := range model.Children {
+			out = append(out, g.instantiate(d, ch, depth)...)
+		}
+		return out
+	case dtd.Choice:
+		pick := model.Children[g.r.Intn(len(model.Children))]
+		if pick.Kind == dtd.PCDATA {
+			return []*xmltree.Node{xmltree.NewText(g.text())}
+		}
+		return g.instantiate(d, pick, depth)
+	case dtd.Opt:
+		if g.r.Float64() < g.cfg.OptProb {
+			return g.instantiate(d, model.Children[0], depth)
+		}
+		return nil
+	case dtd.Star:
+		reps := 0
+		if g.r.Float64() < g.cfg.OptProb {
+			reps = 1 + g.r.Intn(g.cfg.MaxRepeat)
+		}
+		return g.repeat(d, model.Children[0], depth, reps)
+	case dtd.Plus:
+		return g.repeat(d, model.Children[0], depth, 1+g.r.Intn(g.cfg.MaxRepeat))
+	default:
+		return nil
+	}
+}
+
+func (g *Generator) repeat(d *dtd.DTD, model *dtd.Content, depth, reps int) []*xmltree.Node {
+	var out []*xmltree.Node
+	for i := 0; i < reps; i++ {
+		out = append(out, g.instantiate(d, model, depth)...)
+	}
+	return out
+}
+
+var words = []string{"alpha", "beta", "gamma", "delta", "omega", "vector", "matrix", "tuple"}
+
+func (g *Generator) text() string {
+	return words[g.r.Intn(len(words))]
+}
+
+// Mutation identifies one structural mutation class from the paper §2.
+type Mutation int
+
+const (
+	// MissingElement removes one child element (the paper's "some
+	// documents miss some elements specified in the DTD").
+	MissingElement Mutation = iota
+	// NovelElement inserts an element not defined in the DTD.
+	NovelElement
+	// DuplicateElement duplicates a child, violating non-repeatable
+	// operators.
+	DuplicateElement
+	// ReorderElements swaps two children, violating sequence order.
+	ReorderElements
+	numMutations
+)
+
+// String returns the mutation class name.
+func (m Mutation) String() string {
+	switch m {
+	case MissingElement:
+		return "missing-element"
+	case NovelElement:
+		return "novel-element"
+	case DuplicateElement:
+		return "duplicate-element"
+	case ReorderElements:
+		return "reorder-elements"
+	default:
+		return fmt.Sprintf("Mutation(%d)", int(m))
+	}
+}
+
+// Mutate returns a copy of the document with k random mutations applied.
+func (g *Generator) Mutate(doc *xmltree.Document, k int) *xmltree.Document {
+	root := doc.Root.Clone()
+	for i := 0; i < k; i++ {
+		g.mutateOnce(root, Mutation(g.r.Intn(int(numMutations))))
+	}
+	return &xmltree.Document{Root: root}
+}
+
+// MutateWith returns a copy with one specific mutation applied.
+func (g *Generator) MutateWith(doc *xmltree.Document, m Mutation) *xmltree.Document {
+	root := doc.Root.Clone()
+	g.mutateOnce(root, m)
+	return &xmltree.Document{Root: root}
+}
+
+func (g *Generator) mutateOnce(root *xmltree.Node, m Mutation) {
+	var elems []*xmltree.Node
+	root.Walk(func(n *xmltree.Node, _ int) bool {
+		if n.IsElement() {
+			elems = append(elems, n)
+		}
+		return true
+	})
+	n := elems[g.r.Intn(len(elems))]
+	switch m {
+	case MissingElement:
+		if idx, ok := g.randomElementChild(n); ok {
+			n.Children = append(n.Children[:idx], n.Children[idx+1:]...)
+		}
+	case NovelElement:
+		tag := g.cfg.NovelTags[g.r.Intn(len(g.cfg.NovelTags))]
+		child := xmltree.NewElement(tag, xmltree.NewText(g.text()))
+		pos := 0
+		if len(n.Children) > 0 {
+			pos = g.r.Intn(len(n.Children) + 1)
+		}
+		n.Children = append(n.Children[:pos], append([]*xmltree.Node{child}, n.Children[pos:]...)...)
+	case DuplicateElement:
+		if idx, ok := g.randomElementChild(n); ok {
+			dup := n.Children[idx].Clone()
+			n.Children = append(n.Children[:idx], append([]*xmltree.Node{dup}, n.Children[idx:]...)...)
+		}
+	case ReorderElements:
+		if len(n.Children) >= 2 {
+			i, j := g.r.Intn(len(n.Children)), g.r.Intn(len(n.Children))
+			n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+		}
+	}
+}
+
+func (g *Generator) randomElementChild(n *xmltree.Node) (int, bool) {
+	var idxs []int
+	for i, c := range n.Children {
+		if c.IsElement() {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return 0, false
+	}
+	return idxs[g.r.Intn(len(idxs))], true
+}
+
+// MutatedDocuments generates n documents from the DTD, applying k mutations
+// to each with probability rate.
+func (g *Generator) MutatedDocuments(d *dtd.DTD, n, k int, rate float64) []*xmltree.Document {
+	out := make([]*xmltree.Document, n)
+	for i := range out {
+		doc := g.Document(d)
+		if g.r.Float64() < rate {
+			doc = g.Mutate(doc, k)
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+// Drift produces a drifted copy of the DTD: the ground truth itself
+// changes, and subsequent documents follow the new schema. Applied drift
+// operations mirror the paper's regularity classes: a new optional or
+// required element appears under a random declaration, an element becomes
+// repeatable, or an alternative is added.
+func (g *Generator) Drift(d *dtd.DTD, ops int) *dtd.DTD {
+	out := d.Clone()
+	for i := 0; i < ops; i++ {
+		g.driftOnce(out, i)
+	}
+	return out
+}
+
+func (g *Generator) driftOnce(d *dtd.DTD, salt int) {
+	name := d.Order[g.r.Intn(len(d.Order))]
+	model := d.Elements[name]
+	switch g.r.Intn(3) {
+	case 0: // new element appended to the content
+		tag := fmt.Sprintf("drift%d", salt)
+		d.Declare(tag, dtd.NewPCDATA())
+		switch model.Kind {
+		case dtd.Empty, dtd.PCDATA, dtd.Any:
+			d.Elements[name] = dtd.NewName(tag)
+		default:
+			d.Elements[name] = dtd.NewSeq(model, dtd.NewName(tag))
+		}
+	case 1: // an element becomes repeatable
+		if model.Kind == dtd.Seq && len(model.Children) > 0 {
+			i := g.r.Intn(len(model.Children))
+			if model.Children[i].Kind == dtd.Name {
+				model.Children[i] = dtd.NewPlus(model.Children[i])
+			}
+		}
+	case 2: // a new alternative for the whole content
+		tag := fmt.Sprintf("alt%d", salt)
+		d.Declare(tag, dtd.NewPCDATA())
+		switch model.Kind {
+		case dtd.Empty, dtd.PCDATA, dtd.Any:
+			d.Elements[name] = dtd.NewName(tag)
+		default:
+			d.Elements[name] = dtd.NewChoice(model, dtd.NewName(tag))
+		}
+	}
+	d.Elements[name] = dtd.Rewrite(d.Elements[name])
+}
+
+// RandomDTD builds a random DTD with the given root name and roughly size
+// element declarations, for classification experiments over DTD sets.
+func (g *Generator) RandomDTD(root string, size int) *dtd.DTD {
+	if size < 1 {
+		size = 1
+	}
+	d := dtd.NewDTD(root)
+	names := make([]string, size)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s_e%d", root, i)
+	}
+	// The root always has element content over the first few names.
+	d.Declare(root, g.randomModel(names, 0))
+	for _, n := range names {
+		if g.r.Intn(3) == 0 {
+			d.Declare(n, g.randomModel(names, 2))
+		} else {
+			d.Declare(n, dtd.NewPCDATA())
+		}
+	}
+	return dtd.RewriteDTD(d)
+}
+
+func (g *Generator) randomModel(names []string, depth int) *dtd.Content {
+	if depth >= 3 {
+		return dtd.NewName(names[g.r.Intn(len(names))])
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return dtd.NewOpt(g.randomModel(names, depth+1))
+	case 1:
+		k := 2 + g.r.Intn(3)
+		kids := make([]*dtd.Content, k)
+		for i := range kids {
+			kids[i] = g.randomModel(names, depth+1)
+		}
+		return dtd.NewSeq(kids...)
+	case 2:
+		k := 2 + g.r.Intn(2)
+		kids := make([]*dtd.Content, k)
+		for i := range kids {
+			kids[i] = g.randomModel(names, depth+1)
+		}
+		return dtd.NewChoice(kids...)
+	case 3:
+		return dtd.NewStar(g.randomModel(names, depth+1))
+	default:
+		return dtd.NewName(names[g.r.Intn(len(names))])
+	}
+}

@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+var testDTD = func() *dtd.DTD {
+	d := dtd.MustParse(`
+<!ELEMENT doc (head, section+)>
+<!ELEMENT head (title, meta*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT section (heading?, (para | list)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>`)
+	d.Name = "doc"
+	return d
+}()
+
+func TestGeneratedDocumentsAreValid(t *testing.T) {
+	g := New(DefaultConfig(1))
+	v := validate.New(testDTD)
+	for i, doc := range g.Documents(testDTD, 200) {
+		if vs := v.ValidateDocument(doc); len(vs) != 0 {
+			t.Fatalf("doc %d invalid: %v\n%s", i, vs, doc.Root.Indent())
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := New(DefaultConfig(42)).Documents(testDTD, 20)
+	b := New(DefaultConfig(42)).Documents(testDTD, 20)
+	for i := range a {
+		if !a[i].Root.Equal(b[i].Root) {
+			t.Fatalf("doc %d differs across same-seed generators", i)
+		}
+	}
+	c := New(DefaultConfig(43)).Documents(testDTD, 20)
+	same := true
+	for i := range a {
+		if !a[i].Root.Equal(c[i].Root) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestMutationsBreakValidity(t *testing.T) {
+	g := New(DefaultConfig(7))
+	v := validate.New(testDTD)
+	broken := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		doc := g.Mutate(g.Document(testDTD), 2)
+		if len(v.ValidateDocument(doc)) > 0 {
+			broken++
+		}
+	}
+	// Mutations are random; a duplicate under * stays valid, but most
+	// double mutations must break validity.
+	if broken < n/2 {
+		t.Errorf("only %d/%d mutated docs invalid", broken, n)
+	}
+}
+
+func TestMutateDoesNotTouchOriginal(t *testing.T) {
+	g := New(DefaultConfig(3))
+	doc := g.Document(testDTD)
+	before := doc.Root.String()
+	for i := 0; i < 20; i++ {
+		g.Mutate(doc, 3)
+	}
+	if doc.Root.String() != before {
+		t.Error("Mutate modified the original document")
+	}
+}
+
+func TestMutateWithNovelElement(t *testing.T) {
+	g := New(DefaultConfig(5))
+	doc := g.MutateWith(g.Document(testDTD), NovelElement)
+	found := false
+	doc.Root.Walk(func(n *xmltree.Node, _ int) bool {
+		for _, tag := range DefaultConfig(0).NovelTags {
+			if n.Name == tag {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("novel element not inserted")
+	}
+}
+
+func TestMutationString(t *testing.T) {
+	for m, want := range map[Mutation]string{
+		MissingElement: "missing-element", NovelElement: "novel-element",
+		DuplicateElement: "duplicate-element", ReorderElements: "reorder-elements",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestMutatedDocumentsRate(t *testing.T) {
+	g := New(DefaultConfig(11))
+	v := validate.New(testDTD)
+	docs := g.MutatedDocuments(testDTD, 200, 1, 0.0)
+	for _, doc := range docs {
+		if len(v.ValidateDocument(doc)) != 0 {
+			t.Fatal("rate 0 must generate only valid documents")
+		}
+	}
+	docs = g.MutatedDocuments(testDTD, 200, 2, 1.0)
+	invalid := 0
+	for _, doc := range docs {
+		if len(v.ValidateDocument(doc)) != 0 {
+			invalid++
+		}
+	}
+	if invalid == 0 {
+		t.Error("rate 1 produced no invalid documents")
+	}
+}
+
+func TestDriftProducesParsableEvolvingSchema(t *testing.T) {
+	g := New(DefaultConfig(17))
+	drifted := g.Drift(testDTD, 5)
+	if drifted.Equal(testDTD) {
+		t.Error("drift produced an identical DTD")
+	}
+	// The drifted DTD must be serializable and reparsable.
+	if _, err := dtd.ParseString(drifted.String()); err != nil {
+		t.Fatalf("drifted DTD does not reparse: %v\n%s", err, drifted)
+	}
+	// Documents generated from the drifted DTD are valid for it.
+	v := validate.New(drifted)
+	for _, doc := range g.Documents(drifted, 50) {
+		if vs := v.ValidateDocument(doc); len(vs) != 0 {
+			t.Fatalf("drifted doc invalid for drifted DTD: %v", vs)
+		}
+	}
+	// Original DTD must not be mutated.
+	if !testDTD.Equal(testDTD.Clone()) {
+		t.Error("sanity")
+	}
+}
+
+func TestRandomDTDGeneratesUsableSchemas(t *testing.T) {
+	g := New(DefaultConfig(23))
+	for i := 0; i < 10; i++ {
+		d := g.RandomDTD("root", 6)
+		if _, err := dtd.ParseString(d.String()); err != nil {
+			t.Fatalf("random DTD does not reparse: %v\n%s", err, d)
+		}
+		v := validate.New(d)
+		for _, doc := range g.Documents(d, 10) {
+			if vs := v.ValidateDocument(doc); len(vs) != 0 {
+				t.Fatalf("random-DTD doc invalid: %v\nDTD:\n%s", vs, d)
+			}
+		}
+	}
+}
+
+func TestRecursiveDTDGenerationTerminates(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT tree (tree, tree) > <!ELEMENT leaf EMPTY>`)
+	d.Name = "tree"
+	cfg := DefaultConfig(1)
+	cfg.MaxDepth = 5
+	g := New(cfg)
+	doc := g.Document(d)
+	if doc.Root.Depth() > 6 {
+		t.Errorf("depth = %d, want capped", doc.Root.Depth())
+	}
+}

@@ -1,0 +1,80 @@
+// Package metrics defines the evaluation measures used by the benchmark
+// harness (EXPERIMENTS.md): conformance, mean structural similarity, DTD
+// conciseness, over-generalization, and a behavioral distance between DTDs.
+package metrics
+
+import (
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+// Conformance returns the fraction of documents that are strictly valid for
+// the DTD.
+func Conformance(docs []*xmltree.Document, d *dtd.DTD) float64 {
+	if len(docs) == 0 {
+		return 0
+	}
+	v := validate.New(d)
+	valid := 0
+	for _, doc := range docs {
+		if len(v.ValidateDocument(doc)) == 0 {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(docs))
+}
+
+// MeanSimilarity returns the average global similarity of the documents
+// against the DTD.
+func MeanSimilarity(docs []*xmltree.Document, d *dtd.DTD, cfg similarity.Config) float64 {
+	if len(docs) == 0 {
+		return 0
+	}
+	e := similarity.NewEvaluator(d, cfg)
+	sum := 0.0
+	for _, doc := range docs {
+		sum += e.GlobalSim(doc.Root)
+	}
+	return sum / float64(len(docs))
+}
+
+// Conciseness returns the total content-model node count across all element
+// declarations: smaller is more concise.
+func Conciseness(d *dtd.DTD) int {
+	total := 0
+	for _, m := range d.Elements {
+		total += m.NodeCount()
+	}
+	return total
+}
+
+// OverGeneralization estimates how loose a DTD is: the fraction of randomly
+// mutated documents (k mutations each) it still accepts. A tight DTD
+// rejects most mutants; ANY-style declarations accept them all.
+func OverGeneralization(d *dtd.DTD, g *gen.Generator, n, k int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	v := validate.New(d)
+	accepted := 0
+	for i := 0; i < n; i++ {
+		doc := g.Mutate(g.Document(d), k)
+		if len(v.ValidateDocument(doc)) == 0 {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(n)
+}
+
+// BehavioralDistance measures how far candidate is from target as schemas:
+// 1 minus the fraction of documents generated from target that candidate
+// accepts. 0 means candidate covers target's population entirely.
+func BehavioralDistance(target, candidate *dtd.DTD, g *gen.Generator, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return 1 - Conformance(g.Documents(target, n), candidate)
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/xmltree"
+)
+
+func docs(t *testing.T, srcs ...string) []*xmltree.Document {
+	t.Helper()
+	out := make([]*xmltree.Document, len(srcs))
+	for i, src := range srcs {
+		doc, err := xmltree.ParseString(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+var d = func() *dtd.DTD {
+	d := dtd.MustParse(`<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	d.Name = "a"
+	return d
+}()
+
+func TestConformance(t *testing.T) {
+	set := docs(t,
+		`<a><b/></a>`,
+		`<a><b/><c/></a>`,
+		`<a><c/></a>`,     // invalid: b missing
+		`<a><b/><b/></a>`, // invalid: b repeated
+	)
+	if got := Conformance(set, d); got != 0.5 {
+		t.Errorf("conformance = %v, want 0.5", got)
+	}
+	if got := Conformance(nil, d); got != 0 {
+		t.Errorf("conformance of empty set = %v", got)
+	}
+}
+
+func TestMeanSimilarity(t *testing.T) {
+	cfg := similarity.DefaultConfig()
+	valid := docs(t, `<a><b/></a>`, `<a><b/><c/></a>`)
+	if got := MeanSimilarity(valid, d, cfg); got != 1 {
+		t.Errorf("mean similarity of valid docs = %v, want 1", got)
+	}
+	mixed := docs(t, `<a><b/></a>`, `<a><zz/><zz/><zz/></a>`)
+	got := MeanSimilarity(mixed, d, cfg)
+	if !(got > 0 && got < 1) {
+		t.Errorf("mean similarity = %v, want in (0, 1)", got)
+	}
+}
+
+func TestConciseness(t *testing.T) {
+	// a: Seq + b + Opt + c = 4; b: EMPTY = 1; c: EMPTY = 1.
+	if got := Conciseness(d); got != 6 {
+		t.Errorf("conciseness = %d, want 6", got)
+	}
+	loose := dtd.MustParse(`<!ELEMENT a ANY>`)
+	if got := Conciseness(loose); got != 1 {
+		t.Errorf("conciseness = %d, want 1", got)
+	}
+}
+
+func TestOverGeneralization(t *testing.T) {
+	g := gen.New(gen.DefaultConfig(5))
+	tight := OverGeneralization(d, g, 100, 2)
+	anyDTD := dtd.MustParse(`<!ELEMENT a ANY>`)
+	anyDTD.Name = "a"
+	// Mutants of ANY documents may introduce undeclared novel elements,
+	// so even ANY rejects some; but it must accept far more than a tight
+	// schema.
+	loose := OverGeneralization(anyDTD, gen.New(gen.DefaultConfig(5)), 100, 2)
+	if !(tight < loose) {
+		t.Errorf("tight (%v) should be below loose (%v)", tight, loose)
+	}
+	if tight > 0.6 {
+		t.Errorf("tight DTD accepts %v of mutants", tight)
+	}
+}
+
+func TestBehavioralDistance(t *testing.T) {
+	g := gen.New(gen.DefaultConfig(9))
+	if got := BehavioralDistance(d, d, g, 50); got != 0 {
+		t.Errorf("distance to self = %v, want 0", got)
+	}
+	narrow := dtd.MustParse(`<!ELEMENT a (b)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	narrow.Name = "a"
+	got := BehavioralDistance(d, narrow, g, 200)
+	if !(got > 0 && got < 1) {
+		t.Errorf("distance = %v, want in (0, 1): narrow rejects docs with c", got)
+	}
+	wide := dtd.MustParse(`<!ELEMENT a (b?, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	wide.Name = "a"
+	if got := BehavioralDistance(d, wide, g, 200); got != 0 {
+		t.Errorf("distance to superset schema = %v, want 0", got)
+	}
+}

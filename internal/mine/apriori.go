@@ -1,0 +1,172 @@
+package mine
+
+import "sort"
+
+// FrequentSet is an itemset together with its support.
+type FrequentSet struct {
+	Items   []string
+	Support float64
+	Count   int
+}
+
+// Miner enumerates frequent itemsets. Two implementations are provided:
+// Apriori (the default; simple and fast at per-element transaction scale)
+// and FPGrowth (better on large, dense transaction sets) — experiment E6
+// compares them.
+type Miner interface {
+	// FrequentItemsets returns all itemsets with support >= minSupport and
+	// size <= maxSize (0 means unbounded), sorted by descending support and
+	// then lexicographically.
+	FrequentItemsets(txs []Transaction, minSupport float64, maxSize int) []FrequentSet
+}
+
+// Apriori is the classic level-wise frequent-itemset miner.
+type Apriori struct{}
+
+// FrequentItemsets implements Miner.
+func (Apriori) FrequentItemsets(txs []Transaction, minSupport float64, maxSize int) []FrequentSet {
+	table := NewTable(txs)
+	total := table.Total()
+	if total == 0 {
+		return nil
+	}
+	minCount := minCountFor(minSupport, total)
+
+	// L1: frequent single items.
+	counts := make(map[string]int)
+	for _, tx := range txs {
+		for _, it := range tx.Items {
+			counts[it] += tx.Count
+		}
+	}
+	var level [][]string
+	for it, n := range counts {
+		if n >= minCount {
+			level = append(level, []string{it})
+		}
+	}
+	sortItemsets(level)
+
+	var out []FrequentSet
+	appendLevel := func(sets [][]string) {
+		for _, s := range sets {
+			n := table.CountContaining(s)
+			out = append(out, FrequentSet{Items: s, Support: float64(n) / float64(total), Count: n})
+		}
+	}
+	appendLevel(level)
+
+	for size := 2; len(level) > 0 && (maxSize == 0 || size <= maxSize); size++ {
+		candidates := aprioriJoin(level)
+		var next [][]string
+		for _, cand := range candidates {
+			if table.CountContaining(cand) >= minCount {
+				next = append(next, cand)
+			}
+		}
+		appendLevel(next)
+		level = next
+	}
+	sortFrequent(out)
+	return out
+}
+
+// minCountFor converts a fractional support threshold to an absolute count.
+// Support is inclusive: an itemset with support exactly minSupport counts.
+func minCountFor(minSupport float64, total int) int {
+	if minSupport <= 0 {
+		return 1
+	}
+	mc := int(minSupport * float64(total))
+	if float64(mc) < minSupport*float64(total) {
+		mc++
+	}
+	if mc < 1 {
+		mc = 1
+	}
+	return mc
+}
+
+// aprioriJoin produces size-(k+1) candidates from the sorted size-k frequent
+// sets, requiring all k-subsets to be frequent (the Apriori property).
+func aprioriJoin(level [][]string) [][]string {
+	freq := make(map[string]bool, len(level))
+	for _, s := range level {
+		freq[Key(s)] = true
+	}
+	var out [][]string
+	seen := make(map[string]bool)
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b) {
+				continue
+			}
+			cand := append(append([]string(nil), a...), b[len(b)-1])
+			sort.Strings(cand)
+			key := Key(cand)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if allSubsetsFrequent(cand, freq) {
+				out = append(out, cand)
+			}
+		}
+	}
+	sortItemsets(out)
+	return out
+}
+
+func samePrefix(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []string, freq map[string]bool) bool {
+	if len(cand) <= 2 {
+		return true
+	}
+	sub := make([]string, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !freq[Key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortItemsets(sets [][]string) {
+	sort.Slice(sets, func(i, j int) bool { return lessItems(sets[i], sets[j]) })
+}
+
+func lessItems(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func sortFrequent(out []FrequentSet) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessItems(out[i].Items, out[j].Items)
+	})
+}

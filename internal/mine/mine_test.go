@@ -1,0 +1,298 @@
+package mine
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func tx(items ...string) Transaction { return NewTransaction(items, 1) }
+
+// TestPaperExample3 reproduces Example 3: S = {{a,b,c}, {a,b}, {b,c,d}},
+// rule R = c → a,b has support 1/3 and confidence 1/2.
+func TestPaperExample3(t *testing.T) {
+	table := NewTable([]Transaction{tx("a", "b", "c"), tx("a", "b"), tx("b", "c", "d")})
+	if got := table.Support([]string{"a", "b", "c"}); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("Support({a,b,c}) = %v, want 1/3", got)
+	}
+	if got := table.Confidence([]string{"c"}, []string{"a", "b"}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Confidence(c => a,b) = %v, want 1/2", got)
+	}
+}
+
+// TestPaperExample4 reproduces Example 4: with Label = {a,b,c,d}, the
+// sequences {a,b,c}, {a,b}, {b,c,d} augment to {a,b,c,¬d}, {a,b,¬c,¬d},
+// {¬a,b,c,d}.
+func TestPaperExample4(t *testing.T) {
+	universe := []string{"a", "b", "c", "d"}
+	seqs := []Transaction{tx("a", "b", "c"), tx("a", "b"), tx("b", "c", "d")}
+	aug := AugmentAll(seqs, universe)
+	want := [][]string{
+		normalize([]string{"a", "b", "c", Absent("d")}),
+		normalize([]string{"a", "b", Absent("c"), Absent("d")}),
+		normalize([]string{Absent("a"), "b", "c", "d"}),
+	}
+	for i, tr := range aug {
+		if !reflect.DeepEqual(tr.Items, want[i]) {
+			t.Errorf("augmented[%d] = %v, want %v", i, tr.Items, want[i])
+		}
+	}
+}
+
+func TestAbsentHelpers(t *testing.T) {
+	a := Absent("b")
+	if !IsAbsent(a) || IsAbsent("b") {
+		t.Error("IsAbsent misbehaves")
+	}
+	if Present(a) != "b" || Present("b") != "b" {
+		t.Error("Present misbehaves")
+	}
+}
+
+func TestTransactionNormalization(t *testing.T) {
+	tr := NewTransaction([]string{"c", "a", "c", "b", "a"}, 2)
+	if !reflect.DeepEqual(tr.Items, []string{"a", "b", "c"}) {
+		t.Errorf("items = %v", tr.Items)
+	}
+	if tr.Count != 2 {
+		t.Errorf("count = %d", tr.Count)
+	}
+}
+
+func TestTableWithMultiplicities(t *testing.T) {
+	table := NewTable([]Transaction{
+		NewTransaction([]string{"a", "b"}, 3),
+		NewTransaction([]string{"a"}, 1),
+	})
+	if table.Total() != 4 {
+		t.Errorf("total = %d", table.Total())
+	}
+	if got := table.Support([]string{"a", "b"}); got != 0.75 {
+		t.Errorf("support = %v", got)
+	}
+	if got := table.Confidence([]string{"a"}, []string{"b"}); got != 0.75 {
+		t.Errorf("confidence = %v", got)
+	}
+	if got := table.Confidence([]string{"zz"}, []string{"b"}); got != 0 {
+		t.Errorf("confidence of unseen antecedent = %v", got)
+	}
+}
+
+func minersUnderTest() map[string]Miner {
+	return map[string]Miner{"apriori": Apriori{}, "fpgrowth": FPGrowth{}}
+}
+
+func TestFrequentItemsetsSmall(t *testing.T) {
+	txs := []Transaction{
+		tx("a", "b", "c"),
+		tx("a", "b"),
+		tx("a", "c"),
+		tx("b", "c"),
+		tx("a", "b", "c"),
+	}
+	for name, m := range minersUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			freq := m.FrequentItemsets(txs, 0.6, 0)
+			got := make(map[string]float64)
+			for _, f := range freq {
+				got[Key(f.Items)] = f.Support
+			}
+			want := map[string]float64{
+				Key([]string{"a"}):      0.8,
+				Key([]string{"b"}):      0.8,
+				Key([]string{"c"}):      0.8,
+				Key([]string{"a", "b"}): 0.6,
+				Key([]string{"a", "c"}): 0.6,
+				Key([]string{"b", "c"}): 0.6,
+			}
+			if len(got) != len(want) {
+				t.Fatalf("itemsets = %v, want %v", got, want)
+			}
+			for k, sup := range want {
+				if math.Abs(got[k]-sup) > 1e-12 {
+					t.Errorf("support[%q] = %v, want %v", k, got[k], sup)
+				}
+			}
+		})
+	}
+}
+
+func TestFrequentItemsetsMaxSize(t *testing.T) {
+	txs := []Transaction{tx("a", "b", "c"), tx("a", "b", "c")}
+	for name, m := range minersUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			freq := m.FrequentItemsets(txs, 0.5, 2)
+			for _, f := range freq {
+				if len(f.Items) > 2 {
+					t.Errorf("itemset %v exceeds max size", f.Items)
+				}
+			}
+		})
+	}
+}
+
+func TestFrequentItemsetsEmpty(t *testing.T) {
+	for name, m := range minersUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			if freq := m.FrequentItemsets(nil, 0.5, 0); freq != nil {
+				t.Errorf("itemsets over no transactions = %v", freq)
+			}
+		})
+	}
+}
+
+func canonical(freq []FrequentSet) []string {
+	out := make([]string, 0, len(freq))
+	for _, f := range freq {
+		out = append(out, Key(f.Items))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPropertyAprioriEqualsFPGrowth(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		txs := make([]Transaction, n)
+		for i := range txs {
+			var its []string
+			for _, it := range items {
+				if r.Intn(2) == 0 {
+					its = append(its, it)
+				}
+			}
+			if len(its) == 0 {
+				its = []string{"a"}
+			}
+			txs[i] = NewTransaction(its, 1+r.Intn(3))
+		}
+		minSup := []float64{0.1, 0.3, 0.5, 0.8}[r.Intn(4)]
+		a := Apriori{}.FrequentItemsets(txs, minSup, 0)
+		fp := FPGrowth{}.FrequentItemsets(txs, minSup, 0)
+		if !reflect.DeepEqual(canonical(a), canonical(fp)) {
+			t.Logf("apriori: %v", canonical(a))
+			t.Logf("fpgrowth: %v", canonical(fp))
+			return false
+		}
+		// Supports must agree too.
+		am := make(map[string]float64)
+		for _, s := range a {
+			am[Key(s.Items)] = s.Support
+		}
+		for _, s := range fp {
+			if math.Abs(am[Key(s.Items)]-s.Support) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateRules(t *testing.T) {
+	txs := []Transaction{
+		tx("a", "b"), tx("a", "b"), tx("a", "b"), tx("a"),
+	}
+	table := NewTable(txs)
+	freq := Apriori{}.FrequentItemsets(txs, 0.5, 0)
+	rules := GenerateRules(freq, table, 1.0)
+	// b => a has confidence 1; a => b has confidence 0.75 and is excluded.
+	foundBA, foundAB := false, false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Antecedent, []string{"b"}) && reflect.DeepEqual(r.Consequent, []string{"a"}) {
+			foundBA = true
+			if r.Confidence != 1 {
+				t.Errorf("conf(b=>a) = %v", r.Confidence)
+			}
+		}
+		if reflect.DeepEqual(r.Antecedent, []string{"a"}) && reflect.DeepEqual(r.Consequent, []string{"b"}) {
+			foundAB = true
+		}
+	}
+	if !foundBA {
+		t.Error("rule b => a missing")
+	}
+	if foundAB {
+		t.Error("rule a => b (conf 0.75) should be excluded at minConfidence 1")
+	}
+	// Lower confidence threshold admits a => b.
+	rules = GenerateRules(freq, table, 0.7)
+	foundAB = false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Antecedent, []string{"a"}) && reflect.DeepEqual(r.Consequent, []string{"b"}) {
+			foundAB = true
+		}
+	}
+	if !foundAB {
+		t.Error("rule a => b missing at minConfidence 0.7")
+	}
+	if s := rules[0].String(); s == "" {
+		t.Error("empty rule string")
+	}
+}
+
+func TestRuleSetHolds(t *testing.T) {
+	// 10 transactions: 6 × {b,c}, 4 × {d}; universe {b,c,d,e}.
+	universe := []string{"b", "c", "d", "e"}
+	var txs []Transaction
+	txs = append(txs, NewTransaction([]string{"b", "c"}, 6))
+	txs = append(txs, NewTransaction([]string{"d"}, 4))
+	aug := AugmentAll(txs, universe)
+	rs := NewRuleSet(aug, 0.2, 1.0)
+
+	if !rs.Holds([]string{"b"}, []string{"c"}) {
+		t.Error("b => c should hold")
+	}
+	if !rs.MutualPresence([]string{"b", "c"}) {
+		t.Error("MutualPresence(b, c) should hold")
+	}
+	if rs.MutualPresence([]string{"b", "d"}) {
+		t.Error("MutualPresence(b, d) should not hold")
+	}
+	if !rs.MutuallyExclusive("b", "d") {
+		t.Error("b and d should be mutually exclusive")
+	}
+	if rs.MutuallyExclusive("b", "c") {
+		t.Error("b and c should not be mutually exclusive")
+	}
+	// e never occurs: d => ¬e holds, but ¬e => d does not (confidence 0.4).
+	if !rs.Holds([]string{"d"}, []string{Absent("e")}) {
+		t.Error("d => ¬e should hold")
+	}
+	if rs.MutuallyExclusive("d", "e") {
+		t.Error("d, e exclusivity requires ¬e => d, which has confidence < 1")
+	}
+	if !rs.ImpliesPresence([]string{Absent("d")}, "b") {
+		t.Error("¬d => b should hold")
+	}
+}
+
+func TestRuleSetSupportThreshold(t *testing.T) {
+	// A perfect-confidence rule seen only once among 100 transactions must
+	// be rejected by the support threshold.
+	var txs []Transaction
+	txs = append(txs, NewTransaction([]string{"x", "y"}, 1))
+	txs = append(txs, NewTransaction([]string{"a"}, 99))
+	rs := NewRuleSet(txs, 0.05, 1.0)
+	if rs.Holds([]string{"x"}, []string{"y"}) {
+		t.Error("rare rule should be below the support threshold")
+	}
+	rsLoose := NewRuleSet(txs, 0.01, 1.0)
+	if !rsLoose.Holds([]string{"x"}, []string{"y"}) {
+		t.Error("rule should hold with a loose support threshold")
+	}
+}
+
+func TestMutualPresenceSingleton(t *testing.T) {
+	rs := NewRuleSet([]Transaction{tx("a")}, 0, 1)
+	if rs.MutualPresence([]string{"a"}) {
+		t.Error("MutualPresence of a singleton should be false")
+	}
+}

@@ -1,0 +1,181 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is an association rule X → Y with its measured support and
+// confidence over a transaction set.
+type Rule struct {
+	Antecedent []string
+	Consequent []string
+	Support    float64
+	Confidence float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (sup %.2f, conf %.2f)",
+		strings.Join(r.Antecedent, ","), strings.Join(r.Consequent, ","), r.Support, r.Confidence)
+}
+
+// GenerateRules derives rules from frequent itemsets: for every frequent
+// itemset F and non-empty proper subset A ⊂ F, the rule A → F\A is emitted
+// when its confidence is at least minConfidence. The paper extracts rules
+// with maximal confidence (1); pass minConfidence 1 for that behaviour.
+func GenerateRules(freq []FrequentSet, table *Table, minConfidence float64) []Rule {
+	index := make(map[string]FrequentSet, len(freq))
+	for _, f := range freq {
+		index[Key(f.Items)] = f
+	}
+	var out []Rule
+	for _, f := range freq {
+		if len(f.Items) < 2 {
+			continue
+		}
+		subsets := properSubsets(f.Items)
+		for _, a := range subsets {
+			consequent := difference(f.Items, a)
+			var conf float64
+			if fa, ok := index[Key(a)]; ok && fa.Count > 0 {
+				conf = float64(f.Count) / float64(fa.Count)
+			} else {
+				conf = table.Confidence(a, consequent)
+			}
+			if conf+1e-12 >= minConfidence {
+				out = append(out, Rule{
+					Antecedent: a,
+					Consequent: consequent,
+					Support:    f.Support,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if !equalItems(out[i].Antecedent, out[j].Antecedent) {
+			return lessItems(out[i].Antecedent, out[j].Antecedent)
+		}
+		return lessItems(out[i].Consequent, out[j].Consequent)
+	})
+	return out
+}
+
+func properSubsets(items []string) [][]string {
+	n := len(items)
+	var out [][]string
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var sub []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, items[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+func difference(all, remove []string) []string {
+	rm := make(map[string]bool, len(remove))
+	for _, it := range remove {
+		rm[it] = true
+	}
+	var out []string
+	for _, it := range all {
+		if !rm[it] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func equalItems(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleSet answers the rule-membership queries of the evolution policies
+// ("{x → y, y → x} ⊆ Rules") against the recorded transactions directly.
+// A rule X → Y belongs to the set when support(X ∪ Y) is at least the
+// support threshold and its confidence is at least the confidence threshold
+// (1.0 in the paper: maximal-confidence rules).
+type RuleSet struct {
+	table         *Table
+	minSupport    float64
+	minConfidence float64
+}
+
+// NewRuleSet builds a rule query set over the given transactions.
+func NewRuleSet(txs []Transaction, minSupport, minConfidence float64) *RuleSet {
+	return &RuleSet{table: NewTable(txs), minSupport: minSupport, minConfidence: minConfidence}
+}
+
+// Table exposes the underlying counting table.
+func (rs *RuleSet) Table() *Table { return rs.table }
+
+// Holds reports whether the rule X → Y belongs to the set.
+func (rs *RuleSet) Holds(x, y []string) bool {
+	union := append(append([]string(nil), x...), y...)
+	if rs.table.Support(union)+1e-12 < rs.minSupport {
+		return false
+	}
+	return rs.table.Confidence(x, y)+1e-12 >= rs.minConfidence
+}
+
+// MutualPresence reports whether every element of set implies the presence
+// of all the others (the condition of the paper's Policy 1, principle P1
+// generalized to sets): for each item x, the rules x → set\{x} and
+// set\{x} → x both hold.
+func (rs *RuleSet) MutualPresence(set []string) bool {
+	if len(set) < 2 {
+		return false
+	}
+	for i, x := range set {
+		rest := make([]string, 0, len(set)-1)
+		rest = append(rest, set[:i]...)
+		rest = append(rest, set[i+1:]...)
+		if !rs.Holds([]string{x}, rest) || !rs.Holds(rest, []string{x}) {
+			return false
+		}
+	}
+	return true
+}
+
+// MutuallyExclusive reports the paper's principle P2 for a pair: the
+// presence of x implies the absence of y and vice versa — {x → ȳ, ȳ → x}
+// and symmetrically — so x and y are alternatives.
+func (rs *RuleSet) MutuallyExclusive(x, y string) bool {
+	return rs.Holds([]string{x}, []string{Absent(y)}) &&
+		rs.Holds([]string{Absent(y)}, []string{x}) &&
+		rs.Holds([]string{y}, []string{Absent(x)}) &&
+		rs.Holds([]string{Absent(x)}, []string{y})
+}
+
+// NeverCoOccur reports the weaker, clique-composable half of principle P2:
+// the presence of x implies the absence of y and vice versa ({x → ȳ,
+// y → x̄}). Unlike MutuallyExclusive it omits the exhaustiveness direction
+// (ȳ → x), which cannot hold when three or more alternatives share the
+// element: the evolution engine handles exhaustiveness separately through
+// optionality analysis (DESIGN.md §3.2).
+func (rs *RuleSet) NeverCoOccur(x, y string) bool {
+	return rs.Holds([]string{x}, []string{Absent(y)}) &&
+		rs.Holds([]string{y}, []string{Absent(x)})
+}
+
+// ImpliesPresence reports whether the presence of all items in from implies
+// the presence of to.
+func (rs *RuleSet) ImpliesPresence(from []string, to string) bool {
+	return rs.Holds(from, []string{to})
+}

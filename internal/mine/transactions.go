@@ -1,0 +1,154 @@
+// Package mine implements the association-rule machinery of the paper's
+// evolution phase (§4.2): transactions over element tags, the absent-element
+// augmentation that lets mutually exclusive subelements be discovered,
+// frequent-itemset mining (Apriori and FP-Growth), and support/confidence
+// rule queries.
+//
+// In the paper's setting, the items of a transaction are the tags of the
+// direct subelements found in one non-valid instance of a DTD element (a
+// "sequence": a set, disregarding order and repetitions), optionally
+// augmented with one ¬tag item for every tag of the element's label universe
+// that the instance lacks.
+package mine
+
+import (
+	"sort"
+	"strings"
+)
+
+// AbsentPrefix marks an item that denotes the absence of an element. The
+// paper writes b̄ for the absence of b.
+const AbsentPrefix = "¬"
+
+// Absent returns the item denoting the absence of tag.
+func Absent(tag string) string { return AbsentPrefix + tag }
+
+// IsAbsent reports whether the item denotes an absence.
+func IsAbsent(item string) bool { return strings.HasPrefix(item, AbsentPrefix) }
+
+// Present returns the tag an item refers to, stripping an absence marker.
+func Present(item string) string { return strings.TrimPrefix(item, AbsentPrefix) }
+
+// Transaction is an itemset with a multiplicity: the recording phase
+// aggregates identical sequences, so a transaction carries how many
+// instances contributed it.
+type Transaction struct {
+	Items []string // sorted, unique
+	Count int
+}
+
+// NewTransaction builds a transaction from items (deduplicated and sorted)
+// with the given multiplicity.
+func NewTransaction(items []string, count int) Transaction {
+	return Transaction{Items: normalize(items), Count: count}
+}
+
+func normalize(items []string) []string {
+	seen := make(map[string]bool, len(items))
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns a canonical string for the itemset, usable as a map key.
+func Key(items []string) string { return strings.Join(normalize(items), "\x00") }
+
+// AugmentAbsent returns a copy of tx with an absence item for every tag of
+// the universe that tx does not contain. This is step 1 of the paper's
+// evolution algorithm (Example 4).
+func AugmentAbsent(tx Transaction, universe []string) Transaction {
+	items := append([]string(nil), tx.Items...)
+	has := make(map[string]bool, len(tx.Items))
+	for _, it := range tx.Items {
+		has[it] = true
+	}
+	for _, tag := range universe {
+		if !has[tag] {
+			items = append(items, Absent(tag))
+		}
+	}
+	return NewTransaction(items, tx.Count)
+}
+
+// AugmentAll applies AugmentAbsent to every transaction.
+func AugmentAll(txs []Transaction, universe []string) []Transaction {
+	out := make([]Transaction, len(txs))
+	for i, tx := range txs {
+		out[i] = AugmentAbsent(tx, universe)
+	}
+	return out
+}
+
+// contains reports whether the sorted itemset haystack contains every item
+// of the sorted itemset needle.
+func contains(haystack, needle []string) bool {
+	i := 0
+	for _, want := range needle {
+		for i < len(haystack) && haystack[i] < want {
+			i++
+		}
+		if i >= len(haystack) || haystack[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Table answers support and confidence queries over a fixed set of
+// transactions. It is the exact-counting backend behind the paper's
+// rule-based policy conditions.
+type Table struct {
+	txs   []Transaction
+	total int
+}
+
+// NewTable builds a query table. The total is the sum of multiplicities.
+func NewTable(txs []Transaction) *Table {
+	total := 0
+	for _, tx := range txs {
+		total += tx.Count
+	}
+	return &Table{txs: txs, total: total}
+}
+
+// Total returns the number of transactions (counting multiplicities).
+func (t *Table) Total() int { return t.total }
+
+// CountContaining returns how many transactions contain every given item.
+func (t *Table) CountContaining(items []string) int {
+	needle := normalize(items)
+	n := 0
+	for _, tx := range t.txs {
+		if contains(tx.Items, needle) {
+			n += tx.Count
+		}
+	}
+	return n
+}
+
+// Support returns the fraction of transactions containing all items
+// (Example 3 of the paper).
+func (t *Table) Support(items []string) float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return float64(t.CountContaining(items)) / float64(t.total)
+}
+
+// Confidence returns the confidence of the rule X → Y: the fraction of
+// transactions containing X that also contain Y (Example 3).
+func (t *Table) Confidence(x, y []string) float64 {
+	nx := t.CountContaining(x)
+	if nx == 0 {
+		return 0
+	}
+	both := t.CountContaining(append(append([]string(nil), x...), y...))
+	return float64(both) / float64(nx)
+}

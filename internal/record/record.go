@@ -1,0 +1,537 @@
+// Package record implements the paper's recording phase (§3): after a
+// document has been classified against a DTD, compact structural statistics
+// are extracted and attached to the DTD's element declarations — the
+// "extended DTD" — so that the evolution phase never has to re-analyze
+// documents.
+//
+// Per element declaration the extended DTD stores (paper §3.2):
+//
+//   - the number of valid instances and of documents containing valid
+//     instances (local validity: the direct subelements meet the
+//     declaration's operators);
+//   - the number of non-valid instances;
+//   - the set of labels found in non-valid instances and, per label, how
+//     many non-valid instances contain it and in how many it is repeated;
+//   - the set of "sequences" (αβ of each non-valid instance: child tag sets
+//     disregarding order and repetitions) with multiplicities;
+//   - the "groups": subsets of labels repeated the same number of times
+//     within one instance, with a counter r;
+//   - for labels that do not appear in the declaration (plus elements),
+//     nested statistics of their subelements, from which the evolution
+//     phase extracts a brand-new declaration (Example 5, tree (4)).
+//
+// Additionally — to support the old-window operator restriction (§4.1) —
+// presence and repetition aggregates are kept over all instances, valid
+// ones included, along with first-position order statistics used to order
+// the children of rebuilt AND groups.
+package record
+
+import (
+	"sort"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/mine"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+// ElementStats is the extended-DTD data structure attached to one element
+// declaration (or to a plus element discovered in documents).
+type ElementStats struct {
+	// Name is the element tag these statistics describe.
+	Name string
+	// ValidInstances counts instances whose direct content met the
+	// declaration (full local similarity).
+	ValidInstances int
+	// DocsWithValid counts documents containing at least one valid instance.
+	DocsWithValid int
+	// InvalidInstances counts instances with non-full local similarity.
+	InvalidInstances int
+	// Labels maps each tag found in non-valid instances to its statistics.
+	Labels map[string]*LabelStats
+	// Sequences maps the canonical key of each recorded child tag set to
+	// the set and its multiplicity.
+	Sequences map[string]*SeqStats
+	// Groups maps the canonical key of each repetition group to its counter.
+	Groups map[string]*GroupStats
+	// PresentCount / RepeatCount aggregate over ALL instances (valid and
+	// invalid): in how many instances each tag occurs at least once /
+	// more than once. They drive the old-window operator restriction.
+	PresentCount map[string]int
+	RepeatCount  map[string]int
+	// PosSum and PosCount accumulate the index of the first occurrence of
+	// each tag among the instance's child elements, for ordering rebuilt
+	// sequences by dominant document order.
+	PosSum   map[string]float64
+	PosCount map[string]int
+	// TextInstances counts instances (valid or not) carrying non-whitespace
+	// character data; a rebuilt declaration must then admit #PCDATA.
+	TextInstances int
+	// PairCount counts, per unordered tag pair, the instances containing
+	// both tags; InterleavedCount counts those in which their occurrences
+	// interleave (neither tag's occurrences all precede the other's).
+	// Interleaving evidence drives the (x | y)* form during evolution.
+	PairCount        map[string]int
+	InterleavedCount map[string]int
+}
+
+// LabelStats records, for one tag l found in non-valid instances of an
+// element e, the paper's per-label structural information.
+type LabelStats struct {
+	// InvalidWithLabel counts the non-valid instances of e containing l.
+	InvalidWithLabel int
+	// RepeatedInInvalid counts the non-valid instances of e in which l is
+	// repeated more than once.
+	RepeatedInInvalid int
+	// Child holds nested statistics for the subelements of l when l does
+	// not appear in e's declaration (a plus element); nil otherwise.
+	Child *ElementStats
+}
+
+// SeqStats is one recorded sequence (a child tag set) with its multiplicity.
+type SeqStats struct {
+	Tags  []string
+	Count int
+}
+
+// GroupStats is one recorded repetition group with the paper's counter r.
+type GroupStats struct {
+	Tags []string
+	// Count is incremented each time the group is found in an instance.
+	Count int
+}
+
+func newElementStats(name string) *ElementStats {
+	return &ElementStats{
+		Name:             name,
+		Labels:           make(map[string]*LabelStats),
+		Sequences:        make(map[string]*SeqStats),
+		Groups:           make(map[string]*GroupStats),
+		PresentCount:     make(map[string]int),
+		RepeatCount:      make(map[string]int),
+		PosSum:           make(map[string]float64),
+		PosCount:         make(map[string]int),
+		PairCount:        make(map[string]int),
+		InterleavedCount: make(map[string]int),
+	}
+}
+
+// TotalInstances returns the number of recorded instances of the element.
+func (s *ElementStats) TotalInstances() int {
+	return s.ValidInstances + s.InvalidInstances
+}
+
+// InvalidityRatio returns the paper's I(e) = m / n: the fraction of
+// recorded instances whose local similarity was below 1. With no recorded
+// instances it returns 0 (nothing suggests the declaration is wrong).
+func (s *ElementStats) InvalidityRatio() float64 {
+	n := s.TotalInstances()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.InvalidInstances) / float64(n)
+}
+
+// LabelSet returns the paper's Label = ∪ αβ(e_di): all tags found in
+// non-valid instances, sorted.
+func (s *ElementStats) LabelSet() []string {
+	out := make([]string, 0, len(s.Labels))
+	for l := range s.Labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transactions exports the recorded sequences as mining transactions with
+// multiplicities.
+func (s *ElementStats) Transactions() []mine.Transaction {
+	keys := make([]string, 0, len(s.Sequences))
+	for k := range s.Sequences {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]mine.Transaction, 0, len(keys))
+	for _, k := range keys {
+		seq := s.Sequences[k]
+		out = append(out, mine.NewTransaction(seq.Tags, seq.Count))
+	}
+	return out
+}
+
+// MeanFirstPosition returns the average first-occurrence index of the tag
+// among instance children, used to order rebuilt groups; tags never seen
+// sort last.
+func (s *ElementStats) MeanFirstPosition(tag string) float64 {
+	n := s.PosCount[tag]
+	if n == 0 {
+		return 1e9
+	}
+	return s.PosSum[tag] / float64(n)
+}
+
+// AlwaysPresent reports whether the tag occurred in every recorded instance.
+func (s *ElementStats) AlwaysPresent(tag string) bool {
+	return s.TotalInstances() > 0 && s.PresentCount[tag] == s.TotalInstances()
+}
+
+// EverRepeated reports whether the tag occurred more than once in any
+// recorded instance.
+func (s *ElementStats) EverRepeated(tag string) bool {
+	return s.RepeatCount[tag] > 0
+}
+
+// EverPresent reports whether the tag occurred in any recorded instance.
+func (s *ElementStats) EverPresent(tag string) bool {
+	return s.PresentCount[tag] > 0
+}
+
+// Recorder accumulates extended-DTD statistics for one DTD over a stream of
+// classified documents. It is not safe for concurrent use; the source
+// engine serializes access.
+type Recorder struct {
+	d        *dtd.DTD
+	v        *validate.Validator
+	elements map[string]*ElementStats
+	docs     int
+	// invalidMass is Σ over documents of (#non-valid elements / #elements),
+	// the numerator of the paper's check-phase trigger condition.
+	invalidMass float64
+}
+
+// New returns an empty Recorder for d.
+func New(d *dtd.DTD) *Recorder {
+	return &Recorder{
+		d:        d,
+		v:        validate.New(d),
+		elements: make(map[string]*ElementStats),
+	}
+}
+
+// DTD returns the DTD the recorder is attached to.
+func (r *Recorder) DTD() *dtd.DTD { return r.d }
+
+// Docs returns the number of documents recorded since the last reset.
+func (r *Recorder) Docs() int { return r.docs }
+
+// DocResult summarizes the recording of one document.
+type DocResult struct {
+	// Elements is the number of element nodes in the document.
+	Elements int
+	// Invalid is the number of locally non-valid element nodes.
+	Invalid int
+}
+
+// InvalidRatio is Invalid / Elements (0 for an empty document).
+func (d DocResult) InvalidRatio() float64 {
+	if d.Elements == 0 {
+		return 0
+	}
+	return float64(d.Invalid) / float64(d.Elements)
+}
+
+// Record extracts the structural information of a classified document and
+// merges it into the extended DTD.
+func (r *Recorder) Record(doc *xmltree.Document) DocResult {
+	return r.RecordElement(doc.Root)
+}
+
+// RecordElement records the document subtree rooted at root.
+func (r *Recorder) RecordElement(root *xmltree.Node) DocResult {
+	if root == nil {
+		return DocResult{}
+	}
+	res := DocResult{}
+	validSeen := make(map[string]bool)
+	r.walk(root, &res, validSeen)
+	for name := range validSeen {
+		r.elements[name].DocsWithValid++
+	}
+	r.docs++
+	r.invalidMass += res.InvalidRatio()
+	return res
+}
+
+func (r *Recorder) walk(n *xmltree.Node, res *DocResult, validSeen map[string]bool) {
+	res.Elements++
+	decl, declared := r.d.Elements[n.Name]
+	if declared {
+		stats := r.stats(n.Name)
+		if r.recordInstance(stats, n, decl) {
+			validSeen[n.Name] = true
+		} else {
+			res.Invalid++
+		}
+	} else {
+		// An element never declared in the DTD: it is non-valid by
+		// definition; its structure is recorded under its parent's label
+		// statistics (see recordInstance), not at the top level.
+		res.Invalid++
+	}
+	for _, c := range n.ChildElements() {
+		r.walk(c, res, validSeen)
+	}
+}
+
+// recordInstance merges one instance of an element into stats and reports
+// whether the instance was locally valid for decl.
+func (r *Recorder) recordInstance(stats *ElementStats, n *xmltree.Node, decl *dtd.Content) bool {
+	counts := childCounts(n)
+	r.recordAggregates(stats, n, counts)
+
+	if decl != nil && r.v.LocalValid(n, decl) {
+		stats.ValidInstances++
+		return true
+	}
+	stats.InvalidInstances++
+
+	// Labels and the sequence (αβ of the instance).
+	tags := n.TagSet()
+	seqKey := mine.Key(tags)
+	if seq, ok := stats.Sequences[seqKey]; ok {
+		seq.Count++
+	} else {
+		stats.Sequences[seqKey] = &SeqStats{Tags: tags, Count: 1}
+	}
+
+	declaredLabels := make(map[string]bool)
+	if decl != nil {
+		for _, l := range decl.Labels() {
+			declaredLabels[l] = true
+		}
+	}
+	for _, tag := range tags {
+		ls, ok := stats.Labels[tag]
+		if !ok {
+			ls = &LabelStats{}
+			stats.Labels[tag] = ls
+		}
+		ls.InvalidWithLabel++
+		if counts[tag] > 1 {
+			ls.RepeatedInInvalid++
+		}
+		// Plus element: record the structure of its instances so a
+		// declaration can be deduced for it (paper §3.2, Example 5).
+		if !declaredLabels[tag] {
+			if ls.Child == nil {
+				ls.Child = newElementStats(tag)
+			}
+			for _, c := range n.ChildElements() {
+				if c.Name == tag {
+					r.recordPlusInstance(ls.Child, c)
+				}
+			}
+		}
+	}
+
+	// Groups: for each repetition count m > 1, the set of labels repeated
+	// exactly m times forms a group (when it has at least two members).
+	byCount := make(map[int][]string)
+	for tag, c := range counts {
+		if c > 1 {
+			byCount[c] = append(byCount[c], tag)
+		}
+	}
+	for _, group := range byCount {
+		if len(group) < 2 {
+			continue
+		}
+		sort.Strings(group)
+		key := mine.Key(group)
+		if g, ok := stats.Groups[key]; ok {
+			g.Count++
+		} else {
+			stats.Groups[key] = &GroupStats{Tags: group, Count: 1}
+		}
+	}
+	return false
+}
+
+// recordPlusInstance records an instance of an element that has no DTD
+// declaration: every instance is non-valid by definition, and all its
+// subelements recurse as plus elements too.
+func (r *Recorder) recordPlusInstance(stats *ElementStats, n *xmltree.Node) {
+	r.recordInstance(stats, n, nil)
+}
+
+// recordAggregates updates the all-instance presence/repetition/order
+// statistics.
+func (r *Recorder) recordAggregates(stats *ElementStats, n *xmltree.Node, counts map[string]int) {
+	if n.HasText() {
+		stats.TextInstances++
+	}
+	for tag, c := range counts {
+		stats.PresentCount[tag]++
+		if c > 1 {
+			stats.RepeatCount[tag]++
+		}
+	}
+	// First/last occurrence positions per tag, for order statistics and
+	// pairwise interleaving evidence.
+	first := make(map[string]int)
+	last := make(map[string]int)
+	var tags []string
+	for i, c := range n.ChildElements() {
+		if _, seen := first[c.Name]; !seen {
+			first[c.Name] = i
+			tags = append(tags, c.Name)
+			stats.PosSum[c.Name] += float64(i)
+			stats.PosCount[c.Name]++
+		}
+		last[c.Name] = i
+	}
+	for i := 0; i < len(tags); i++ {
+		for j := i + 1; j < len(tags); j++ {
+			x, y := tags[i], tags[j]
+			key := mine.Key([]string{x, y})
+			stats.PairCount[key]++
+			// Interleaved: neither tag's occurrences entirely precede the
+			// other's.
+			if first[x] < last[y] && first[y] < last[x] {
+				stats.InterleavedCount[key]++
+			}
+		}
+	}
+}
+
+// Interleaved reports whether the two tags were ever observed interleaved
+// within one instance. A single interleaved instance already falsifies any
+// "all x before all y" form, so one observation is evidence enough for the
+// (x | y)* shape.
+func (s *ElementStats) Interleaved(x, y string) bool {
+	return s.InterleavedCount[mine.Key([]string{x, y})] > 0
+}
+
+func childCounts(n *xmltree.Node) map[string]int {
+	counts := make(map[string]int)
+	for _, c := range n.ChildElements() {
+		counts[c.Name]++
+	}
+	return counts
+}
+
+// stats returns (creating if needed) the statistics entry for a declared
+// element.
+func (r *Recorder) stats(name string) *ElementStats {
+	s, ok := r.elements[name]
+	if !ok {
+		s = newElementStats(name)
+		r.elements[name] = s
+	}
+	return s
+}
+
+// Stats returns the recorded statistics for the named element, or nil when
+// no instance has been recorded.
+func (r *Recorder) Stats(name string) *ElementStats { return r.elements[name] }
+
+// ElementNames returns the names of all elements with recorded statistics,
+// sorted.
+func (r *Recorder) ElementNames() []string {
+	out := make([]string, 0, len(r.elements))
+	for name := range r.elements {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckRatio returns the paper's check-phase quantity:
+//
+//	Σ_D (#non-valid elements of D / #elements of D) / #Doc_T
+//
+// over the documents recorded since the last reset.
+func (r *Recorder) CheckRatio() float64 {
+	if r.docs == 0 {
+		return 0
+	}
+	return r.invalidMass / float64(r.docs)
+}
+
+// ShouldEvolve reports whether the check-phase condition exceeds the
+// activation threshold τ.
+func (r *Recorder) ShouldEvolve(tau float64) bool {
+	return r.docs > 0 && r.CheckRatio() > tau
+}
+
+// Reset clears all recorded statistics, e.g. after an evolution step.
+func (r *Recorder) Reset() {
+	r.elements = make(map[string]*ElementStats)
+	r.docs = 0
+	r.invalidMass = 0
+}
+
+// SetDTD swaps the recorder onto a new (evolved) DTD and clears statistics.
+func (r *Recorder) SetDTD(d *dtd.DTD) {
+	r.d = d
+	r.v = validate.New(d)
+	r.Reset()
+}
+
+// Snapshot is the serializable state of a Recorder (the extended DTD
+// statistics), used by the source engine's checkpointing.
+type Snapshot struct {
+	Docs        int                      `json:"docs"`
+	InvalidMass float64                  `json:"invalid_mass"`
+	Elements    map[string]*ElementStats `json:"elements"`
+}
+
+// Snapshot exports the recorder's statistics. The returned structure shares
+// memory with the recorder; serialize it (or copy it) before mutating.
+func (r *Recorder) Snapshot() *Snapshot {
+	return &Snapshot{Docs: r.docs, InvalidMass: r.invalidMass, Elements: r.elements}
+}
+
+// Restore replaces the recorder's statistics with a snapshot previously
+// produced by Snapshot (typically after JSON round-tripping).
+func (r *Recorder) Restore(s *Snapshot) {
+	r.docs = s.Docs
+	r.invalidMass = s.InvalidMass
+	if s.Elements != nil {
+		r.elements = s.Elements
+	} else {
+		r.elements = make(map[string]*ElementStats)
+	}
+	// Maps may be nil after JSON decoding of sparse snapshots.
+	for name, es := range r.elements {
+		normalizeStats(name, es)
+	}
+}
+
+func normalizeStats(name string, es *ElementStats) {
+	if es.Name == "" {
+		es.Name = name
+	}
+	if es.Labels == nil {
+		es.Labels = make(map[string]*LabelStats)
+	}
+	if es.Sequences == nil {
+		es.Sequences = make(map[string]*SeqStats)
+	}
+	if es.Groups == nil {
+		es.Groups = make(map[string]*GroupStats)
+	}
+	if es.PresentCount == nil {
+		es.PresentCount = make(map[string]int)
+	}
+	if es.RepeatCount == nil {
+		es.RepeatCount = make(map[string]int)
+	}
+	if es.PosSum == nil {
+		es.PosSum = make(map[string]float64)
+	}
+	if es.PosCount == nil {
+		es.PosCount = make(map[string]int)
+	}
+	if es.PairCount == nil {
+		es.PairCount = make(map[string]int)
+	}
+	if es.InterleavedCount == nil {
+		es.InterleavedCount = make(map[string]int)
+	}
+	for label, ls := range es.Labels {
+		if ls.Child != nil {
+			normalizeStats(label, ls.Child)
+		}
+	}
+}

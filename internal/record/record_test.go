@@ -1,0 +1,370 @@
+package record
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/mine"
+	"dtdevolve/internal/xmltree"
+)
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return doc
+}
+
+// paperExample2DTD is the DTD of Figure 3(a): a contains a sequence of b
+// and c. (The figure's exact declaration is not reproduced in the text; a
+// sequence (b, c) matches the narrative: documents add d* or e after it.)
+const paperExample2DTD = `
+<!ELEMENT a (b, c)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>`
+
+// TestPaperExample2 reproduces Example 2 / Figure 3: two document families
+// are classified against the DTD. D1 documents contain a sequence of b and
+// c followed by a sequence of d elements; D2 documents contain the b, c
+// sequence followed by one e. The extended DTD must record the label set
+// {b, c, d, e} for a, the group {b, c} (b and c always repeated the same
+// number of times), the repeatability of d and the optionality of d and e.
+func TestPaperExample2(t *testing.T) {
+	d := dtd.MustParse(paperExample2DTD)
+	r := New(d)
+
+	// D1: <a> (b c)x2 d d d </a> — b, c repeated twice, three d's.
+	d1 := `<a><b>1</b><c>1</c><b>2</b><c>2</c><d>x</d><d>y</d><d>z</d></a>`
+	// D2: <a> b c e </a>.
+	d2 := `<a><b>1</b><c>1</c><e>w</e></a>`
+	for i := 0; i < 3; i++ {
+		r.Record(parseDoc(t, d1))
+	}
+	for i := 0; i < 2; i++ {
+		r.Record(parseDoc(t, d2))
+	}
+
+	s := r.Stats("a")
+	if s == nil {
+		t.Fatal("no stats for a")
+	}
+	if s.InvalidInstances != 5 || s.ValidInstances != 0 {
+		t.Errorf("instances: valid %d invalid %d, want 0/5", s.ValidInstances, s.InvalidInstances)
+	}
+	if got := s.LabelSet(); !reflect.DeepEqual(got, []string{"b", "c", "d", "e"}) {
+		t.Errorf("Label = %v, want [b c d e]", got)
+	}
+	// The group {b, c}: recorded once per D1 document (b and c both occur
+	// twice there); D2 has no repetition.
+	g := s.Groups[mine.Key([]string{"b", "c"})]
+	if g == nil || g.Count != 3 {
+		t.Errorf("group {b,c} = %+v, want count 3", g)
+	}
+	// d is repeatable (three occurrences in D1) and optional (absent in D2).
+	if !s.EverRepeated("d") {
+		t.Error("d should be recorded as repeated")
+	}
+	if s.AlwaysPresent("d") {
+		t.Error("d should not be always present")
+	}
+	if s.AlwaysPresent("e") {
+		t.Error("e should not be always present")
+	}
+	if s.EverRepeated("e") {
+		t.Error("e should not be repeated")
+	}
+	// Sequences: {b,c,d} with multiplicity 3 and {b,c,e} with 2.
+	seqD := s.Sequences[mine.Key([]string{"b", "c", "d"})]
+	seqE := s.Sequences[mine.Key([]string{"b", "c", "e"})]
+	if seqD == nil || seqD.Count != 3 {
+		t.Errorf("sequence {b,c,d} = %+v, want count 3", seqD)
+	}
+	if seqE == nil || seqE.Count != 2 {
+		t.Errorf("sequence {b,c,e} = %+v, want count 2", seqE)
+	}
+	// Per-label info: d appears in 3 invalid instances, repeated in all 3.
+	ld := s.Labels["d"]
+	if ld == nil || ld.InvalidWithLabel != 3 || ld.RepeatedInInvalid != 3 {
+		t.Errorf("label d = %+v, want 3/3", ld)
+	}
+	// d and e are plus elements: nested stats must exist and record that
+	// their instances carry only text (no child labels).
+	if ld.Child == nil {
+		t.Fatal("no nested stats for plus element d")
+	}
+	if ld.Child.InvalidInstances != 9 { // 3 docs × 3 d's
+		t.Errorf("nested d instances = %d, want 9", ld.Child.InvalidInstances)
+	}
+	if len(ld.Child.LabelSet()) != 0 {
+		t.Errorf("nested d labels = %v, want none", ld.Child.LabelSet())
+	}
+	// b and c are declared: no nested recording.
+	if s.Labels["b"].Child != nil {
+		t.Error("declared label b must not get nested stats")
+	}
+}
+
+func TestValidInstancesCounted(t *testing.T) {
+	d := dtd.MustParse(paperExample2DTD)
+	r := New(d)
+	res := r.Record(parseDoc(t, `<a><b>1</b><c>2</c></a>`))
+	if res.Elements != 3 || res.Invalid != 0 {
+		t.Errorf("result = %+v, want 3 elements, 0 invalid", res)
+	}
+	s := r.Stats("a")
+	if s.ValidInstances != 1 || s.InvalidInstances != 0 {
+		t.Errorf("a stats = %d/%d", s.ValidInstances, s.InvalidInstances)
+	}
+	if s.DocsWithValid != 1 {
+		t.Errorf("DocsWithValid = %d", s.DocsWithValid)
+	}
+	// Valid instances record no sequences.
+	if len(s.Sequences) != 0 {
+		t.Errorf("sequences = %v, want none", s.Sequences)
+	}
+	// But aggregates still see them (for operator restriction).
+	if !s.AlwaysPresent("b") {
+		t.Error("b should be always present")
+	}
+}
+
+func TestDocsWithValidCountsDocumentsNotInstances(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a*)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><a/><a/><a/></r>`))
+	s := r.Stats("a")
+	if s.ValidInstances != 3 {
+		t.Errorf("valid instances = %d, want 3", s.ValidInstances)
+	}
+	if s.DocsWithValid != 1 {
+		t.Errorf("DocsWithValid = %d, want 1", s.DocsWithValid)
+	}
+}
+
+func TestInvalidityRatio(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><a/></r>`))      // valid r
+	r.Record(parseDoc(t, `<r><a/><a/></r>`))  // invalid r
+	r.Record(parseDoc(t, `<r><zz/><a/></r>`)) // invalid r
+	s := r.Stats("r")
+	if got := s.InvalidityRatio(); got != 2.0/3.0 {
+		t.Errorf("I(r) = %v, want 2/3", got)
+	}
+	if got := r.Stats("a").InvalidityRatio(); got != 0 {
+		t.Errorf("I(a) = %v, want 0", got)
+	}
+	var empty ElementStats
+	if got := empty.InvalidityRatio(); got != 0 {
+		t.Errorf("I(no instances) = %v, want 0", got)
+	}
+}
+
+func TestCheckPhaseTrigger(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	// Valid document: ratio 0.
+	r.Record(parseDoc(t, `<r><a/></r>`))
+	if r.CheckRatio() != 0 {
+		t.Errorf("check ratio = %v, want 0", r.CheckRatio())
+	}
+	if r.ShouldEvolve(0.1) {
+		t.Error("should not evolve on a valid corpus")
+	}
+	// Document with 1 of 2 elements invalid: doc ratio 0.5.
+	r.Record(parseDoc(t, `<r><a><zz/></a></r>`)) // a invalid (EMPTY with content), zz invalid too
+	// That document has 3 elements (r, a, zz): r valid, a invalid, zz
+	// undeclared => invalid: ratio 2/3. Mass = 0 + 2/3 over 2 docs = 1/3.
+	want := (0.0 + 2.0/3.0) / 2.0
+	if got := r.CheckRatio(); got != want {
+		t.Errorf("check ratio = %v, want %v", got, want)
+	}
+	if !r.ShouldEvolve(0.2) {
+		t.Error("should evolve at τ = 0.2")
+	}
+	if r.ShouldEvolve(0.5) {
+		t.Error("should not evolve at τ = 0.5")
+	}
+}
+
+func TestUndeclaredElementsRecordedUnderParent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><a/><extra><inner>txt</inner></extra></r>`))
+	if r.Stats("extra") != nil {
+		t.Error("undeclared element must not appear at top level")
+	}
+	s := r.Stats("r")
+	le := s.Labels["extra"]
+	if le == nil || le.Child == nil {
+		t.Fatal("extra not recorded under r")
+	}
+	if got := le.Child.LabelSet(); !reflect.DeepEqual(got, []string{"inner"}) {
+		t.Errorf("nested labels of extra = %v, want [inner]", got)
+	}
+	// Deep nesting: inner recorded under extra's nested stats.
+	li := le.Child.Labels["inner"]
+	if li == nil || li.Child == nil {
+		t.Fatal("inner not recorded under extra")
+	}
+	if li.Child.InvalidInstances != 1 {
+		t.Errorf("inner nested instances = %d", li.Child.InvalidInstances)
+	}
+}
+
+func TestTransactionsExport(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (x)> <!ELEMENT x EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><x/><y/></r>`))
+	r.Record(parseDoc(t, `<r><x/><y/></r>`))
+	r.Record(parseDoc(t, `<r><z/></r>`))
+	txs := r.Stats("r").Transactions()
+	if len(txs) != 2 {
+		t.Fatalf("transactions = %v, want 2 distinct", txs)
+	}
+	table := mine.NewTable(txs)
+	if table.Total() != 3 {
+		t.Errorf("total = %d, want 3", table.Total())
+	}
+	if got := table.Support([]string{"x", "y"}); got != 2.0/3.0 {
+		t.Errorf("support(x,y) = %v", got)
+	}
+}
+
+func TestMeanFirstPositionOrdering(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (q)> <!ELEMENT q EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><one/><two/><three/></r>`))
+	r.Record(parseDoc(t, `<r><one/><two/><three/></r>`))
+	s := r.Stats("r")
+	p1, p2, p3 := s.MeanFirstPosition("one"), s.MeanFirstPosition("two"), s.MeanFirstPosition("three")
+	if !(p1 < p2 && p2 < p3) {
+		t.Errorf("positions = %v, %v, %v, want increasing", p1, p2, p3)
+	}
+	if s.MeanFirstPosition("never") <= p3 {
+		t.Error("unseen tag should sort last")
+	}
+}
+
+func TestResetAndSetDTD(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><b/></r>`))
+	if r.Docs() != 1 || r.Stats("r") == nil {
+		t.Fatal("recording did not happen")
+	}
+	r.Reset()
+	if r.Docs() != 0 || r.Stats("r") != nil || r.CheckRatio() != 0 {
+		t.Error("reset incomplete")
+	}
+	d2 := dtd.MustParse(`<!ELEMENT r (b)> <!ELEMENT b EMPTY>`)
+	r.SetDTD(d2)
+	r.Record(parseDoc(t, `<r><b/></r>`))
+	if s := r.Stats("r"); s.ValidInstances != 1 {
+		t.Error("recorder not re-validating against the new DTD")
+	}
+	if r.DTD() != d2 {
+		t.Error("DTD() should return the new DTD")
+	}
+}
+
+func TestRepeatedSequencesAggregate(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (x)> <!ELEMENT x EMPTY>`)
+	r := New(d)
+	for i := 0; i < 50; i++ {
+		r.Record(parseDoc(t, `<r><x/><pad/></r>`))
+	}
+	s := r.Stats("r")
+	if len(s.Sequences) != 1 {
+		t.Fatalf("distinct sequences = %d, want 1 (aggregation)", len(s.Sequences))
+	}
+	for _, seq := range s.Sequences {
+		if seq.Count != 50 {
+			t.Errorf("sequence count = %d, want 50", seq.Count)
+		}
+	}
+}
+
+func TestElementNames(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (b, a)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><b/><a/></r>`))
+	if got := r.ElementNames(); !reflect.DeepEqual(got, []string{"a", "b", "r"}) {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestLargeFanoutRecording(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (x*)> <!ELEMENT x EMPTY>`)
+	r := New(d)
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "<x/>")
+	}
+	b.WriteString("<odd/></r>")
+	res := r.Record(parseDoc(t, b.String()))
+	if res.Elements != 502 {
+		t.Errorf("elements = %d", res.Elements)
+	}
+	s := r.Stats("r")
+	if !s.EverRepeated("x") {
+		t.Error("x repetition lost")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (a)> <!ELEMENT a EMPTY>`)
+	r := New(d)
+	r.Record(parseDoc(t, `<r><a/><b><deep/></b></r>`))
+	r.Record(parseDoc(t, `<r><a/></r>`))
+
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(d)
+	r2.Restore(&snap)
+	if r2.Docs() != r.Docs() || r2.CheckRatio() != r.CheckRatio() {
+		t.Errorf("docs/ratio = %d/%v, want %d/%v", r2.Docs(), r2.CheckRatio(), r.Docs(), r.CheckRatio())
+	}
+	s1, s2 := r.Stats("r"), r2.Stats("r")
+	if s2 == nil || s2.InvalidInstances != s1.InvalidInstances {
+		t.Fatalf("restored stats = %+v", s2)
+	}
+	if !reflect.DeepEqual(s1.LabelSet(), s2.LabelSet()) {
+		t.Errorf("labels = %v vs %v", s1.LabelSet(), s2.LabelSet())
+	}
+	// Nested plus-element stats survive the round trip.
+	if s2.Labels["b"].Child == nil || s2.Labels["b"].Child.LabelSet()[0] != "deep" {
+		t.Error("nested stats lost")
+	}
+	// Restoring a sparse snapshot initializes all maps.
+	r3 := New(d)
+	r3.Restore(&Snapshot{Docs: 1, Elements: map[string]*ElementStats{"r": {}}})
+	if r3.Stats("r").LabelSet() == nil && r3.Stats("r").Labels == nil {
+		t.Error("sparse restore left nil maps")
+	}
+	if !r3.Stats("r").EverPresent("nothing") == true {
+		// EverPresent on empty stats must simply be false, not panic.
+		_ = r3
+	}
+	if r3.Stats("r").EverPresent("x") {
+		t.Error("EverPresent on empty stats")
+	}
+	// Restore with nil elements map.
+	r3.Restore(&Snapshot{})
+	if r3.Docs() != 0 || r3.Stats("r") != nil {
+		t.Error("nil-elements restore incomplete")
+	}
+}

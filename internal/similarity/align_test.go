@@ -1,0 +1,126 @@
+package similarity
+
+import (
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/thesaurus"
+	"dtdevolve/internal/xmltree"
+)
+
+func opsString(ops []AlignOp) string {
+	var parts []string
+	for _, op := range ops {
+		switch op.Kind {
+		case OpMatch:
+			parts = append(parts, "match:"+op.Name)
+		case OpExtra:
+			parts = append(parts, "extra:"+op.Child.Name)
+		case OpMissing:
+			parts = append(parts, "missing:"+op.Name)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func alignCase(t *testing.T, dtdSrc, docSrc string) []AlignOp {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	e := NewEvaluator(d, DefaultConfig())
+	root := parseDoc(t, docSrc)
+	return e.AlignChildren(d.Elements[root.Name], root.ChildElements())
+}
+
+func TestAlignPerfectMatch(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (b, c)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`,
+		`<a><b/><c/></a>`)
+	if got := opsString(ops); got != "match:b match:c" {
+		t.Errorf("ops = %s", got)
+	}
+}
+
+func TestAlignExtraAndMissing(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (b, c, d)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>`,
+		`<a><b/><x/><d/></a>`)
+	if got := opsString(ops); got != "match:b extra:x missing:c match:d" &&
+		got != "match:b missing:c extra:x match:d" {
+		t.Errorf("ops = %s", got)
+	}
+}
+
+func TestAlignRepetition(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (b+)> <!ELEMENT b EMPTY>`,
+		`<a><b/><b/><b/></a>`)
+	if got := opsString(ops); got != "match:b match:b match:b" {
+		t.Errorf("ops = %s", got)
+	}
+}
+
+func TestAlignChoicePicksBestBranch(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a ((b, c) | (d, e))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>`,
+		`<a><d/></a>`)
+	if got := opsString(ops); got != "match:d missing:e" {
+		t.Errorf("ops = %s", got)
+	}
+}
+
+func TestAlignOptionalNotInserted(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`,
+		`<a><b/></a>`)
+	if got := opsString(ops); got != "match:b" {
+		t.Errorf("ops = %s (optional c must not be reported missing)", got)
+	}
+}
+
+func TestAlignEmptyAndPCDATA(t *testing.T) {
+	ops := alignCase(t, `<!ELEMENT a EMPTY>`, `<a><x/><y/></a>`)
+	if got := opsString(ops); got != "extra:x extra:y" {
+		t.Errorf("EMPTY ops = %s", got)
+	}
+	ops = alignCase(t, `<!ELEMENT a (#PCDATA)>`, `<a>text<x/></a>`)
+	if got := opsString(ops); got != "extra:x" {
+		t.Errorf("PCDATA ops = %s", got)
+	}
+}
+
+func TestAlignMixed(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (#PCDATA | em)*> <!ELEMENT em EMPTY>`,
+		`<a>t<em/>t<bad/></a>`)
+	if got := opsString(ops); got != "match:em extra:bad" {
+		t.Errorf("mixed ops = %s", got)
+	}
+}
+
+func TestAlignWithThesaurusRename(t *testing.T) {
+	th, _ := thesaurus.LoadString(`author = writer`)
+	d := dtd.MustParse(`<!ELEMENT a (author)> <!ELEMENT author EMPTY>`)
+	cfg := DefaultConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	e := NewEvaluator(d, cfg)
+	root := parseDoc(t, `<a><writer/></a>`)
+	ops := e.AlignChildren(d.Elements["a"], root.ChildElements())
+	if got := opsString(ops); got != "match:author" {
+		t.Errorf("ops = %s (writer should match author)", got)
+	}
+	if ops[0].Child.Name != "writer" {
+		t.Errorf("child = %q", ops[0].Child.Name)
+	}
+}
+
+func TestAlignEmptyChildren(t *testing.T) {
+	ops := alignCase(t,
+		`<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`,
+		`<a/>`)
+	if got := opsString(ops); got != "missing:b" {
+		t.Errorf("ops = %s", got)
+	}
+	var node *xmltree.Node
+	_ = node
+}

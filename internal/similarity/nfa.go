@@ -1,0 +1,208 @@
+package similarity
+
+import (
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// The alignment of a child-element sequence against an element-content
+// model is computed on a Thompson-style automaton compiled from the model.
+// Three move kinds carry the triple deltas:
+//
+//   - a symbol edge consumes one document child whose tag matches a Name in
+//     the model (common, plus the decayed subtree triple when global);
+//   - an epsilon edge with a minus cost skips a mandatory part of the model
+//     (the paper's minus components);
+//   - a "skip child" move consumes one document child at plus cost (the
+//     paper's plus components).
+//
+// The best triple per automaton state is propagated across child positions,
+// maximizing the linear score surrogate (see Config.score).
+
+type epsEdge struct {
+	to    int
+	minus float64 // 0 for a structural epsilon, > 0 for skipping a required part
+	// skipName is the element name this edge skips, set only on the delete
+	// edge of a Name leaf; it lets alignment traces report which required
+	// element went missing.
+	skipName string
+}
+
+type symEdge struct {
+	to   int
+	name string
+}
+
+type nfa struct {
+	eps    [][]epsEdge
+	syms   [][]symEdge
+	start  int
+	accept int
+}
+
+// compiled returns the automaton for model, building and caching it on
+// first use.
+func (e *Evaluator) compiled(model *dtd.Content) *nfa {
+	if a, ok := e.nfaMemo[model]; ok {
+		return a
+	}
+	b := &nfaBuilder{e: e}
+	start, accept := b.build(model)
+	a := &nfa{eps: b.eps, syms: b.syms, start: start, accept: accept}
+	e.nfaMemo[model] = a
+	return a
+}
+
+type nfaBuilder struct {
+	e    *Evaluator
+	eps  [][]epsEdge
+	syms [][]symEdge
+}
+
+func (b *nfaBuilder) newState() int {
+	b.eps = append(b.eps, nil)
+	b.syms = append(b.syms, nil)
+	return len(b.eps) - 1
+}
+
+func (b *nfaBuilder) addEps(from, to int, minus float64) {
+	b.eps[from] = append(b.eps[from], epsEdge{to: to, minus: minus})
+}
+
+func (b *nfaBuilder) addSkip(from, to int, minus float64, name string) {
+	b.eps[from] = append(b.eps[from], epsEdge{to: to, minus: minus, skipName: name})
+}
+
+func (b *nfaBuilder) addSym(from, to int, name string) {
+	b.syms[from] = append(b.syms[from], symEdge{to: to, name: name})
+}
+
+// build compiles c into a fragment and returns its (start, accept) states.
+// Every fragment is traversable start→accept using only epsilon edges, with
+// a minimal total minus cost equal to the model's required weight; this is
+// what lets the aligner skip any mandatory part at the paper's minus cost.
+func (b *nfaBuilder) build(c *dtd.Content) (int, int) {
+	start, accept := b.newState(), b.newState()
+	switch c.Kind {
+	case dtd.Name:
+		b.addSym(start, accept, c.Name)
+		b.addSkip(start, accept, b.e.requiredWeight(c.Name, make(map[string]bool)), c.Name)
+	case dtd.PCDATA, dtd.Empty, dtd.Any:
+		// No child elements to consume; character data is costed by the
+		// caller.
+		b.addEps(start, accept, 0)
+	case dtd.Seq:
+		prev := start
+		for _, ch := range c.Children {
+			fs, fa := b.build(ch)
+			b.addEps(prev, fs, 0)
+			prev = fa
+		}
+		b.addEps(prev, accept, 0)
+	case dtd.Choice:
+		for _, ch := range c.Children {
+			fs, fa := b.build(ch)
+			b.addEps(start, fs, 0)
+			b.addEps(fa, accept, 0)
+		}
+	case dtd.Opt:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(start, accept, 0)
+	case dtd.Star:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(start, accept, 0)
+		b.addEps(fa, fs, 0)
+	case dtd.Plus:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(fa, fs, 0)
+	default:
+		b.addEps(start, accept, 0)
+	}
+	return start, accept
+}
+
+// cell is the best-known triple at an automaton state.
+type cell struct {
+	t  Triple
+	ok bool
+}
+
+// align runs the automaton over the element children, returning the best
+// triple that ends in the accept state after all children are consumed.
+func (e *Evaluator) align(a *nfa, children []*xmltree.Node, depth int, global bool) Triple {
+	cur := make([]cell, len(a.eps))
+	next := make([]cell, len(a.eps))
+	cur[a.start] = cell{ok: true}
+	e.relaxEps(a, cur)
+	for _, child := range children {
+		for i := range next {
+			next[i] = cell{}
+		}
+		for s := range cur {
+			if !cur[s].ok {
+				continue
+			}
+			// Skip the child: it is a plus component.
+			e.improve(next, s, cur[s].t.Add(Triple{Plus: e.weightedSize(child)}))
+			// Match the child on a symbol edge (exactly, or by tag
+			// similarity when a thesaurus is configured).
+			for _, edge := range a.syms[s] {
+				ts := e.tagSim(child.Name, edge.name)
+				if ts <= 0 {
+					continue
+				}
+				delta := e.matchDelta(child, edge.name, depth, global, ts)
+				e.improve(next, edge.to, cur[s].t.Add(delta))
+			}
+		}
+		cur, next = next, cur
+		e.relaxEps(a, cur)
+	}
+	if !cur[a.accept].ok {
+		// Unreachable by construction (every fragment has an epsilon path),
+		// but stay defensive.
+		return Triple{Minus: 1}
+	}
+	return cur[a.accept].t
+}
+
+// improve installs t at state s when it beats the current occupant.
+func (e *Evaluator) improve(cells []cell, s int, t Triple) bool {
+	if !cells[s].ok || e.cfg.score(t) > e.cfg.score(cells[s].t) {
+		cells[s] = cell{t: t, ok: true}
+		return true
+	}
+	return false
+}
+
+// relaxEps propagates triples along epsilon edges to a fixpoint. Epsilon
+// moves never increase the score (minus costs are non-negative), so the
+// relaxation terminates; a worklist keeps it near-linear in practice.
+func (e *Evaluator) relaxEps(a *nfa, cells []cell) {
+	work := make([]int, 0, len(cells))
+	inWork := make([]bool, len(cells))
+	for s := range cells {
+		if cells[s].ok {
+			work = append(work, s)
+			inWork[s] = true
+		}
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[s] = false
+		for _, edge := range a.eps[s] {
+			cand := cells[s].t.Add(Triple{Minus: edge.minus})
+			if e.improve(cells, edge.to, cand) && !inWork[edge.to] {
+				work = append(work, edge.to)
+				inWork[edge.to] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package similarity measures the structural similarity between XML
+// documents and DTDs: the numeric classification mechanism of Bertino,
+// Guerrini & Mesiti that the evolution paper builds on.
+//
+// The measure visits the document tree and the DTD simultaneously,
+// associating with each level a triple (p, m, c): the evaluation of plus
+// components (document structure absent from the DTD), minus components
+// (DTD structure absent from the document) and common components. The
+// similarity degree is
+//
+//	E(p, m, c) = wc·c / (wc·c + wp·p + wm·m)   with E(0, 0, 0) = 1,
+//
+// so a valid element has similarity exactly 1, and deviations reduce the
+// degree toward 0. Contributions from deeper levels are scaled by a decay
+// factor per level, mirroring the level-based weighting of the original
+// measure (the exact evaluation function of the companion paper is not
+// reproduced in the evolution paper; DESIGN.md §3.1 documents this
+// reconstruction).
+//
+// Two degrees are exposed, as in the paper:
+//
+//   - global similarity of an element recurses into subelement
+//     declarations; global similarity 1 coincides with validity;
+//   - local similarity only evaluates the direct subelements of an element
+//     against the operators in its declaration, and is the signal that
+//     drives the recording and evolution phases.
+package similarity
+
+import (
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// Config holds the parameters of the measure. The zero value is not valid;
+// use DefaultConfig (or fill every field).
+type Config struct {
+	// CommonWeight (wc), PlusWeight (wp) and MinusWeight (wm) weigh the
+	// triple components in the evaluation function E.
+	CommonWeight float64
+	PlusWeight   float64
+	MinusWeight  float64
+	// Decay scales contributions one level deeper; it must be in (0, 1]
+	// for global similarity 1 to coincide with validity.
+	Decay float64
+	// MaxDepth caps recursion on pathological or cyclic inputs.
+	MaxDepth int
+	// TagSimilarity optionally generalizes tag equality to tag similarity,
+	// the thesaurus extension of the paper's §6: it returns a degree in
+	// [0, 1] for a document tag against a DTD tag (1 for synonyms). Nil
+	// means exact tag equality. A match with degree s contributes s to the
+	// common component instead of 1, so synonym matches rank between a
+	// miss and an exact match.
+	TagSimilarity func(docTag, dtdTag string) float64
+	// MinTagSimilarity is the smallest TagSimilarity degree treated as a
+	// match; lower degrees count as plus/minus as usual.
+	MinTagSimilarity float64
+}
+
+// DefaultConfig returns the parameters used throughout the paper
+// reproduction: unit weights and a decay of 1/2.
+func DefaultConfig() Config {
+	return Config{
+		CommonWeight: 1, PlusWeight: 1, MinusWeight: 1,
+		Decay: 0.5, MaxDepth: 64, MinTagSimilarity: 0.5,
+	}
+}
+
+// Triple is the paper's (p, m, c) evaluation of plus, minus and common
+// components.
+type Triple struct {
+	Plus   float64
+	Minus  float64
+	Common float64
+}
+
+// Add returns the componentwise sum of two triples.
+func (t Triple) Add(o Triple) Triple {
+	return Triple{Plus: t.Plus + o.Plus, Minus: t.Minus + o.Minus, Common: t.Common + o.Common}
+}
+
+// Scale returns the triple scaled by f in every component.
+func (t Triple) Scale(f float64) Triple {
+	return Triple{Plus: t.Plus * f, Minus: t.Minus * f, Common: t.Common * f}
+}
+
+// Eval applies the evaluation function E to the triple.
+func (c Config) Eval(t Triple) float64 {
+	num := c.CommonWeight * t.Common
+	den := num + c.PlusWeight*t.Plus + c.MinusWeight*t.Minus
+	if den == 0 {
+		return 1 // nothing required, nothing extra: a perfect (vacuous) match
+	}
+	return num / den
+}
+
+// score is the linear surrogate maximized by the alignment: the evaluation
+// function E is monotone (increasing in c, decreasing in p and m), and the
+// triple combination is additive, so maximizing wc·c − wp·p − wm·m yields a
+// deterministic, total-ordered optimum. DESIGN.md §3.1.
+func (c Config) score(t Triple) float64 {
+	return c.CommonWeight*t.Common - c.PlusWeight*t.Plus - c.MinusWeight*t.Minus
+}
+
+// Result reports the similarity of a document against a DTD.
+type Result struct {
+	// Global is the global similarity degree in [0, 1].
+	Global float64
+	// Local is the local similarity degree of the root element.
+	Local float64
+	// Triple is the global (p, m, c) evaluation at the root.
+	Triple Triple
+}
+
+// Evaluator computes similarities against a fixed DTD. It memoizes
+// per-declaration data (required weights, compiled alignment automata) and
+// is safe for sequential reuse across many documents; create one per
+// goroutine for concurrent use.
+type Evaluator struct {
+	cfg     Config
+	d       *dtd.DTD
+	reqMemo map[string]float64
+	nfaMemo map[*dtd.Content]*nfa
+	// triMemo caches global triples per (element node, model): a model may
+	// reference the same name several times, and without the cache the same
+	// subtree would be re-evaluated once per reference.
+	triMemo map[triKey]Triple
+}
+
+type triKey struct {
+	n *xmltree.Node
+	m *dtd.Content
+}
+
+// NewEvaluator returns an Evaluator for d with the given configuration.
+func NewEvaluator(d *dtd.DTD, cfg Config) *Evaluator {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 64
+	}
+	return &Evaluator{
+		cfg:     cfg,
+		d:       d,
+		reqMemo: make(map[string]float64),
+		nfaMemo: make(map[*dtd.Content]*nfa),
+		triMemo: make(map[triKey]Triple),
+	}
+}
+
+// Evaluate computes the global and local similarity of the document rooted
+// at root against the DTD. A root whose tag has no declaration has
+// similarity 0.
+func (e *Evaluator) Evaluate(root *xmltree.Node) Result {
+	if root == nil || !root.IsElement() {
+		return Result{}
+	}
+	declName, ts := e.bestDecl(root.Name)
+	if ts <= 0 {
+		return Result{}
+	}
+	model := e.d.Elements[declName]
+	// The evaluated element matches its declaration by name (or by tag
+	// similarity): it is itself a common component, and its content
+	// contributes one level deeper.
+	t := partialMatch(ts).Add(e.globalTriple(root, model, 0).Scale(e.cfg.Decay))
+	local := partialMatch(ts).Add(e.localTriple(root, model).Scale(e.cfg.Decay))
+	return Result{
+		Global: e.cfg.Eval(t),
+		Local:  e.cfg.Eval(local),
+		Triple: t,
+	}
+}
+
+// GlobalSim is a convenience wrapper returning only the global degree.
+func (e *Evaluator) GlobalSim(root *xmltree.Node) float64 {
+	return e.Evaluate(root).Global
+}
+
+// LocalSim computes the local similarity of element n against model: how
+// well the direct subelements of n meet the constraints imposed by the
+// operators of the declaration, without considering declarations of the
+// subelements themselves. As in Evaluate, the element itself counts as a
+// common component.
+func (e *Evaluator) LocalSim(n *xmltree.Node, model *dtd.Content) float64 {
+	t := Triple{Common: 1}.Add(e.localTriple(n, model).Scale(e.cfg.Decay))
+	return e.cfg.Eval(t)
+}
+
+// Global computes the global similarity of root against d with the default
+// configuration.
+func Global(root *xmltree.Node, d *dtd.DTD) float64 {
+	return NewEvaluator(d, DefaultConfig()).GlobalSim(root)
+}
+
+// Local computes the local similarity of n against model with the default
+// configuration.
+func Local(n *xmltree.Node, model *dtd.Content) float64 {
+	// The DTD is only needed for subelement declarations, which local
+	// similarity does not consult.
+	e := NewEvaluator(dtd.NewDTD(""), DefaultConfig())
+	return e.LocalSim(n, model)
+}
+
+// globalTriple evaluates element n against its content model, recursing
+// into matched subelements' declarations.
+func (e *Evaluator) globalTriple(n *xmltree.Node, model *dtd.Content, depth int) Triple {
+	key := triKey{n: n, m: model}
+	if t, ok := e.triMemo[key]; ok {
+		return t
+	}
+	t := e.elementTriple(n, model, depth, true)
+	e.triMemo[key] = t
+	return t
+}
+
+// localTriple evaluates only the direct subelements of n against model.
+func (e *Evaluator) localTriple(n *xmltree.Node, model *dtd.Content) Triple {
+	return e.elementTriple(n, model, 0, false)
+}
+
+func (e *Evaluator) elementTriple(n *xmltree.Node, model *dtd.Content, depth int, global bool) Triple {
+	if depth >= e.cfg.MaxDepth {
+		return Triple{}
+	}
+	elems := n.ChildElements()
+	switch {
+	case model == nil || model.Kind == dtd.Any:
+		return e.anyTriple(elems, depth, global)
+	case model.Kind == dtd.Empty:
+		var t Triple
+		for _, c := range n.Children {
+			t.Plus += e.weightedSize(c)
+		}
+		return t
+	case model.Kind == dtd.PCDATA:
+		var t Triple
+		if n.HasText() {
+			t.Common++
+		}
+		for _, c := range elems {
+			t.Plus += e.weightedSize(c)
+		}
+		return t
+	case model.IsMixed():
+		return e.mixedTriple(model, elems, depth, global)
+	default:
+		return e.contentTriple(model, n, depth, global)
+	}
+}
+
+// anyTriple handles ANY declarations: any declared element is acceptable
+// content; undeclared elements count as plus.
+func (e *Evaluator) anyTriple(elems []*xmltree.Node, depth int, global bool) Triple {
+	var t Triple
+	for _, c := range elems {
+		declName, ts := e.bestDecl(c.Name)
+		if ts <= 0 {
+			t.Plus += e.weightedSize(c)
+			continue
+		}
+		t = t.Add(partialMatch(ts))
+		if global {
+			t = t.Add(e.globalTriple(c, e.d.Elements[declName], depth+1).Scale(e.cfg.Decay))
+		}
+	}
+	return t
+}
+
+func (e *Evaluator) mixedTriple(model *dtd.Content, elems []*xmltree.Node, depth int, global bool) Triple {
+	labels := model.Labels()
+	var t Triple
+	for _, c := range elems {
+		bestLabel, bestSim := "", 0.0
+		for _, l := range labels {
+			if s := e.tagSim(c.Name, l); s > bestSim {
+				bestLabel, bestSim = l, s
+			}
+		}
+		if bestSim <= 0 {
+			t.Plus += e.weightedSize(c)
+			continue
+		}
+		t = t.Add(partialMatch(bestSim))
+		if global {
+			if decl, ok := e.d.Elements[bestLabel]; ok {
+				t = t.Add(e.globalTriple(c, decl, depth+1).Scale(e.cfg.Decay))
+			}
+		}
+	}
+	return t
+}
+
+// contentTriple aligns the children of n against an element-content model
+// using the compiled automaton.
+func (e *Evaluator) contentTriple(model *dtd.Content, n *xmltree.Node, depth int, global bool) Triple {
+	a := e.compiled(model)
+	var textPlus float64
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			textPlus++ // character data is not allowed in element content
+		}
+	}
+	t := e.align(a, n.ChildElements(), depth, global)
+	t.Plus += textPlus
+	return t
+}
+
+// partialMatch is the triple of a tag match with degree ts: the matched
+// fraction is common, and the unmatched remainder (1 - ts) splits evenly
+// between plus (document side) and minus (DTD side), so weighted thesaurus
+// matches rank strictly between a miss and an exact match.
+func partialMatch(ts float64) Triple {
+	return Triple{Common: ts, Plus: (1 - ts) / 2, Minus: (1 - ts) / 2}
+}
+
+// tagSim returns the match degree of a document tag against a DTD tag: 1
+// for equal tags, the configured TagSimilarity for different ones (0 when
+// below the floor or when no TagSimilarity is configured).
+func (e *Evaluator) tagSim(docTag, dtdTag string) float64 {
+	if docTag == dtdTag {
+		return 1
+	}
+	if e.cfg.TagSimilarity == nil {
+		return 0
+	}
+	s := e.cfg.TagSimilarity(docTag, dtdTag)
+	if s < e.cfg.MinTagSimilarity || s <= 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// bestDecl finds the declaration best matching a document tag: the tag's
+// own declaration when present, otherwise the declared element with the
+// highest tag similarity.
+func (e *Evaluator) bestDecl(tag string) (string, float64) {
+	if _, ok := e.d.Elements[tag]; ok {
+		return tag, 1
+	}
+	if e.cfg.TagSimilarity == nil {
+		return "", 0
+	}
+	bestName, bestSim := "", 0.0
+	for name := range e.d.Elements {
+		if s := e.tagSim(tag, name); s > bestSim || (s == bestSim && s > 0 && name < bestName) {
+			bestName, bestSim = name, s
+		}
+	}
+	return bestName, bestSim
+}
+
+// matchDelta is the triple contributed by matching document element c
+// against the declaration of the element named name with tag-match degree
+// ts.
+func (e *Evaluator) matchDelta(c *xmltree.Node, name string, depth int, global bool, ts float64) Triple {
+	t := partialMatch(ts)
+	if !global {
+		return t
+	}
+	decl, ok := e.d.Elements[name]
+	if !ok {
+		// The model references an element the DTD never declares; there is
+		// no constraint to compare the subtree against.
+		return t
+	}
+	return t.Add(e.globalTriple(c, decl, depth+1).Scale(e.cfg.Decay))
+}
+
+// weightedSize is the plus cost of an entirely unmatched subtree: 1 for the
+// node itself plus decayed contributions of its children.
+func (e *Evaluator) weightedSize(n *xmltree.Node) float64 {
+	size := 1.0
+	var sub float64
+	for _, c := range n.Children {
+		sub += e.weightedSize(c)
+	}
+	return size + e.cfg.Decay*sub
+}
+
+// requiredWeight is the minus cost of skipping a mandatory reference to the
+// element called name: 1 for the element itself plus the decayed required
+// weight of its own declaration. Cycles in the DTD contribute once.
+func (e *Evaluator) requiredWeight(name string, visiting map[string]bool) float64 {
+	if w, ok := e.reqMemo[name]; ok {
+		return w
+	}
+	if visiting[name] {
+		return 1
+	}
+	decl, ok := e.d.Elements[name]
+	if !ok {
+		return 1
+	}
+	if visiting == nil {
+		visiting = make(map[string]bool)
+	}
+	visiting[name] = true
+	w := 1 + e.cfg.Decay*e.requiredModelWeight(decl, visiting)
+	delete(visiting, name)
+	e.reqMemo[name] = w
+	return w
+}
+
+// requiredModelWeight is the minimal mandatory weight of a content model:
+// the minus cost of providing none of its content.
+func (e *Evaluator) requiredModelWeight(c *dtd.Content, visiting map[string]bool) float64 {
+	switch c.Kind {
+	case dtd.Name:
+		return e.requiredWeight(c.Name, visiting)
+	case dtd.Opt, dtd.Star, dtd.Empty, dtd.Any, dtd.PCDATA:
+		return 0
+	case dtd.Plus:
+		return e.requiredModelWeight(c.Children[0], visiting)
+	case dtd.Seq:
+		var sum float64
+		for _, ch := range c.Children {
+			sum += e.requiredModelWeight(ch, visiting)
+		}
+		return sum
+	case dtd.Choice:
+		best := -1.0
+		for _, ch := range c.Children {
+			w := e.requiredModelWeight(ch, visiting)
+			if best < 0 || w < best {
+				best = w
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,105 @@
+package similarity
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/thesaurus"
+)
+
+// Tests of the paper's §6 tag-similarity extension: the measure shifts
+// from tag equality to thesaurus-backed tag similarity.
+
+func thesaurusConfig(t *testing.T) Config {
+	t.Helper()
+	th, err := thesaurus.LoadString(`
+author = writer
+price ~ cost : 0.8`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	return cfg
+}
+
+var bookDTD = dtd.MustParse(`
+<!ELEMENT book (title, author, price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>`)
+
+func TestSynonymTagsMatch(t *testing.T) {
+	// <writer> instead of <author>: a miss under tag equality, a full
+	// match under the thesaurus.
+	doc := parseDoc(t, `<book><title>t</title><writer>w</writer><price>1</price></book>`)
+	plain := NewEvaluator(bookDTD, DefaultConfig()).GlobalSim(doc)
+	thes := NewEvaluator(bookDTD, thesaurusConfig(t)).GlobalSim(doc)
+	if !(thes > plain) {
+		t.Errorf("thesaurus (%v) should beat equality (%v)", thes, plain)
+	}
+	if thes != 1 {
+		t.Errorf("synonym match should be full: %v", thes)
+	}
+}
+
+func TestWeightedTagsMatchPartially(t *testing.T) {
+	// <cost> relates to <price> at 0.8: better than a miss, below exact.
+	doc := parseDoc(t, `<book><title>t</title><author>a</author><cost>1</cost></book>`)
+	exact := parseDoc(t, `<book><title>t</title><author>a</author><price>1</price></book>`)
+	miss := parseDoc(t, `<book><title>t</title><author>a</author><zzz>1</zzz></book>`)
+	e := NewEvaluator(bookDTD, thesaurusConfig(t))
+	sCost, sExact, sMiss := e.GlobalSim(doc), e.GlobalSim(exact), e.GlobalSim(miss)
+	if !(sMiss < sCost && sCost < sExact) {
+		t.Errorf("ordering violated: miss %v, cost %v, exact %v", sMiss, sCost, sExact)
+	}
+}
+
+func TestMinTagSimilarityFloor(t *testing.T) {
+	cfg := thesaurusConfig(t)
+	cfg.MinTagSimilarity = 0.9 // the price~cost relation (0.8) falls below
+	doc := parseDoc(t, `<book><title>t</title><author>a</author><cost>1</cost></book>`)
+	floored := NewEvaluator(bookDTD, cfg).GlobalSim(doc)
+	open := NewEvaluator(bookDTD, thesaurusConfig(t)).GlobalSim(doc)
+	if !(floored < open) {
+		t.Errorf("floor did not exclude the weak relation: %v vs %v", floored, open)
+	}
+}
+
+func TestSynonymRootMatches(t *testing.T) {
+	th, _ := thesaurus.LoadString(`book = volume`)
+	cfg := DefaultConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	doc := parseDoc(t, `<volume><title>t</title><author>a</author><price>1</price></volume>`)
+	if sim := NewEvaluator(bookDTD, cfg).GlobalSim(doc); sim != 1 {
+		t.Errorf("synonym root similarity = %v, want 1", sim)
+	}
+	if sim := NewEvaluator(bookDTD, DefaultConfig()).GlobalSim(doc); sim != 0 {
+		t.Errorf("equality root similarity = %v, want 0", sim)
+	}
+}
+
+func TestThesaurusInMixedContent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>`)
+	th, _ := thesaurus.LoadString(`em = italic`)
+	cfg := DefaultConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	doc := parseDoc(t, `<p>x <italic>y</italic></p>`)
+	if sim := NewEvaluator(d, cfg).GlobalSim(doc); sim != 1 {
+		t.Errorf("mixed synonym similarity = %v, want 1", sim)
+	}
+}
+
+func TestThesaurusDoesNotAffectEqualityBehaviour(t *testing.T) {
+	// With a thesaurus that knows nothing relevant, results equal the
+	// plain configuration.
+	th := thesaurus.New()
+	cfg := DefaultConfig()
+	cfg.TagSimilarity = th.SimilarityFunc()
+	doc := parseDoc(t, `<book><title>t</title><author>a</author><price>1</price><zz/></book>`)
+	a := NewEvaluator(bookDTD, DefaultConfig()).GlobalSim(doc)
+	b := NewEvaluator(bookDTD, cfg).GlobalSim(doc)
+	if a != b {
+		t.Errorf("empty thesaurus changed result: %v vs %v", a, b)
+	}
+}

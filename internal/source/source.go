@@ -1,0 +1,541 @@
+// Package source implements the paper's full lifecycle (Figure 1): a
+// source of XML documents described by a set of DTDs, with
+//
+//   - an initialization phase (the DTD set and the similarity threshold σ);
+//   - a classification phase associating each incoming document with the
+//     DTD best describing its structure, or with the repository of
+//     unclassified documents when no similarity reaches σ;
+//   - a recording phase extracting structural information into the
+//     extended DTD;
+//   - a check phase triggering evolution for a DTD when the normalized
+//     amount of non-valid elements exceeds the threshold τ;
+//   - an evolution phase rewriting the DTD (package evolve);
+//   - re-classification of the repository against the evolved DTD set.
+//
+// A Source is safe for concurrent use.
+package source
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dtdevolve/internal/adapt"
+	"dtdevolve/internal/classify"
+	"dtdevolve/internal/docstore"
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/record"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/trigger"
+	"dtdevolve/internal/xmltree"
+)
+
+// Config holds the source parameters.
+type Config struct {
+	// Sigma is the classification threshold σ: documents below it against
+	// every DTD go to the repository.
+	Sigma float64
+	// Tau is the evolution activation threshold τ of the check phase.
+	Tau float64
+	// MinDocs is the minimum number of documents classified in a DTD since
+	// the last evolution before the check phase may trigger; it prevents
+	// evolving on a couple of outliers.
+	MinDocs int
+	// AutoEvolve runs the evolution phase automatically whenever the check
+	// phase triggers. When false, callers poll NeedsEvolution / call
+	// EvolveNow themselves.
+	AutoEvolve bool
+	// Similarity configures the structural similarity measure.
+	Similarity similarity.Config
+	// Evolve configures the evolution phase.
+	Evolve evolve.Config
+}
+
+// DefaultConfig returns the thresholds used by the evaluation harness:
+// σ = 0.7, τ = 0.25, at least 20 documents between evolutions.
+func DefaultConfig() Config {
+	return Config{
+		Sigma:      0.7,
+		Tau:        0.25,
+		MinDocs:    20,
+		AutoEvolve: true,
+		Similarity: similarity.DefaultConfig(),
+		Evolve:     evolve.DefaultConfig(),
+	}
+}
+
+// entry is the per-DTD state: the DTD itself, its recorder (extended DTD)
+// and bookkeeping.
+type entry struct {
+	d          *dtd.DTD
+	rec        *record.Recorder
+	docs       int // documents classified since last evolution
+	evolutions int
+}
+
+// Source is the document source: a DTD set, the extended-DTD recorders and
+// the repository of unclassified documents.
+type Source struct {
+	mu         sync.Mutex
+	cfg        Config
+	entries    map[string]*entry
+	classifier *classify.Classifier
+	repository []*xmltree.Document
+	added      int
+	triggers   []*trigger.Rule
+	store      *docstore.Store
+}
+
+// New returns an empty Source.
+func New(cfg Config) *Source {
+	return &Source{
+		cfg:        cfg,
+		entries:    make(map[string]*entry),
+		classifier: classify.New(cfg.Sigma, cfg.Similarity),
+	}
+}
+
+// AddDTD registers a DTD under the given name (initialization phase). It
+// replaces any previous DTD with that name and resets its recorder.
+func (s *Source) AddDTD(name string, d *dtd.DTD) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[name] = &entry{d: d, rec: record.New(d)}
+	s.classifier.Set(name, d)
+}
+
+// DTD returns the current DTD registered under name, or nil.
+func (s *Source) DTD(name string) *dtd.DTD {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok {
+		return e.d
+	}
+	return nil
+}
+
+// Names returns the registered DTD names, sorted.
+func (s *Source) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names()
+}
+
+func (s *Source) names() []string {
+	out := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddResult reports what happened to one added document.
+type AddResult struct {
+	// DTDName is the DTD the document was classified in ("" when it went
+	// to the repository).
+	DTDName string
+	// Similarity is the best similarity value observed.
+	Similarity float64
+	// Classified reports whether the similarity reached σ.
+	Classified bool
+	// Evolved reports whether this addition triggered an evolution.
+	Evolved bool
+	// Report is the evolution report when Evolved is true.
+	Report *evolve.Report
+	// Reclassified is the number of repository documents recovered by the
+	// evolution.
+	Reclassified int
+	// Triggered lists the trigger rules (source text) fired by this
+	// addition.
+	Triggered []string
+}
+
+// Add classifies a document against the DTD set, records it (or stores it
+// in the repository), and — with AutoEvolve — runs the check and evolution
+// phases.
+func (s *Source) Add(doc *xmltree.Document) AddResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.added++
+	res := s.classifyAndRecord(doc)
+	if res.Classified && s.cfg.AutoEvolve {
+		e := s.entries[res.DTDName]
+		if e.docs >= s.cfg.MinDocs && e.rec.ShouldEvolve(s.cfg.Tau) {
+			report, reclassified := s.evolveLocked(res.DTDName)
+			res.Evolved = true
+			res.Report = &report
+			res.Reclassified = reclassified
+		}
+	}
+	s.fireTriggers(&res)
+	return res
+}
+
+// AddTriggerRule installs one rule of the evolution trigger language, e.g.
+//
+//	on article when check_ratio > 0.3 and docs >= 50 do evolve, reclassify
+//
+// Rules are evaluated after every Add, in installation order; "on *"
+// watches every DTD. Trigger rules complement (and can replace) the
+// built-in AutoEvolve policy.
+func (s *Source) AddTriggerRule(src string) error {
+	rule, err := trigger.Parse(src)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.triggers = append(s.triggers, rule)
+	return nil
+}
+
+// SetTriggerRules replaces the installed rules with a newline-separated
+// rule list ('#' comments allowed).
+func (s *Source) SetTriggerRules(src string) error {
+	rules, err := trigger.ParseAll(src)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.triggers = rules
+	return nil
+}
+
+// TriggerRules returns the source text of the installed rules.
+func (s *Source) TriggerRules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.triggers))
+	for i, r := range s.triggers {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// lockedState adapts the source to the trigger.State interface; it must
+// only be used while holding s.mu.
+type lockedState struct{ s *Source }
+
+func (l lockedState) CheckRatio(name string) float64 {
+	if e, ok := l.s.entries[name]; ok {
+		return e.rec.CheckRatio()
+	}
+	return 0
+}
+
+func (l lockedState) Docs(name string) int {
+	if e, ok := l.s.entries[name]; ok {
+		return e.docs
+	}
+	return 0
+}
+
+func (l lockedState) Repository() int { return len(l.s.repository) }
+
+func (l lockedState) Invalidity(name, element string) float64 {
+	if e, ok := l.s.entries[name]; ok {
+		if st := e.rec.Stats(element); st != nil {
+			return st.InvalidityRatio()
+		}
+	}
+	return 0
+}
+
+// fireTriggers evaluates every installed rule against every DTD and runs
+// the actions of those that hold. Callers hold s.mu.
+func (s *Source) fireTriggers(res *AddResult) {
+	if len(s.triggers) == 0 {
+		return
+	}
+	state := lockedState{s: s}
+	for _, rule := range s.triggers {
+		for _, name := range s.names() {
+			if !rule.Eval(name, state) {
+				continue
+			}
+			res.Triggered = append(res.Triggered, rule.String())
+			for _, action := range rule.Actions {
+				switch action {
+				case trigger.Evolve:
+					report, reclassified := s.evolveLocked(name)
+					res.Evolved = true
+					res.Report = &report
+					res.Reclassified += reclassified
+				case trigger.Reclassify:
+					res.Reclassified += s.reclassifyLocked()
+				}
+			}
+			break // one firing per rule per Add
+		}
+	}
+}
+
+func (s *Source) classifyAndRecord(doc *xmltree.Document) AddResult {
+	cls := s.classifier.Classify(doc)
+	res := AddResult{DTDName: cls.DTDName, Similarity: cls.Similarity, Classified: cls.Classified}
+	if !cls.Classified {
+		res.DTDName = ""
+		s.repository = append(s.repository, doc)
+		return res
+	}
+	e := s.entries[cls.DTDName]
+	e.rec.Record(doc)
+	e.docs++
+	if s.store != nil {
+		// Persist the classified document so it can be re-validated or
+		// adapted after an evolution (AdaptStored). Store failures must
+		// not lose the classification; surface them via the status.
+		_ = s.store.Put(cls.DTDName, doc)
+	}
+	return res
+}
+
+// EnableStore attaches a document store: every subsequently classified
+// document is kept in the store under its DTD's name (durably when dir is
+// non-empty, in memory otherwise), so that AdaptStored can rewrite the
+// stored population after an evolution — the paper's §6 open problem.
+func (s *Source) EnableStore(dir string) error {
+	store, err := docstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = store
+	return nil
+}
+
+// CloseStore releases the attached store's files.
+func (s *Source) CloseStore() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.Close()
+	s.store = nil
+	return err
+}
+
+// StoredDocs returns the stored documents classified in the named DTD.
+func (s *Source) StoredDocs(name string) []*xmltree.Document {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		return nil
+	}
+	return store.Docs(name)
+}
+
+// AdaptStored rewrites the documents stored for the named DTD so they
+// conform to its current (typically just-evolved) declaration, replacing
+// the stored collection. It returns how many documents needed changes.
+func (s *Source) AdaptStored(name string, opts adapt.Options) (int, error) {
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	store := s.store
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("source: no DTD named %q", name)
+	}
+	if store == nil {
+		return 0, fmt.Errorf("source: no document store attached (EnableStore)")
+	}
+	adapter := adapt.New(e.d, opts)
+	docs := store.Docs(name)
+	changed := 0
+	out := make([]*xmltree.Document, len(docs))
+	for i, doc := range docs {
+		adapted, report := adapter.Adapt(doc)
+		out[i] = adapted
+		if len(report.Changes) > 0 {
+			changed++
+		}
+	}
+	if err := store.Replace(name, out); err != nil {
+		return changed, err
+	}
+	return changed, nil
+}
+
+// NeedsEvolution returns the names of DTDs whose check-phase condition
+// currently exceeds τ (with at least MinDocs documents recorded).
+func (s *Source) NeedsEvolution() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, name := range s.names() {
+		e := s.entries[name]
+		if e.docs >= s.cfg.MinDocs && e.rec.ShouldEvolve(s.cfg.Tau) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// EvolveNow forces the evolution phase for the named DTD, returning the
+// report and the number of repository documents recovered.
+func (s *Source) EvolveNow(name string) (evolve.Report, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[name]; !ok {
+		return evolve.Report{}, 0, fmt.Errorf("source: no DTD named %q", name)
+	}
+	report, reclassified := s.evolveLocked(name)
+	return report, reclassified, nil
+}
+
+// evolveLocked runs the evolution phase for one DTD and re-classifies the
+// repository against the updated DTD set. Callers hold s.mu.
+func (s *Source) evolveLocked(name string) (evolve.Report, int) {
+	e := s.entries[name]
+	evolved, report := evolve.Evolve(e.rec, s.cfg.Evolve)
+	e.d = evolved
+	e.rec.SetDTD(evolved)
+	e.docs = 0
+	e.evolutions++
+	s.classifier.Set(name, evolved)
+	return report, s.reclassifyLocked()
+}
+
+// ReclassifyRepository re-classifies every repository document against the
+// current DTD set, recording those that now reach σ. It returns how many
+// documents were recovered.
+func (s *Source) ReclassifyRepository() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reclassifyLocked()
+}
+
+func (s *Source) reclassifyLocked() int {
+	var remaining []*xmltree.Document
+	recovered := 0
+	for _, doc := range s.repository {
+		cls := s.classifier.Classify(doc)
+		if cls.Classified {
+			e := s.entries[cls.DTDName]
+			e.rec.Record(doc)
+			e.docs++
+			recovered++
+			continue
+		}
+		remaining = append(remaining, doc)
+	}
+	s.repository = remaining
+	return recovered
+}
+
+// RepositorySize returns the number of unclassified documents currently
+// held in the repository.
+func (s *Source) RepositorySize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.repository)
+}
+
+// Repository returns a copy of the repository's documents.
+func (s *Source) Repository() []*xmltree.Document {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*xmltree.Document(nil), s.repository...)
+}
+
+// DTDStatus summarizes the state of one DTD in the source.
+type DTDStatus struct {
+	Name       string
+	Docs       int     // documents classified since the last evolution
+	CheckRatio float64 // the check-phase quantity against τ
+	Evolutions int     // how many evolutions have run
+	Model      string  // serialized DTD
+}
+
+// Status returns a summary of every DTD in the source.
+func (s *Source) Status() []DTDStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []DTDStatus
+	for _, name := range s.names() {
+		e := s.entries[name]
+		out = append(out, DTDStatus{
+			Name:       name,
+			Docs:       e.docs,
+			CheckRatio: e.rec.CheckRatio(),
+			Evolutions: e.evolutions,
+			Model:      e.d.String(),
+		})
+	}
+	return out
+}
+
+// snapshot is the JSON checkpoint format.
+type snapshot struct {
+	DTDs       map[string]string           `json:"dtds"`
+	Roots      map[string]string           `json:"roots"`
+	Docs       map[string]int              `json:"docs"`
+	Evolutions map[string]int              `json:"evolutions"`
+	Recorders  map[string]*record.Snapshot `json:"recorders"`
+	Repository []string                    `json:"repository"`
+	Added      int                         `json:"added"`
+}
+
+// Snapshot serializes the source state (DTD set, extended-DTD statistics,
+// repository) to JSON, so a long-lived service can checkpoint and resume.
+func (s *Source) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{
+		DTDs:       make(map[string]string),
+		Roots:      make(map[string]string),
+		Docs:       make(map[string]int),
+		Evolutions: make(map[string]int),
+		Recorders:  make(map[string]*record.Snapshot),
+		Added:      s.added,
+	}
+	for name, e := range s.entries {
+		snap.DTDs[name] = e.d.String()
+		snap.Roots[name] = e.d.Name
+		snap.Docs[name] = e.docs
+		snap.Evolutions[name] = e.evolutions
+		snap.Recorders[name] = e.rec.Snapshot()
+	}
+	for _, doc := range s.repository {
+		snap.Repository = append(snap.Repository, doc.String())
+	}
+	return json.Marshal(snap)
+}
+
+// Restore rebuilds a Source from a Snapshot produced with the same Config.
+func Restore(cfg Config, data []byte) (*Source, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("source: decoding snapshot: %w", err)
+	}
+	s := New(cfg)
+	for name, src := range snap.DTDs {
+		d, err := dtd.ParseString(src)
+		if err != nil {
+			return nil, fmt.Errorf("source: snapshot DTD %q: %w", name, err)
+		}
+		d.Name = snap.Roots[name]
+		e := &entry{d: d, rec: record.New(d), docs: snap.Docs[name], evolutions: snap.Evolutions[name]}
+		if rs := snap.Recorders[name]; rs != nil {
+			e.rec.Restore(rs)
+		}
+		s.entries[name] = e
+		s.classifier.Set(name, d)
+	}
+	for _, src := range snap.Repository {
+		doc, err := xmltree.ParseString(src)
+		if err != nil {
+			return nil, fmt.Errorf("source: snapshot repository document: %w", err)
+		}
+		s.repository = append(s.repository, doc)
+	}
+	s.added = snap.Added
+	return s, nil
+}

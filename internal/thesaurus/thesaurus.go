@@ -1,0 +1,195 @@
+// Package thesaurus implements the tag-similarity extension sketched in §6
+// of the paper: "evaluate structural similarity shifting from tag equality
+// to tag similarity" by relying on a thesaurus (the paper cites WordNet).
+//
+// WordNet itself is unavailable offline; the substitution (DESIGN.md §4) is
+// a domain thesaurus the application loads explicitly: synonym classes
+// (degree 1) and weighted related-term pairs (degree in (0, 1)). Lookup is
+// symmetric, reflexive (every tag is similar to itself with degree 1), and
+// transitive across synonym classes but not across weighted relations.
+package thesaurus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Thesaurus answers tag-similarity queries. The zero value is not usable;
+// call New.
+type Thesaurus struct {
+	// class maps a tag to its synonym-class representative.
+	class map[string]string
+	// related maps a canonical pair key to a degree in (0, 1).
+	related map[[2]string]float64
+}
+
+// New returns an empty thesaurus.
+func New() *Thesaurus {
+	return &Thesaurus{
+		class:   make(map[string]string),
+		related: make(map[[2]string]float64),
+	}
+}
+
+// AddSynonyms declares the tags as full synonyms (pairwise degree 1).
+// Synonym classes merge transitively: AddSynonyms(a, b) followed by
+// AddSynonyms(b, c) puts a, b, c in one class.
+func (t *Thesaurus) AddSynonyms(tags ...string) {
+	if len(tags) == 0 {
+		return
+	}
+	// Collect representatives of all touched classes, then unify.
+	rep := t.canonical(tags[0])
+	for _, tag := range tags[1:] {
+		other := t.canonical(tag)
+		if other == rep {
+			continue
+		}
+		// Redirect the whole class of other to rep.
+		for k, v := range t.class {
+			if v == other {
+				t.class[k] = rep
+			}
+		}
+		t.class[other] = rep
+	}
+	for _, tag := range tags {
+		t.class[tag] = rep
+	}
+}
+
+// Relate declares a weighted similarity in (0, 1) between two tags (not
+// transitive). Degrees outside (0, 1) are clamped: 0 removes the relation,
+// ≥ 1 makes the tags synonyms.
+func (t *Thesaurus) Relate(a, b string, degree float64) {
+	switch {
+	case degree >= 1:
+		t.AddSynonyms(a, b)
+	case degree <= 0:
+		delete(t.related, pairKey(t.canonical(a), t.canonical(b)))
+	default:
+		t.related[pairKey(t.canonical(a), t.canonical(b))] = degree
+	}
+}
+
+// Similarity returns the similarity degree of two tags in [0, 1]: 1 for
+// identical tags or synonyms, the declared degree for related tags, 0
+// otherwise.
+func (t *Thesaurus) Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ca, cb := t.canonical(a), t.canonical(b)
+	if ca == cb {
+		return 1
+	}
+	if deg, ok := t.related[pairKey(ca, cb)]; ok {
+		return deg
+	}
+	return 0
+}
+
+// Synonyms returns the tags known to be full synonyms of tag (excluding
+// tag itself), sorted.
+func (t *Thesaurus) Synonyms(tag string) []string {
+	rep := t.canonical(tag)
+	var out []string
+	for k, v := range t.class {
+		if v == rep && k != tag {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SimilarityFunc adapts the thesaurus to the similarity measure's
+// TagSimilarity hook.
+func (t *Thesaurus) SimilarityFunc() func(a, b string) float64 {
+	return t.Similarity
+}
+
+func (t *Thesaurus) canonical(tag string) string {
+	if rep, ok := t.class[tag]; ok {
+		return rep
+	}
+	return tag
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Load reads a thesaurus from a simple line format:
+//
+//	# comment
+//	author = writer = byline        synonym class
+//	price ~ cost : 0.8              weighted relation
+//
+// Blank lines and lines starting with '#' are ignored.
+func Load(r io.Reader) (*Thesaurus, error) {
+	t := New()
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "="):
+			parts := strings.Split(line, "=")
+			tags := make([]string, 0, len(parts))
+			for _, p := range parts {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					return nil, fmt.Errorf("thesaurus: line %d: empty synonym", lineNo)
+				}
+				tags = append(tags, p)
+			}
+			if len(tags) < 2 {
+				return nil, fmt.Errorf("thesaurus: line %d: synonym class needs at least two tags", lineNo)
+			}
+			t.AddSynonyms(tags...)
+		case strings.Contains(line, "~"):
+			rest := line
+			degree := 0.5
+			if i := strings.LastIndex(rest, ":"); i >= 0 {
+				d, err := strconv.ParseFloat(strings.TrimSpace(rest[i+1:]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("thesaurus: line %d: bad degree: %v", lineNo, err)
+				}
+				degree = d
+				rest = rest[:i]
+			}
+			parts := strings.SplitN(rest, "~", 2)
+			a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			if a == "" || b == "" {
+				return nil, fmt.Errorf("thesaurus: line %d: relation needs two tags", lineNo)
+			}
+			if degree <= 0 || degree > 1 {
+				return nil, fmt.Errorf("thesaurus: line %d: degree %v out of (0, 1]", lineNo, degree)
+			}
+			t.Relate(a, b, degree)
+		default:
+			return nil, fmt.Errorf("thesaurus: line %d: expected '=' or '~'", lineNo)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("thesaurus: reading: %w", err)
+	}
+	return t, nil
+}
+
+// LoadString is Load over a string.
+func LoadString(s string) (*Thesaurus, error) {
+	return Load(strings.NewReader(s))
+}

@@ -1,0 +1,109 @@
+package thesaurus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSimilarityBasics(t *testing.T) {
+	th := New()
+	if th.Similarity("a", "a") != 1 {
+		t.Error("identity != 1")
+	}
+	if th.Similarity("a", "b") != 0 {
+		t.Error("unknown pair != 0")
+	}
+	th.AddSynonyms("author", "writer")
+	if th.Similarity("author", "writer") != 1 || th.Similarity("writer", "author") != 1 {
+		t.Error("synonyms != 1")
+	}
+	th.Relate("price", "cost", 0.8)
+	if th.Similarity("price", "cost") != 0.8 || th.Similarity("cost", "price") != 0.8 {
+		t.Error("related pair != 0.8")
+	}
+}
+
+func TestSynonymClassesMergeTransitively(t *testing.T) {
+	th := New()
+	th.AddSynonyms("a", "b")
+	th.AddSynonyms("b", "c")
+	th.AddSynonyms("d", "e")
+	th.AddSynonyms("c", "d")
+	for _, pair := range [][2]string{{"a", "c"}, {"a", "e"}, {"b", "d"}} {
+		if th.Similarity(pair[0], pair[1]) != 1 {
+			t.Errorf("%v not merged", pair)
+		}
+	}
+	if got := th.Synonyms("a"); !reflect.DeepEqual(got, []string{"b", "c", "d", "e"}) {
+		t.Errorf("Synonyms(a) = %v", got)
+	}
+}
+
+func TestRelateThroughSynonyms(t *testing.T) {
+	th := New()
+	th.AddSynonyms("price", "cost")
+	th.Relate("price", "fee", 0.7)
+	// The relation is declared on the class: cost inherits it.
+	if th.Similarity("cost", "fee") != 0.7 {
+		t.Errorf("cost~fee = %v, want 0.7", th.Similarity("cost", "fee"))
+	}
+}
+
+func TestRelateClamping(t *testing.T) {
+	th := New()
+	th.Relate("a", "b", 1.5)
+	if th.Similarity("a", "b") != 1 {
+		t.Error("degree ≥ 1 should make synonyms")
+	}
+	th.Relate("c", "d", 0.5)
+	th.Relate("c", "d", 0)
+	if th.Similarity("c", "d") != 0 {
+		t.Error("degree 0 should remove the relation")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	th, err := LoadString(`
+# a comment
+
+author = writer = byline
+price ~ cost : 0.8
+title ~ headline
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Similarity("author", "byline") != 1 {
+		t.Error("synonym line not applied")
+	}
+	if th.Similarity("price", "cost") != 0.8 {
+		t.Error("weighted line not applied")
+	}
+	if th.Similarity("title", "headline") != 0.5 {
+		t.Errorf("default degree = %v, want 0.5", th.Similarity("title", "headline"))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"just a line",
+		"a =",
+		"a ~ b : nope",
+		"a ~ b : 1.5",
+		"~ b : 0.5",
+	}
+	for _, src := range cases {
+		if _, err := LoadString(src); err == nil {
+			t.Errorf("LoadString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSimilarityFunc(t *testing.T) {
+	th := New()
+	th.AddSynonyms("a", "b")
+	f := th.SimilarityFunc()
+	if f("a", "b") != 1 || f("a", "z") != 0 {
+		t.Error("SimilarityFunc mismatch")
+	}
+}

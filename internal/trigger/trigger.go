@@ -1,0 +1,330 @@
+// Package trigger implements the evolution trigger language the paper
+// proposes as a second extension direction (§6): "the development of an
+// evolution trigger language, by using which applications can specify and
+// automatically activate DTD evolution".
+//
+// A rule has the form
+//
+//	on <dtd> when <condition> [and <condition>]... do <action> [, <action>]...
+//
+// with conditions over the source's observable state:
+//
+//	check_ratio  >  0.3      the check-phase quantity of §2
+//	docs         >= 50       documents classified since the last evolution
+//	repository   >  10       unclassified documents held in the repository
+//	invalidity(name) > 0.8   the invalidity ratio I(name) of one element
+//
+// comparators >, >=, <, <=, ==, and actions
+//
+//	evolve        run the evolution phase for the rule's DTD
+//	reclassify    re-classify the repository against the DTD set
+//
+// Example:
+//
+//	on article when check_ratio > 0.3 and docs >= 50 do evolve, reclassify
+package trigger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Action is a rule consequence.
+type Action int
+
+const (
+	// Evolve runs the evolution phase for the rule's DTD.
+	Evolve Action = iota
+	// Reclassify re-classifies the repository documents.
+	Reclassify
+)
+
+// String returns the action keyword.
+func (a Action) String() string {
+	switch a {
+	case Evolve:
+		return "evolve"
+	case Reclassify:
+		return "reclassify"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Metric identifies an observable quantity.
+type Metric int
+
+const (
+	// CheckRatio is the check-phase quantity (Σ invalid ratios / #docs).
+	CheckRatio Metric = iota
+	// Docs is the number of documents classified since the last evolution.
+	Docs
+	// Repository is the number of unclassified documents.
+	Repository
+	// Invalidity is the invalidity ratio I(e) of a named element.
+	Invalidity
+)
+
+// String returns the metric keyword.
+func (m Metric) String() string {
+	switch m {
+	case CheckRatio:
+		return "check_ratio"
+	case Docs:
+		return "docs"
+	case Repository:
+		return "repository"
+	case Invalidity:
+		return "invalidity"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Condition is one comparison of the rule.
+type Condition struct {
+	Metric  Metric
+	Element string // for Invalidity
+	Op      string // ">", ">=", "<", "<=", "=="
+	Value   float64
+}
+
+func (c Condition) String() string {
+	lhs := c.Metric.String()
+	if c.Metric == Invalidity {
+		lhs = fmt.Sprintf("invalidity(%s)", c.Element)
+	}
+	return fmt.Sprintf("%s %s %g", lhs, c.Op, c.Value)
+}
+
+// holds evaluates the condition against a measured value.
+func (c Condition) holds(v float64) bool {
+	switch c.Op {
+	case ">":
+		return v > c.Value
+	case ">=":
+		return v >= c.Value
+	case "<":
+		return v < c.Value
+	case "<=":
+		return v <= c.Value
+	case "==":
+		return v == c.Value
+	default:
+		return false
+	}
+}
+
+// Rule is one parsed trigger rule.
+type Rule struct {
+	// DTD names the DTD the rule watches; "*" watches every DTD.
+	DTD        string
+	Conditions []Condition
+	Actions    []Action
+	src        string
+}
+
+// String returns the rule's source text.
+func (r *Rule) String() string { return r.src }
+
+// State provides the measured values a rule is evaluated against.
+type State interface {
+	// CheckRatio returns the check-phase quantity for the DTD.
+	CheckRatio(dtdName string) float64
+	// Docs returns the documents classified in the DTD since last evolution.
+	Docs(dtdName string) int
+	// Repository returns the repository size.
+	Repository() int
+	// Invalidity returns I(element) for the DTD's element.
+	Invalidity(dtdName, element string) float64
+}
+
+// Eval reports whether all conditions of the rule hold for the given DTD.
+func (r *Rule) Eval(dtdName string, s State) bool {
+	if r.DTD != "*" && r.DTD != dtdName {
+		return false
+	}
+	for _, c := range r.Conditions {
+		var v float64
+		switch c.Metric {
+		case CheckRatio:
+			v = s.CheckRatio(dtdName)
+		case Docs:
+			v = float64(s.Docs(dtdName))
+		case Repository:
+			v = float64(s.Repository())
+		case Invalidity:
+			v = s.Invalidity(dtdName, c.Element)
+		}
+		if !c.holds(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses one rule.
+func Parse(src string) (*Rule, error) {
+	p := &ruleParser{tokens: tokenize(src), src: strings.TrimSpace(src)}
+	rule, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("trigger: %s: %w", strings.TrimSpace(src), err)
+	}
+	return rule, nil
+}
+
+// ParseAll parses a newline-separated rule list, skipping blank lines and
+// '#' comments.
+func ParseAll(src string) ([]*Rule, error) {
+	var out []*Rule
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}
+
+func tokenize(src string) []string {
+	// Make punctuation self-delimiting, then split on whitespace.
+	replacer := strings.NewReplacer(
+		"(", " ( ", ")", " ) ", ",", " , ",
+		">=", " >= ", "<=", " <= ", "==", " == ",
+	)
+	s := replacer.Replace(src)
+	// Lone > and < (avoid re-splitting >= etc., already spaced).
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c == '>' || c == '<') && (i+1 >= len(s) || s[i+1] != '=') {
+			b.WriteByte(' ')
+			b.WriteByte(c)
+			b.WriteByte(' ')
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return strings.Fields(b.String())
+}
+
+type ruleParser struct {
+	tokens []string
+	pos    int
+	src    string
+}
+
+func (p *ruleParser) peek() string {
+	if p.pos >= len(p.tokens) {
+		return ""
+	}
+	return p.tokens[p.pos]
+}
+
+func (p *ruleParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *ruleParser) expect(keyword string) error {
+	if t := p.next(); !strings.EqualFold(t, keyword) {
+		return fmt.Errorf("expected %q, got %q", keyword, t)
+	}
+	return nil
+}
+
+func (p *ruleParser) parse() (*Rule, error) {
+	if err := p.expect("on"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		return nil, fmt.Errorf("expected a DTD name after 'on'")
+	}
+	if err := p.expect("when"); err != nil {
+		return nil, err
+	}
+	rule := &Rule{DTD: name, src: p.src}
+	for {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		rule.Conditions = append(rule.Conditions, cond)
+		if strings.EqualFold(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect("do"); err != nil {
+		return nil, err
+	}
+	for {
+		switch t := strings.ToLower(p.next()); t {
+		case "evolve":
+			rule.Actions = append(rule.Actions, Evolve)
+		case "reclassify":
+			rule.Actions = append(rule.Actions, Reclassify)
+		default:
+			return nil, fmt.Errorf("unknown action %q", t)
+		}
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("unexpected trailing token %q", p.peek())
+	}
+	return rule, nil
+}
+
+func (p *ruleParser) parseCondition() (Condition, error) {
+	var cond Condition
+	switch t := strings.ToLower(p.next()); t {
+	case "check_ratio":
+		cond.Metric = CheckRatio
+	case "docs":
+		cond.Metric = Docs
+	case "repository":
+		cond.Metric = Repository
+	case "invalidity":
+		cond.Metric = Invalidity
+		if err := p.expect("("); err != nil {
+			return cond, err
+		}
+		cond.Element = p.next()
+		if cond.Element == "" || cond.Element == ")" {
+			return cond, fmt.Errorf("invalidity() needs an element name")
+		}
+		if err := p.expect(")"); err != nil {
+			return cond, err
+		}
+	default:
+		return cond, fmt.Errorf("unknown metric %q", t)
+	}
+	op := p.next()
+	switch op {
+	case ">", ">=", "<", "<=", "==":
+		cond.Op = op
+	default:
+		return cond, fmt.Errorf("expected a comparator, got %q", op)
+	}
+	v, err := strconv.ParseFloat(p.next(), 64)
+	if err != nil {
+		return cond, fmt.Errorf("expected a number: %v", err)
+	}
+	cond.Value = v
+	return cond, nil
+}

@@ -1,0 +1,155 @@
+package trigger
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullRule(t *testing.T) {
+	r, err := Parse("on article when check_ratio > 0.3 and docs >= 50 do evolve, reclassify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DTD != "article" {
+		t.Errorf("dtd = %q", r.DTD)
+	}
+	if len(r.Conditions) != 2 {
+		t.Fatalf("conditions = %+v", r.Conditions)
+	}
+	c0 := r.Conditions[0]
+	if c0.Metric != CheckRatio || c0.Op != ">" || c0.Value != 0.3 {
+		t.Errorf("cond 0 = %+v", c0)
+	}
+	c1 := r.Conditions[1]
+	if c1.Metric != Docs || c1.Op != ">=" || c1.Value != 50 {
+		t.Errorf("cond 1 = %+v", c1)
+	}
+	if len(r.Actions) != 2 || r.Actions[0] != Evolve || r.Actions[1] != Reclassify {
+		t.Errorf("actions = %v", r.Actions)
+	}
+	if !strings.Contains(r.String(), "check_ratio") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestParseInvalidityCondition(t *testing.T) {
+	r, err := Parse("on * when invalidity(product) > 0.8 do evolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Conditions[0]
+	if c.Metric != Invalidity || c.Element != "product" {
+		t.Errorf("cond = %+v", c)
+	}
+	if got := c.String(); got != "invalidity(product) > 0.8" {
+		t.Errorf("cond String = %q", got)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("ON x WHEN docs > 1 DO evolve"); err != nil {
+		t.Errorf("uppercase keywords rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"when docs > 1 do evolve",            // missing on
+		"on x do evolve",                     // missing when
+		"on x when docs > 1",                 // missing do
+		"on x when docs > 1 do explode",      // unknown action
+		"on x when bogus > 1 do evolve",      // unknown metric
+		"on x when docs >> 1 do evolve",      // bad comparator
+		"on x when docs > abc do evolve",     // bad number
+		"on x when invalidity > 1 do evolve", // missing parens
+		"on x when invalidity() > 1 do evolve",
+		"on x when docs > 1 do evolve trailing",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	rules, err := ParseAll(`
+# two rules
+on a when docs > 10 do evolve
+
+on * when repository >= 5 do reclassify
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	if _, err := ParseAll("on broken"); err == nil {
+		t.Error("broken rule list accepted")
+	}
+}
+
+// fakeState implements State for evaluation tests.
+type fakeState struct {
+	check map[string]float64
+	docs  map[string]int
+	repo  int
+	inval map[string]float64 // key: dtd/element
+}
+
+func (f fakeState) CheckRatio(d string) float64 { return f.check[d] }
+func (f fakeState) Docs(d string) int           { return f.docs[d] }
+func (f fakeState) Repository() int             { return f.repo }
+func (f fakeState) Invalidity(d, e string) float64 {
+	return f.inval[d+"/"+e]
+}
+
+func TestEval(t *testing.T) {
+	st := fakeState{
+		check: map[string]float64{"a": 0.4},
+		docs:  map[string]int{"a": 60},
+		repo:  3,
+		inval: map[string]float64{"a/p": 0.9},
+	}
+	cases := []struct {
+		rule string
+		dtd  string
+		want bool
+	}{
+		{"on a when check_ratio > 0.3 do evolve", "a", true},
+		{"on a when check_ratio > 0.5 do evolve", "a", false},
+		{"on b when check_ratio > 0.3 do evolve", "a", false}, // scope
+		{"on * when docs >= 60 do evolve", "a", true},
+		{"on * when docs > 60 do evolve", "a", false},
+		{"on a when repository < 5 do reclassify", "a", true},
+		{"on a when repository == 3 do reclassify", "a", true},
+		{"on a when invalidity(p) >= 0.9 do evolve", "a", true},
+		{"on a when invalidity(q) >= 0.9 do evolve", "a", false},
+		{"on a when check_ratio > 0.3 and docs >= 100 do evolve", "a", false},
+		{"on a when check_ratio > 0.3 and docs >= 50 do evolve", "a", true},
+	}
+	for _, tc := range cases {
+		r, err := Parse(tc.rule)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.rule, err)
+		}
+		if got := r.Eval(tc.dtd, st); got != tc.want {
+			t.Errorf("Eval(%q, %q) = %v, want %v", tc.rule, tc.dtd, got, tc.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Evolve.String() != "evolve" || Reclassify.String() != "reclassify" {
+		t.Error("action stringers")
+	}
+	for m, want := range map[Metric]string{
+		CheckRatio: "check_ratio", Docs: "docs", Repository: "repository", Invalidity: "invalidity",
+	} {
+		if m.String() != want {
+			t.Errorf("%v != %s", m, want)
+		}
+	}
+}

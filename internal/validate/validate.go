@@ -1,0 +1,279 @@
+// Package validate implements a DTD validator: the rigid, boolean
+// classification mechanism the paper contrasts with its similarity-based
+// approach, and the ground-truth notion of validity that the similarity
+// measure must agree with (global similarity 1 ⟺ valid).
+//
+// Content-model matching is a memoized dynamic program over the model tree
+// and child-tag segments, equivalent in power to matching with Brzozowski
+// derivatives but allocation-free on the model side.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// Violation describes one way in which a document fails to conform to a DTD.
+type Violation struct {
+	// Path locates the offending element, e.g. "/catalog/product[2]/name".
+	Path string
+	// Element is the tag of the offending element.
+	Element string
+	// Msg explains the violation.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s <%s>: %s", v.Path, v.Element, v.Msg)
+}
+
+// Validator validates documents against one DTD. A Validator is stateless
+// and safe for concurrent use.
+type Validator struct {
+	d *dtd.DTD
+}
+
+// New returns a Validator for d.
+func New(d *dtd.DTD) *Validator {
+	return &Validator{d: d}
+}
+
+// Valid reports whether the whole document is valid for the DTD.
+func (v *Validator) Valid(doc *xmltree.Document) bool {
+	return len(v.ValidateDocument(doc)) == 0
+}
+
+// ValidateDocument checks the document root (against the DTD's root element
+// name, when the DTD has one) and every element recursively, returning all
+// violations found.
+func (v *Validator) ValidateDocument(doc *xmltree.Document) []Violation {
+	if doc == nil || doc.Root == nil {
+		return []Violation{{Path: "/", Msg: "document has no root element"}}
+	}
+	var out []Violation
+	if v.d.Name != "" && doc.Root.Name != v.d.Name {
+		out = append(out, Violation{
+			Path:    "/" + doc.Root.Name,
+			Element: doc.Root.Name,
+			Msg:     fmt.Sprintf("root element is <%s>, DTD declares <%s>", doc.Root.Name, v.d.Name),
+		})
+	}
+	out = append(out, v.ValidateElement(doc.Root)...)
+	return out
+}
+
+// ValidateElement validates the subtree rooted at n, returning all
+// violations found.
+func (v *Validator) ValidateElement(n *xmltree.Node) []Violation {
+	var out []Violation
+	v.validate(n, "/"+n.Name, &out)
+	return out
+}
+
+func (v *Validator) validate(n *xmltree.Node, path string, out *[]Violation) {
+	model, declared := v.d.Elements[n.Name]
+	if !declared {
+		*out = append(*out, Violation{Path: path, Element: n.Name, Msg: "element is not declared in the DTD"})
+		// Children cannot be checked against a model, but they may still
+		// reference declared elements; keep descending.
+		for i, c := range n.ChildElements() {
+			v.validate(c, childPath(path, c.Name, i), out)
+		}
+		return
+	}
+	if err := v.localViolation(n, model); err != "" {
+		*out = append(*out, Violation{Path: path, Element: n.Name, Msg: err})
+	}
+	for i, c := range n.ChildElements() {
+		v.validate(c, childPath(path, c.Name, i), out)
+	}
+}
+
+func childPath(parent, name string, i int) string {
+	return fmt.Sprintf("%s/%s[%d]", parent, name, i)
+}
+
+// LocalValid reports whether element n's direct content conforms to model:
+// the paper's one-level validity, whose numeric counterpart is local
+// similarity. It does not descend into grandchildren.
+func (v *Validator) LocalValid(n *xmltree.Node, model *dtd.Content) bool {
+	return v.localViolation(n, model) == ""
+}
+
+// localViolation returns "" when n's direct content conforms to model, or a
+// description of the mismatch.
+func (v *Validator) localViolation(n *xmltree.Node, model *dtd.Content) string {
+	tags := n.ChildTags()
+	hasText := n.HasText()
+	switch {
+	case model == nil || model.Kind == dtd.Any:
+		return ""
+	case model.Kind == dtd.Empty:
+		if len(n.Children) > 0 {
+			return "declared EMPTY but has content"
+		}
+		return ""
+	case model.Kind == dtd.PCDATA:
+		if len(tags) > 0 {
+			return fmt.Sprintf("declared (#PCDATA) but has element children %v", tags)
+		}
+		return ""
+	case model.IsMixed():
+		allowed := make(map[string]bool)
+		for _, l := range model.Labels() {
+			allowed[l] = true
+		}
+		for _, tag := range tags {
+			if !allowed[tag] {
+				return fmt.Sprintf("element <%s> not allowed in mixed content %s", tag, model)
+			}
+		}
+		return ""
+	default:
+		if hasText {
+			return fmt.Sprintf("character data not allowed in element content %s", model)
+		}
+		// The memo is keyed by model node and segment, so a matcher is
+		// only valid for a single tag sequence: use a fresh one per call.
+		if !newMatcher().match(model, tags) {
+			return fmt.Sprintf("children %v do not match content model %s", compactTags(tags), model)
+		}
+		return ""
+	}
+}
+
+func compactTags(tags []string) string {
+	if len(tags) == 0 {
+		return "(none)"
+	}
+	return "(" + strings.Join(tags, ", ") + ")"
+}
+
+// MatchModel reports whether the sequence of child tags matches the content
+// model exactly. It treats the model as an element-content model; PCDATA
+// leaves match the empty sequence (character data carries no child tags).
+func MatchModel(model *dtd.Content, tags []string) bool {
+	return newMatcher().match(model, tags)
+}
+
+// matcher memoizes content-model matching per (model node, segment).
+type matcher struct {
+	memo    map[memoKey]bool
+	seqMemo map[seqKey]bool
+}
+
+type memoKey struct {
+	node *dtd.Content
+	star bool // key for the implicit Star used to expand Plus
+	i, j int
+}
+
+type seqKey struct {
+	node    *dtd.Content
+	k, i, j int
+}
+
+func newMatcher() *matcher {
+	return &matcher{memo: make(map[memoKey]bool), seqMemo: make(map[seqKey]bool)}
+}
+
+// match reports whether model matches exactly tags[0:len(tags)].
+func (m *matcher) match(model *dtd.Content, tags []string) bool {
+	return m.seg(model, tags, 0, len(tags))
+}
+
+// seg reports whether model matches tags[i:j].
+func (m *matcher) seg(c *dtd.Content, tags []string, i, j int) bool {
+	key := memoKey{node: c, i: i, j: j}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	v := m.segUncached(c, tags, i, j)
+	m.memo[key] = v
+	return v
+}
+
+func (m *matcher) segUncached(c *dtd.Content, tags []string, i, j int) bool {
+	switch c.Kind {
+	case dtd.Empty, dtd.PCDATA:
+		return i == j
+	case dtd.Any:
+		return true
+	case dtd.Name:
+		return j == i+1 && tags[i] == c.Name
+	case dtd.Opt:
+		return i == j || m.seg(c.Children[0], tags, i, j)
+	case dtd.Star:
+		return m.star(c.Children[0], tags, i, j)
+	case dtd.Plus:
+		inner := c.Children[0]
+		for k := i + 1; k <= j; k++ {
+			if m.seg(inner, tags, i, k) && m.star(inner, tags, k, j) {
+				return true
+			}
+		}
+		// A nullable inner may match tags[i:i] once, satisfying the +.
+		return inner.Nullable() && m.star(inner, tags, i, j)
+	case dtd.Choice:
+		for _, ch := range c.Children {
+			if m.seg(ch, tags, i, j) {
+				return true
+			}
+		}
+		return false
+	case dtd.Seq:
+		return m.seq(c, tags, 0, i, j)
+	default:
+		return false
+	}
+}
+
+// star reports whether zero or more repetitions of inner match tags[i:j].
+func (m *matcher) star(inner *dtd.Content, tags []string, i, j int) bool {
+	key := memoKey{node: inner, star: true, i: i, j: j}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	v := false
+	if i == j {
+		v = true
+	} else {
+		// Each repetition must consume at least one tag, or the recursion
+		// would not terminate; an empty repetition adds nothing anyway.
+		for k := i + 1; k <= j; k++ {
+			if m.seg(inner, tags, i, k) && m.star(inner, tags, k, j) {
+				v = true
+				break
+			}
+		}
+	}
+	m.memo[key] = v
+	return v
+}
+
+// seq reports whether c.Children[k:] match tags[i:j].
+func (m *matcher) seq(c *dtd.Content, tags []string, k, i, j int) bool {
+	if k == len(c.Children) {
+		return i == j
+	}
+	first := c.Children[k]
+	if k == len(c.Children)-1 {
+		return m.seg(first, tags, i, j)
+	}
+	key := seqKey{node: c, k: k, i: i, j: j}
+	if v, ok := m.seqMemo[key]; ok {
+		return v
+	}
+	v := false
+	for mid := i; mid <= j; mid++ {
+		if m.seg(first, tags, i, mid) && m.seq(c, tags, k+1, mid, j) {
+			v = true
+			break
+		}
+	}
+	m.seqMemo[key] = v
+	return v
+}

@@ -1,0 +1,251 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+func model(t *testing.T, src string) *dtd.Content {
+	t.Helper()
+	m, err := dtd.ParseContentModel(src)
+	if err != nil {
+		t.Fatalf("ParseContentModel(%q): %v", src, err)
+	}
+	return m
+}
+
+func TestMatchModel(t *testing.T) {
+	cases := []struct {
+		model string
+		tags  []string
+		want  bool
+	}{
+		{"(a)", []string{"a"}, true},
+		{"(a)", []string{"b"}, false},
+		{"(a)", nil, false},
+		{"(a)", []string{"a", "a"}, false},
+		{"(a?)", nil, true},
+		{"(a?)", []string{"a"}, true},
+		{"(a?)", []string{"a", "a"}, false},
+		{"(a*)", nil, true},
+		{"(a*)", []string{"a", "a", "a"}, true},
+		{"(a+)", nil, false},
+		{"(a+)", []string{"a"}, true},
+		{"(a+)", []string{"a", "a"}, true},
+		{"(a, b)", []string{"a", "b"}, true},
+		{"(a, b)", []string{"b", "a"}, false},
+		{"(a, b)", []string{"a"}, false},
+		{"(a | b)", []string{"a"}, true},
+		{"(a | b)", []string{"b"}, true},
+		{"(a | b)", []string{"a", "b"}, false},
+		{"(a, (b | c)+, d)", []string{"a", "b", "c", "b", "d"}, true},
+		{"(a, (b | c)+, d)", []string{"a", "d"}, false},
+		{"((a, b)*)", []string{"a", "b", "a", "b"}, true},
+		{"((a, b)*)", []string{"a", "b", "a"}, false},
+		{"((a, b) | (c, d))", []string{"c", "d"}, true},
+		{"(a, b?, c*)", []string{"a"}, true},
+		{"(a, b?, c*)", []string{"a", "c", "c"}, true},
+		{"(a, b?, c*)", []string{"a", "b", "c"}, true},
+		{"(a, b?, c*)", []string{"a", "b", "b"}, false},
+		// Nullable inner expressions must not hang * or +.
+		{"((a?)*)", nil, true},
+		{"((a?)*)", []string{"a", "a"}, true},
+		{"((a?)+)", nil, true},
+		{"((a*, b*)+)", []string{"b", "a"}, true},
+		{"EMPTY", nil, true},
+		{"EMPTY", []string{"a"}, false},
+		{"ANY", []string{"x", "y"}, true},
+		{"(#PCDATA)", nil, true},
+		{"(#PCDATA)", []string{"a"}, false},
+		// Ambiguous models still match correctly (NFA semantics).
+		{"((a, b) | (a, c))", []string{"a", "c"}, true},
+		{"(a*, a)", []string{"a", "a", "a"}, true},
+		{"(a*, a)", nil, false},
+	}
+	for _, tc := range cases {
+		name := tc.model + " " + strings.Join(tc.tags, ",")
+		t.Run(name, func(t *testing.T) {
+			if got := MatchModel(model(t, tc.model), tc.tags); got != tc.want {
+				t.Errorf("MatchModel(%s, %v) = %v, want %v", tc.model, tc.tags, got, tc.want)
+			}
+		})
+	}
+}
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return doc
+}
+
+const catalogDTD = `
+<!ELEMENT catalog (product+)>
+<!ELEMENT product (name, price?, tag*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT tag (#PCDATA)>`
+
+func TestValidateDocument(t *testing.T) {
+	d := dtd.MustParse(catalogDTD)
+	d.Name = "catalog"
+	v := New(d)
+
+	valid := parseDoc(t, `<catalog><product><name>x</name><price>1</price><tag>t</tag></product></catalog>`)
+	if vs := v.ValidateDocument(valid); len(vs) != 0 {
+		t.Errorf("valid doc produced violations: %v", vs)
+	}
+	if !v.Valid(valid) {
+		t.Error("Valid = false for valid doc")
+	}
+
+	// Missing required <name>.
+	missing := parseDoc(t, `<catalog><product><price>1</price></product></catalog>`)
+	vs := v.ValidateDocument(missing)
+	if len(vs) != 1 || vs[0].Element != "product" {
+		t.Errorf("violations = %v, want one on <product>", vs)
+	}
+
+	// Wrong root.
+	wrongRoot := parseDoc(t, `<product><name>x</name></product>`)
+	vs = v.ValidateDocument(wrongRoot)
+	if len(vs) == 0 || !strings.Contains(vs[0].Msg, "root element") {
+		t.Errorf("violations = %v, want root mismatch", vs)
+	}
+
+	// Undeclared element.
+	undeclared := parseDoc(t, `<catalog><product><name>x</name><bogus/></product></catalog>`)
+	vs = v.ValidateDocument(undeclared)
+	if len(vs) != 2 { // content-model mismatch on product + undeclared bogus
+		t.Errorf("violations = %v, want 2", vs)
+	}
+}
+
+func TestValidateViolationPaths(t *testing.T) {
+	d := dtd.MustParse(catalogDTD)
+	v := New(d)
+	doc := parseDoc(t, `<catalog><product><name>a</name></product><product><price>1</price></product></catalog>`)
+	vs := v.ValidateDocument(doc)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+	if vs[0].Path != "/catalog/product[1]" {
+		t.Errorf("path = %q, want /catalog/product[1]", vs[0].Path)
+	}
+	if s := vs[0].String(); !strings.Contains(s, "/catalog/product[1]") || !strings.Contains(s, "<product>") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestValidateEmptyAndAny(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b, c)> <!ELEMENT b EMPTY> <!ELEMENT c ANY>`)
+	v := New(d)
+	ok := parseDoc(t, `<a><b/><c><b/>text</c></a>`)
+	if vs := v.ValidateDocument(ok); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+	badEmpty := parseDoc(t, `<a><b>text</b><c/></a>`)
+	if vs := v.ValidateDocument(badEmpty); len(vs) != 1 || !strings.Contains(vs[0].Msg, "EMPTY") {
+		t.Errorf("violations = %v", vs)
+	}
+	// ANY still requires descendants to be declared.
+	badAny := parseDoc(t, `<a><b/><c><zz/></c></a>`)
+	if vs := v.ValidateDocument(badAny); len(vs) != 1 || vs[0].Element != "zz" {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestValidateMixed(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT p (#PCDATA | em | b)*> <!ELEMENT em (#PCDATA)> <!ELEMENT b (#PCDATA)>`)
+	v := New(d)
+	ok := parseDoc(t, `<p>one <em>two</em> three <b>four</b><em>five</em></p>`)
+	if vs := v.ValidateDocument(ok); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+	bad := parseDoc(t, `<p>one <i>two</i></p>`)
+	vs := v.ValidateDocument(bad)
+	if len(vs) != 2 { // <i> not allowed in p + <i> undeclared
+		t.Errorf("violations = %v, want 2", vs)
+	}
+}
+
+func TestValidatePCDATAOnly(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT n (#PCDATA)>`)
+	v := New(d)
+	if vs := v.ValidateElement(parseDoc(t, `<n>text</n>`).Root); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+	if vs := v.ValidateElement(parseDoc(t, `<n/>`).Root); len(vs) != 0 {
+		t.Errorf("empty #PCDATA element should be valid: %v", vs)
+	}
+}
+
+func TestValidateTextInElementContent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b)> <!ELEMENT b EMPTY>`)
+	v := New(d)
+	doc := parseDoc(t, `<a>stray<b/></a>`)
+	vs := v.ValidateDocument(doc)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "character data") {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestLocalValid(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b, c)> <!ELEMENT b (x)> <!ELEMENT c (#PCDATA)> <!ELEMENT x (#PCDATA)>`)
+	v := New(d)
+	// Paper Example 1: <a><b>5</b><c>7</c></a> — locally valid at <a>
+	// (children b, c match (b, c)) even though <b> is not globally valid.
+	doc := parseDoc(t, `<a><b>5</b><c>7</c></a>`)
+	if !v.LocalValid(doc.Root, d.Elements["a"]) {
+		t.Error("LocalValid(a) = false, want true")
+	}
+	b := doc.Root.ChildElements()[0]
+	if v.LocalValid(b, d.Elements["b"]) {
+		t.Error("LocalValid(b) = true, want false (b has text, model (x))")
+	}
+	if len(v.ValidateDocument(doc)) == 0 {
+		t.Error("document should not be globally valid")
+	}
+}
+
+func TestValidatorReuseAcrossDifferentShapes(t *testing.T) {
+	// Regression: matcher memoization must not leak between different child
+	// sequences of the same model.
+	d := dtd.MustParse(`<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`)
+	v := New(d)
+	good := parseDoc(t, `<r><a/><b/></r>`)
+	bad := parseDoc(t, `<r><b/><a/></r>`)
+	if !v.Valid(good) {
+		t.Error("good invalid")
+	}
+	if v.Valid(bad) {
+		t.Error("bad valid")
+	}
+	if !v.Valid(good) {
+		t.Error("good became invalid after validating bad (memo leak)")
+	}
+}
+
+func TestDeepSequencePerformance(t *testing.T) {
+	// A long sequence of optional elements against a long tag list should
+	// complete quickly thanks to memoization.
+	var parts []string
+	var tags []string
+	for i := 0; i < 26; i++ {
+		name := string(rune('a' + i))
+		parts = append(parts, name+"?")
+		tags = append(tags, name)
+	}
+	m := model(t, "("+strings.Join(parts, ", ")+")")
+	if !MatchModel(m, tags) {
+		t.Error("full sequence should match")
+	}
+	if MatchModel(m, append(append([]string{}, tags...), "zz")) {
+		t.Error("trailing junk should not match")
+	}
+}

@@ -1,0 +1,45 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted documents
+// round-trip through the serializer. Run with `go test -fuzz=FuzzParse`;
+// the seed corpus runs on every ordinary `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>5</b><c>7</c></a>`,
+		`<a x="1" y='2'>mixed <b/> text</a>`,
+		`<!DOCTYPE a [<!ELEMENT a EMPTY><!ENTITY e "v">]><a>&e;</a>`,
+		`<a><![CDATA[<raw>]]></a>`,
+		`<?xml version="1.0"?><!--c--><a?`,
+		`<a>&#x41;&#66;</a>`,
+		`<a><b></a></b>`,
+		`<a`,
+		`&amp;`,
+		"\xef\xbb\xbf<a/>",
+		`<a>&undefined;</a>`,
+		strings.Repeat("<a>", 40) + strings.Repeat("</a>", 40),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		// Accepted input must serialize and reparse to an equal tree.
+		out := doc.Root.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized form does not reparse: %v\nsrc: %q\nout: %q", err, src, out)
+		}
+		if !doc.Root.Equal(doc2.Root) {
+			t.Fatalf("round trip changed tree\nsrc: %q\nout: %q", src, out)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package xmltree parses XML documents into the labeled-tree representation
+// used throughout the library.
+//
+// The paper (Bertino et al., EDBT 2002) represents an XML document as a tree
+// whose internal vertices are labeled with element tags and whose leaves are
+// labeled with #PCDATA values. Go's encoding/xml has no DTD support and keeps
+// no document-type information, so this package implements a standalone,
+// dependency-free XML parser that additionally captures the DOCTYPE
+// declaration (including the internal subset, which package dtd can parse).
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the node variants of a document tree.
+type Kind int
+
+const (
+	// Element is an element node labeled with a tag name.
+	Element Kind = iota
+	// Text is a character-data leaf (#PCDATA in the paper's terminology).
+	Text
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attr is a single attribute of an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a vertex of a document tree. Element nodes carry Name, Attrs and
+// Children; Text nodes carry Data and have no children.
+type Node struct {
+	Kind     Kind
+	Name     string // element tag; empty for text nodes
+	Data     string // character data; empty for element nodes
+	Attrs    []Attr
+	Children []*Node
+}
+
+// Doctype is a parsed <!DOCTYPE ...> declaration.
+type Doctype struct {
+	// Name is the declared root element name.
+	Name string
+	// PublicID and SystemID are the external identifiers, if present.
+	PublicID string
+	SystemID string
+	// InternalSubset is the raw text between '[' and ']', if present. It can
+	// be handed to the dtd package for parsing.
+	InternalSubset string
+}
+
+// Document is a parsed XML document: an optional DOCTYPE and a single root
+// element.
+type Document struct {
+	Doctype *Doctype
+	Root    *Node
+}
+
+// NewElement returns an element node with the given tag and children.
+func NewElement(name string, children ...*Node) *Node {
+	return &Node{Kind: Element, Name: name, Children: children}
+}
+
+// NewText returns a text node with the given character data.
+func NewText(data string) *Node {
+	return &Node{Kind: Text, Data: data}
+}
+
+// IsElement reports whether n is an element node.
+func (n *Node) IsElement() bool { return n != nil && n.Kind == Element }
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n != nil && n.Kind == Text }
+
+// ChildElements returns the direct element children of n, in document order.
+func (n *Node) ChildElements() []*Node {
+	if n == nil {
+		return nil
+	}
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ChildTags returns the tags of the direct element children of n, in
+// document order, with repetitions.
+func (n *Node) ChildTags() []string {
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// TagSet returns the paper's αβ(n): the set of tags of the direct
+// subelements of n, sorted, disregarding order and repetitions.
+func (n *Node) TagSet() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range n.Children {
+		if c.Kind == Element && !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasText reports whether n has at least one non-empty text child.
+func (n *Node) HasText() bool {
+	for _, c := range n.Children {
+		if c.Kind == Text && strings.TrimSpace(c.Data) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Text returns the concatenation of all text descendants of n.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n == nil {
+		return
+	}
+	if n.Kind == Text {
+		b.WriteString(n.Data)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	return c
+}
+
+// Equal reports whether the subtrees rooted at n and m are structurally
+// identical (kind, name, data, attributes, and children, recursively).
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Kind != m.Kind || n.Name != m.Name || n.Data != m.Data {
+		return false
+	}
+	if len(n.Attrs) != len(m.Attrs) || len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Attrs {
+		if n.Attrs[i] != m.Attrs[i] {
+			return false
+		}
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every node of the subtree rooted at n in document order,
+// calling fn with the node and its depth (the root has depth 0). If fn
+// returns false the walk does not descend into that node's children.
+func (n *Node) Walk(fn func(node *Node, depth int) bool) {
+	n.walk(0, fn)
+}
+
+func (n *Node) walk(depth int, fn func(*Node, int) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n, depth) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// CountElements returns the number of element nodes in the subtree rooted at
+// n (including n itself if it is an element).
+func (n *Node) CountElements() int {
+	count := 0
+	n.Walk(func(node *Node, _ int) bool {
+		if node.Kind == Element {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Depth returns the maximum depth of the subtree rooted at n: 0 for a leaf.
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the subtree rooted at n as compact XML, primarily for
+// debugging and error messages.
+func (n *Node) String() string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package xmltree
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagSetDisregardsOrderAndRepetition(t *testing.T) {
+	doc := mustParse(t, `<r><c/><a/><b/><a/><a/></r>`)
+	got := doc.Root.TagSet()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TagSet = %v, want %v", got, want)
+	}
+	tags := doc.Root.ChildTags()
+	if !reflect.DeepEqual(tags, []string{"c", "a", "b", "a", "a"}) {
+		t.Errorf("ChildTags = %v", tags)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := mustParse(t, `<a x="1"><b>t</b><c/></a>`).Root
+	clone := orig.Clone()
+	if !orig.Equal(clone) {
+		t.Fatal("clone not equal to original")
+	}
+	clone.Children[0].Name = "z"
+	clone.Attrs[0].Value = "2"
+	if orig.Children[0].Name != "b" || orig.Attrs[0].Value != "1" {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustParse(t, `<a><b/><c>x</c></a>`).Root
+	b := mustParse(t, `<a><b/><c>x</c></a>`).Root
+	c := mustParse(t, `<a><b/><c>y</c></a>`).Root
+	d := mustParse(t, `<a><c>x</c><b/></a>`).Root
+	if !a.Equal(b) {
+		t.Error("identical trees not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different text considered Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different child order considered Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("tree Equal nil")
+	}
+	var nilNode *Node
+	if !nilNode.Equal(nil) {
+		t.Error("nil not Equal nil")
+	}
+}
+
+func TestWalkOrderAndPrune(t *testing.T) {
+	root := mustParse(t, `<a><b><d/></b><c/></a>`).Root
+	var visited []string
+	root.Walk(func(n *Node, depth int) bool {
+		visited = append(visited, n.Name)
+		return true
+	})
+	if !reflect.DeepEqual(visited, []string{"a", "b", "d", "c"}) {
+		t.Errorf("walk order = %v", visited)
+	}
+	visited = nil
+	root.Walk(func(n *Node, depth int) bool {
+		visited = append(visited, n.Name)
+		return n.Name != "b" // prune below b
+	})
+	if !reflect.DeepEqual(visited, []string{"a", "b", "c"}) {
+		t.Errorf("pruned walk order = %v", visited)
+	}
+}
+
+func TestCountAndDepth(t *testing.T) {
+	root := mustParse(t, `<a><b><d>x</d></b><c/></a>`).Root
+	if got := root.CountElements(); got != 4 {
+		t.Errorf("CountElements = %d, want 4", got)
+	}
+	if got := root.Depth(); got != 3 { // a -> b -> d -> text
+		t.Errorf("Depth = %d, want 3", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	srcs := []string{
+		`<a/>`,
+		`<a x="1&amp;2"><b>text &lt;here&gt;</b><c/></a>`,
+		`<r>mixed <b>bold</b> tail</r>`,
+	}
+	for _, src := range srcs {
+		doc := mustParse(t, src)
+		out := doc.Root.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", out, err)
+		}
+		if !doc.Root.Equal(doc2.Root) {
+			t.Errorf("round trip changed tree:\n in: %s\nout: %s", src, out)
+		}
+	}
+}
+
+func TestSerializeDoctype(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>`)
+	var b strings.Builder
+	if _, err := doc.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<!DOCTYPE a [") || !strings.Contains(out, "<!ELEMENT a EMPTY>") {
+		t.Errorf("serialized doc missing doctype: %s", out)
+	}
+	if _, err := ParseString(out); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	root := mustParse(t, `<a><b>5</b><c><d/></c></a>`).Root
+	out := root.Indent()
+	want := "<a>\n  <b>5</b>\n  <c>\n    <d/>\n  </c>\n</a>\n"
+	if out != want {
+		t.Errorf("Indent:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// randomTree builds a random element tree for property testing.
+func randomTree(r *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "c", "item", "x1", "long-name", "ns:tag"}
+	n := NewElement(names[r.Intn(len(names))])
+	if r.Intn(3) == 0 {
+		n.Attrs = append(n.Attrs, Attr{Name: "k", Value: `v<&">x`})
+	}
+	if depth > 3 {
+		return n
+	}
+	kids := r.Intn(4)
+	lastWasText := false
+	for i := 0; i < kids; i++ {
+		// Avoid adjacent text children: the parser correctly coalesces
+		// adjacent character data into a single node.
+		if !lastWasText && r.Intn(4) == 0 {
+			n.Children = append(n.Children, NewText("t&<> "+names[r.Intn(len(names))]))
+			lastWasText = true
+		} else {
+			n.Children = append(n.Children, randomTree(r, depth+1))
+			lastWasText = false
+		}
+	}
+	return n
+}
+
+func TestPropertySerializeParseIdentity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 0)
+		doc, err := ParseString(tree.String())
+		if err != nil {
+			t.Logf("parse failed for %s: %v", tree.String(), err)
+			return false
+		}
+		return tree.Equal(doc.Root)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 0)
+		return tree.Equal(tree.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndNodePredicates(t *testing.T) {
+	el, txt := NewElement("a"), NewText("t")
+	if !el.IsElement() || el.IsText() || !txt.IsText() || txt.IsElement() {
+		t.Error("predicates wrong")
+	}
+	var nilNode *Node
+	if nilNode.IsElement() || nilNode.IsText() {
+		t.Error("nil node predicates")
+	}
+	if Element.String() != "element" || Text.String() != "text" {
+		t.Error("kind strings")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}
+
+func TestDocumentStringAndParseError(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE a SYSTEM "x.dtd"><a>v</a>`)
+	s := doc.String()
+	if !strings.Contains(s, `SYSTEM "x.dtd"`) || !strings.Contains(s, "<a>v</a>") {
+		t.Errorf("doc string = %q", s)
+	}
+	_, err := ParseString("<a><b></a>")
+	perr, ok := err.(*ParseError)
+	if !ok || perr.Error() == "" || perr.Line == 0 {
+		t.Errorf("parse error = %v", err)
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`<a/>`))
+	if err != nil || doc.Root.Name != "a" {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestParseFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.xml")
+	if err := os.WriteFile(path, []byte(`<a><b/></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseFile(path)
+	if err != nil || doc.Root.Name != "a" {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

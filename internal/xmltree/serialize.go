@@ -1,0 +1,134 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo serializes the document as XML to w.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0"?>` + "\n")
+	if d.Doctype != nil {
+		writeDoctype(&b, d.Doctype)
+	}
+	writeNode(&b, d.Root)
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the document as XML.
+func (d *Document) String() string {
+	var b strings.Builder
+	if _, err := d.WriteTo(&b); err != nil {
+		return fmt.Sprintf("<error: %v>", err)
+	}
+	return b.String()
+}
+
+func writeDoctype(b *strings.Builder, dt *Doctype) {
+	b.WriteString("<!DOCTYPE ")
+	b.WriteString(dt.Name)
+	switch {
+	case dt.PublicID != "":
+		fmt.Fprintf(b, " PUBLIC %q %q", dt.PublicID, dt.SystemID)
+	case dt.SystemID != "":
+		fmt.Fprintf(b, " SYSTEM %q", dt.SystemID)
+	}
+	if dt.InternalSubset != "" {
+		b.WriteString(" [")
+		b.WriteString(dt.InternalSubset)
+		b.WriteString("]")
+	}
+	b.WriteString(">\n")
+}
+
+func writeNode(b *strings.Builder, n *Node) {
+	if n == nil {
+		return
+	}
+	if n.Kind == Text {
+		b.WriteString(EscapeText(n.Data))
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	for _, c := range n.Children {
+		writeNode(b, c)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+)
+
+// EscapeText escapes character data for inclusion in element content.
+func EscapeText(s string) string { return textEscaper.Replace(s) }
+
+// EscapeAttr escapes character data for inclusion in a double-quoted
+// attribute value.
+func EscapeAttr(s string) string { return attrEscaper.Replace(s) }
+
+// Indent renders the subtree rooted at n as indented XML, one element per
+// line, for human inspection.
+func (n *Node) Indent() string {
+	var b strings.Builder
+	writeIndented(&b, n, 0)
+	return b.String()
+}
+
+func writeIndented(b *strings.Builder, n *Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if n.Kind == Text {
+		b.WriteString(pad)
+		b.WriteString(EscapeText(strings.TrimSpace(n.Data)))
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		fmt.Fprintf(b, " %s=%q", a.Name, EscapeAttr(a.Value))
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	// Inline single text child for readability.
+	if len(n.Children) == 1 && n.Children[0].Kind == Text {
+		b.WriteByte('>')
+		b.WriteString(EscapeText(strings.TrimSpace(n.Children[0].Data)))
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		writeIndented(b, c, depth+1)
+	}
+	b.WriteString(pad)
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteString(">\n")
+}

@@ -1,0 +1,30 @@
+package xsd
+
+import (
+	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/record"
+	"dtdevolve/internal/xmltree"
+)
+
+// Evolve adapts a schema to a set of documents by round-tripping through
+// the DTD evolution engine: the schema converts to a DTD, the documents are
+// recorded against it, the evolution phase runs, and the evolved DTD
+// converts back. Notes report occurrence ranges the DTD detour had to
+// approximate.
+//
+// This realizes the paper's §6 plan ("since a DTD can be considered as a
+// kind of XML schema, we are currently extending the approach to the
+// evolution of XML schemas") for the structural subset this package
+// models; XSD-only features (bounded occurrences, simple-type facets) are
+// approximated and reported rather than silently dropped.
+func Evolve(s *Schema, docs []*xmltree.Document, cfg evolve.Config) (*Schema, evolve.Report, []string) {
+	d, notes := ToDTD(s)
+	rec := record.New(d)
+	for _, doc := range docs {
+		rec.Record(doc)
+	}
+	evolved, report := evolve.Evolve(rec, cfg)
+	out := FromDTD(evolved)
+	// Preserve attribute declarations the DTD detour kept on the Attlists.
+	return out, report, notes
+}

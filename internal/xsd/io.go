@@ -1,0 +1,299 @@
+package xsd
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dtdevolve/internal/xmltree"
+)
+
+// The schema reader/writer round-trips the supported subset through this
+// repository's own XML parser — an XSD file is just an XML document.
+
+const xsNamespace = "http://www.w3.org/2001/XMLSchema"
+
+// Write serializes the schema as an XSD document.
+func (s *Schema) Write(w io.Writer) error {
+	doc := &xmltree.Document{Root: s.toXML()}
+	_, err := doc.WriteTo(w)
+	return err
+}
+
+// String renders the schema as an XSD document.
+func (s *Schema) String() string {
+	var b strings.Builder
+	if err := s.Write(&b); err != nil {
+		return fmt.Sprintf("<error: %v>", err)
+	}
+	return b.String()
+}
+
+func (s *Schema) toXML() *xmltree.Node {
+	root := xmltree.NewElement("xs:schema")
+	root.Attrs = []xmltree.Attr{{Name: "xmlns:xs", Value: xsNamespace}}
+	for _, name := range s.Order {
+		root.Children = append(root.Children, s.Elements[name].toXML())
+	}
+	return root
+}
+
+func (e *Element) toXML() *xmltree.Node {
+	n := xmltree.NewElement("xs:element")
+	n.Attrs = []xmltree.Attr{{Name: "name", Value: e.Name}}
+	switch {
+	case e.Any:
+		n.Attrs = append(n.Attrs, xmltree.Attr{Name: "type", Value: "xs:anyType"})
+	case e.Type == nil:
+		n.Attrs = append(n.Attrs, xmltree.Attr{Name: "type", Value: "xs:string"})
+	default:
+		ct := xmltree.NewElement("xs:complexType")
+		if e.Type.Mixed {
+			ct.Attrs = append(ct.Attrs, xmltree.Attr{Name: "mixed", Value: "true"})
+		}
+		if e.Type.Particle != nil {
+			ct.Children = append(ct.Children, e.Type.Particle.toXML())
+		}
+		for _, a := range e.Type.Attributes {
+			at := xmltree.NewElement("xs:attribute")
+			at.Attrs = []xmltree.Attr{
+				{Name: "name", Value: a.Name},
+				{Name: "type", Value: a.Type},
+			}
+			if a.Use != "" {
+				at.Attrs = append(at.Attrs, xmltree.Attr{Name: "use", Value: a.Use})
+			}
+			ct.Children = append(ct.Children, at)
+		}
+		n.Children = append(n.Children, ct)
+	}
+	return n
+}
+
+func (p *Particle) toXML() *xmltree.Node {
+	var n *xmltree.Node
+	switch p.Kind {
+	case ElementRef:
+		n = xmltree.NewElement("xs:element")
+		n.Attrs = []xmltree.Attr{{Name: "ref", Value: p.Ref}}
+	case AnyParticle:
+		n = xmltree.NewElement("xs:any")
+	case Sequence:
+		n = xmltree.NewElement("xs:sequence")
+		for _, ch := range p.Children {
+			n.Children = append(n.Children, ch.toXML())
+		}
+	case Choice:
+		n = xmltree.NewElement("xs:choice")
+		for _, ch := range p.Children {
+			n.Children = append(n.Children, ch.toXML())
+		}
+	}
+	if p.MinOccurs != 1 {
+		n.Attrs = append(n.Attrs, xmltree.Attr{Name: "minOccurs", Value: strconv.Itoa(p.MinOccurs)})
+	}
+	switch {
+	case p.MaxOccurs == Unbounded:
+		n.Attrs = append(n.Attrs, xmltree.Attr{Name: "maxOccurs", Value: "unbounded"})
+	case p.MaxOccurs != 1:
+		n.Attrs = append(n.Attrs, xmltree.Attr{Name: "maxOccurs", Value: strconv.Itoa(p.MaxOccurs)})
+	}
+	return n
+}
+
+// Parse reads an XSD document (the supported subset) from r.
+func Parse(r io.Reader) (*Schema, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	return FromDocument(doc)
+}
+
+// ParseString parses an XSD document held in a string.
+func ParseString(src string) (*Schema, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// FromDocument interprets a parsed XML document as an XSD schema.
+func FromDocument(doc *xmltree.Document) (*Schema, error) {
+	root := doc.Root
+	if localName(root.Name) != "schema" {
+		return nil, fmt.Errorf("xsd: root element is <%s>, want <xs:schema>", root.Name)
+	}
+	s := NewSchema("")
+	for _, c := range root.ChildElements() {
+		switch localName(c.Name) {
+		case "element":
+			e, err := parseGlobalElement(s, c)
+			if err != nil {
+				return nil, err
+			}
+			s.Declare(e)
+		case "annotation", "import", "include":
+			// Tolerated and ignored.
+		default:
+			return nil, fmt.Errorf("xsd: unsupported top-level <%s>", c.Name)
+		}
+	}
+	if len(s.Order) > 0 {
+		s.Root = s.Order[0]
+	}
+	return s, nil
+}
+
+func localName(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func parseGlobalElement(s *Schema, n *xmltree.Node) (*Element, error) {
+	name, ok := n.Attr("name")
+	if !ok {
+		return nil, fmt.Errorf("xsd: global xs:element without name")
+	}
+	e := &Element{Name: name}
+	if typ, ok := n.Attr("type"); ok {
+		switch localName(typ) {
+		case "anyType":
+			e.Any = true
+		default:
+			// All simple types approximate to text content.
+			e.Type = nil
+		}
+		return e, nil
+	}
+	for _, c := range n.ChildElements() {
+		if localName(c.Name) != "complexType" {
+			return nil, fmt.Errorf("xsd: element %q: unsupported child <%s>", name, c.Name)
+		}
+		ct, err := parseComplexType(s, name, c)
+		if err != nil {
+			return nil, err
+		}
+		e.Type = ct
+		return e, nil
+	}
+	// No type and no complexType: xs:anyType per the XSD default.
+	e.Any = true
+	return e, nil
+}
+
+func parseComplexType(s *Schema, owner string, n *xmltree.Node) (*ComplexType, error) {
+	ct := &ComplexType{}
+	if mixed, ok := n.Attr("mixed"); ok && (mixed == "true" || mixed == "1") {
+		ct.Mixed = true
+	}
+	for _, c := range n.ChildElements() {
+		switch localName(c.Name) {
+		case "sequence", "choice", "any", "element":
+			// A bare element here is technically not schema-valid XSD but
+			// common in hand-written files; tolerate it.
+			if ct.Particle != nil {
+				return nil, fmt.Errorf("xsd: element %q: multiple content particles", owner)
+			}
+			p, err := parseParticle(s, owner, c)
+			if err != nil {
+				return nil, err
+			}
+			ct.Particle = p
+		case "attribute":
+			att, err := parseAttribute(owner, c)
+			if err != nil {
+				return nil, err
+			}
+			ct.Attributes = append(ct.Attributes, att)
+		case "annotation":
+			// Ignored.
+		default:
+			return nil, fmt.Errorf("xsd: element %q: unsupported <%s> in complexType", owner, c.Name)
+		}
+	}
+	return ct, nil
+}
+
+func parseAttribute(owner string, n *xmltree.Node) (Attribute, error) {
+	name, ok := n.Attr("name")
+	if !ok {
+		return Attribute{}, fmt.Errorf("xsd: element %q: xs:attribute without name", owner)
+	}
+	att := Attribute{Name: name, Type: "xs:string"}
+	if typ, ok := n.Attr("type"); ok {
+		att.Type = typ
+	}
+	if use, ok := n.Attr("use"); ok {
+		att.Use = use
+	}
+	return att, nil
+}
+
+func parseParticle(s *Schema, owner string, n *xmltree.Node) (*Particle, error) {
+	var p *Particle
+	switch localName(n.Name) {
+	case "sequence":
+		p = NewSequence()
+	case "choice":
+		p = NewChoice()
+	case "any":
+		p = &Particle{Kind: AnyParticle, MinOccurs: 1, MaxOccurs: 1}
+	case "element":
+		if ref, ok := n.Attr("ref"); ok {
+			p = NewRef(ref)
+			break
+		}
+		// A local element declaration: hoist it to a global declaration
+		// (the subset keeps element declarations global, as DTDs do).
+		name, ok := n.Attr("name")
+		if !ok {
+			return nil, fmt.Errorf("xsd: element %q: particle element without ref or name", owner)
+		}
+		hoisted, err := parseGlobalElement(s, n)
+		if err != nil {
+			return nil, err
+		}
+		if existing, dup := s.Elements[name]; dup && !existing.equal(hoisted) {
+			return nil, fmt.Errorf("xsd: conflicting local declarations of element %q", name)
+		}
+		s.Declare(hoisted)
+		p = NewRef(name)
+	default:
+		return nil, fmt.Errorf("xsd: element %q: unsupported particle <%s>", owner, n.Name)
+	}
+	if p.Kind == Sequence || p.Kind == Choice {
+		for _, c := range n.ChildElements() {
+			if localName(c.Name) == "annotation" {
+				continue
+			}
+			ch, err := parseParticle(s, owner, c)
+			if err != nil {
+				return nil, err
+			}
+			p.Children = append(p.Children, ch)
+		}
+	}
+	if v, ok := n.Attr("minOccurs"); ok {
+		min, err := strconv.Atoi(v)
+		if err != nil || min < 0 {
+			return nil, fmt.Errorf("xsd: element %q: bad minOccurs %q", owner, v)
+		}
+		p.MinOccurs = min
+	}
+	if v, ok := n.Attr("maxOccurs"); ok {
+		if v == "unbounded" {
+			p.MaxOccurs = Unbounded
+		} else {
+			max, err := strconv.Atoi(v)
+			if err != nil || max < 0 {
+				return nil, fmt.Errorf("xsd: element %q: bad maxOccurs %q", owner, v)
+			}
+			p.MaxOccurs = max
+		}
+	}
+	if p.MaxOccurs != Unbounded && p.MaxOccurs < p.MinOccurs {
+		return nil, fmt.Errorf("xsd: element %q: maxOccurs < minOccurs", owner)
+	}
+	return p, nil
+}

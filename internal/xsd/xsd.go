@@ -1,0 +1,264 @@
+// Package xsd implements the XML Schema extension the paper names in §6
+// ("since a DTD can be considered as a kind of XML schema, we are currently
+// extending the approach to the evolution of XML schemas"): a structural
+// subset of XSD 1.0, lossless conversion from DTDs, best-effort conversion
+// back, parsing and serialization of schema documents (using this
+// repository's own XML parser), and schema evolution by round-tripping
+// through the DTD evolution engine.
+//
+// Supported subset: global xs:element declarations; xs:complexType with
+// xs:sequence / xs:choice particles, element references, minOccurs /
+// maxOccurs (including "unbounded"), mixed content, and xs:attribute;
+// xs:string as the text simple type; xs:anyType for ANY.
+package xsd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParticleKind discriminates content-model particles.
+type ParticleKind int
+
+const (
+	// Sequence is xs:sequence (the DTD AND).
+	Sequence ParticleKind = iota
+	// Choice is xs:choice (the DTD OR).
+	Choice
+	// ElementRef references a global element declaration.
+	ElementRef
+	// AnyParticle is xs:any (the DTD ANY).
+	AnyParticle
+)
+
+// Unbounded is the MaxOccurs value for maxOccurs="unbounded".
+const Unbounded = -1
+
+// Particle is one node of a complex type's content model.
+type Particle struct {
+	Kind      ParticleKind
+	Ref       string // for ElementRef
+	MinOccurs int
+	MaxOccurs int // Unbounded for "unbounded"
+	Children  []*Particle
+}
+
+// NewRef returns a reference particle with default occurrence 1..1.
+func NewRef(name string) *Particle {
+	return &Particle{Kind: ElementRef, Ref: name, MinOccurs: 1, MaxOccurs: 1}
+}
+
+// NewSequence returns a sequence particle with default occurrence 1..1.
+func NewSequence(children ...*Particle) *Particle {
+	return &Particle{Kind: Sequence, MinOccurs: 1, MaxOccurs: 1, Children: children}
+}
+
+// NewChoice returns a choice particle with default occurrence 1..1.
+func NewChoice(children ...*Particle) *Particle {
+	return &Particle{Kind: Choice, MinOccurs: 1, MaxOccurs: 1, Children: children}
+}
+
+// Attribute is an attribute declaration of a complex type.
+type Attribute struct {
+	Name string
+	Type string // e.g. "xs:string", "xs:ID"
+	Use  string // "required", "optional" (default), "prohibited"
+}
+
+// ComplexType is the content description of an element.
+type ComplexType struct {
+	// Mixed allows character data interleaved with child elements.
+	Mixed bool
+	// Particle is the content model; nil means empty content.
+	Particle *Particle
+	// Attributes are the declared attributes.
+	Attributes []Attribute
+}
+
+// Element is a global element declaration.
+type Element struct {
+	Name string
+	// Type is the element's complex type; nil means the simple type
+	// xs:string (text content).
+	Type *ComplexType
+	// Any marks an xs:anyType element (the DTD ANY).
+	Any bool
+}
+
+// Schema is a set of global element declarations.
+type Schema struct {
+	// Root names the intended document root element ("" when unknown).
+	Root string
+	// Elements maps element names to declarations.
+	Elements map[string]*Element
+	// Order preserves declaration order.
+	Order []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema(root string) *Schema {
+	return &Schema{Root: root, Elements: make(map[string]*Element)}
+}
+
+// Declare adds (or replaces) a global element declaration.
+func (s *Schema) Declare(e *Element) {
+	if _, exists := s.Elements[e.Name]; !exists {
+		s.Order = append(s.Order, e.Name)
+	}
+	s.Elements[e.Name] = e
+}
+
+// Names returns the declared element names in declaration order.
+func (s *Schema) Names() []string { return append([]string(nil), s.Order...) }
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	out := NewSchema(s.Root)
+	for _, name := range s.Order {
+		out.Declare(s.Elements[name].clone())
+	}
+	return out
+}
+
+func (e *Element) clone() *Element {
+	c := &Element{Name: e.Name, Any: e.Any}
+	if e.Type != nil {
+		ct := &ComplexType{Mixed: e.Type.Mixed, Attributes: append([]Attribute(nil), e.Type.Attributes...)}
+		ct.Particle = e.Type.Particle.clone()
+		c.Type = ct
+	}
+	return c
+}
+
+func (p *Particle) clone() *Particle {
+	if p == nil {
+		return nil
+	}
+	c := &Particle{Kind: p.Kind, Ref: p.Ref, MinOccurs: p.MinOccurs, MaxOccurs: p.MaxOccurs}
+	for _, ch := range p.Children {
+		c.Children = append(c.Children, ch.clone())
+	}
+	return c
+}
+
+// Equal reports structural equality of two schemas.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Elements) != len(o.Elements) {
+		return false
+	}
+	for name, e := range s.Elements {
+		oe, ok := o.Elements[name]
+		if !ok || !e.equal(oe) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Element) equal(o *Element) bool {
+	if e.Name != o.Name || e.Any != o.Any {
+		return false
+	}
+	if (e.Type == nil) != (o.Type == nil) {
+		return false
+	}
+	if e.Type == nil {
+		return true
+	}
+	if e.Type.Mixed != o.Type.Mixed || len(e.Type.Attributes) != len(o.Type.Attributes) {
+		return false
+	}
+	for i := range e.Type.Attributes {
+		if e.Type.Attributes[i] != o.Type.Attributes[i] {
+			return false
+		}
+	}
+	return e.Type.Particle.equal(o.Type.Particle)
+}
+
+func (p *Particle) equal(o *Particle) bool {
+	if p == nil || o == nil {
+		return p == o
+	}
+	if p.Kind != o.Kind || p.Ref != o.Ref || p.MinOccurs != o.MinOccurs ||
+		p.MaxOccurs != o.MaxOccurs || len(p.Children) != len(o.Children) {
+		return false
+	}
+	for i := range p.Children {
+		if !p.Children[i].equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// occursString renders an occurrence range for diagnostics.
+func occursString(min, max int) string {
+	m := fmt.Sprintf("%d", max)
+	if max == Unbounded {
+		m = "unbounded"
+	}
+	return fmt.Sprintf("%d..%s", min, m)
+}
+
+// Summary renders a compact, human-readable description of the schema.
+func (s *Schema) Summary() string {
+	var b strings.Builder
+	for _, name := range s.Order {
+		e := s.Elements[name]
+		fmt.Fprintf(&b, "element %s: ", name)
+		switch {
+		case e.Any:
+			b.WriteString("anyType")
+		case e.Type == nil:
+			b.WriteString("xs:string")
+		case e.Type.Particle == nil:
+			if e.Type.Mixed {
+				b.WriteString("mixed (text only)")
+			} else {
+				b.WriteString("empty")
+			}
+		default:
+			if e.Type.Mixed {
+				b.WriteString("mixed ")
+			}
+			e.Type.Particle.summarize(&b)
+		}
+		if e.Type != nil && len(e.Type.Attributes) > 0 {
+			atts := make([]string, len(e.Type.Attributes))
+			for i, a := range e.Type.Attributes {
+				atts[i] = a.Name
+			}
+			sort.Strings(atts)
+			fmt.Fprintf(&b, " [attrs: %s]", strings.Join(atts, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p *Particle) summarize(b *strings.Builder) {
+	switch p.Kind {
+	case ElementRef:
+		b.WriteString(p.Ref)
+	case AnyParticle:
+		b.WriteString("any")
+	case Sequence, Choice:
+		sep := ", "
+		if p.Kind == Choice {
+			sep = " | "
+		}
+		b.WriteByte('(')
+		for i, ch := range p.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			ch.summarize(b)
+		}
+		b.WriteByte(')')
+	}
+	if p.MinOccurs != 1 || p.MaxOccurs != 1 {
+		fmt.Fprintf(b, "{%s}", occursString(p.MinOccurs, p.MaxOccurs))
+	}
+}

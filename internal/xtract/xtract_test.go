@@ -1,0 +1,159 @@
+package xtract
+
+import (
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+func docs(t *testing.T, srcs ...string) []*xmltree.Document {
+	t.Helper()
+	out := make([]*xmltree.Document, len(srcs))
+	for i, src := range srcs {
+		doc, err := xmltree.ParseString(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Error("no documents accepted")
+	}
+	if _, err := Infer(docs(t, `<a/>`, `<b/>`)); err == nil {
+		t.Error("mixed roots accepted")
+	}
+}
+
+func TestInferSimpleSequence(t *testing.T) {
+	d, err := Infer(docs(t,
+		`<r><a/><b/></r>`,
+		`<r><a/><b/></r>`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"].String(); got != "(a, b)" {
+		t.Errorf("r = %s, want (a, b)", got)
+	}
+	if got := d.Elements["a"].String(); got != "EMPTY" {
+		t.Errorf("a = %s, want EMPTY", got)
+	}
+}
+
+func TestInferRepetitionGeneralization(t *testing.T) {
+	d, err := Infer(docs(t,
+		`<r><item/><item/><item/></r>`,
+		`<r><item/></r>`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"]; !got.Equal(dtd.NewPlus(dtd.NewName("item"))) {
+		t.Errorf("r = %s, want item+", got)
+	}
+}
+
+func TestInferOptionality(t *testing.T) {
+	d, err := Infer(docs(t,
+		`<r><a/><b/></r>`,
+		`<r><a/></r>`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"].String(); got != "(a, b?)" {
+		t.Errorf("r = %s, want (a, b?)", got)
+	}
+}
+
+func TestInferPCDATAAndMixed(t *testing.T) {
+	d, err := Infer(docs(t,
+		`<r><t>hello</t><m>x <b>y</b></m></r>`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["t"].String(); got != "(#PCDATA)" {
+		t.Errorf("t = %s", got)
+	}
+	if got := d.Elements["m"].String(); got != "(#PCDATA | b)*" {
+		t.Errorf("m = %s", got)
+	}
+}
+
+func TestInferFallsBackToGeneralForm(t *testing.T) {
+	// Wildly conflicting orders: no sequence candidate fits.
+	d, err := Infer(docs(t,
+		`<r><a/><b/><c/></r>`,
+		`<r><c/><b/><a/></r>`,
+		`<r><b/><a/><c/><a/></r>`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := d.Elements["r"]
+	v := validate.New(d)
+	for _, doc := range docs(t, `<r><a/><b/><c/></r>`, `<r><c/><b/><a/></r>`, `<r><b/><a/><c/><a/></r>`) {
+		if vs := v.ValidateDocument(doc); len(vs) != 0 {
+			t.Errorf("inferred %s rejects input doc: %v", model, vs)
+		}
+	}
+}
+
+// TestInferredDTDAcceptsCorpus is the precision property of XTRACT: the
+// inferred DTD accepts every document it was derived from.
+func TestInferredDTDAcceptsCorpus(t *testing.T) {
+	truth := dtd.MustParse(`
+<!ELEMENT doc (head, section+)>
+<!ELEMENT head (title, meta*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT section (heading?, (para | list)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>`)
+	truth.Name = "doc"
+	g := gen.New(gen.DefaultConfig(99))
+	corpus := g.Documents(truth, 100)
+	inferred, err := Infer(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := validate.New(inferred)
+	for i, doc := range corpus {
+		if vs := v.ValidateDocument(doc); len(vs) != 0 {
+			t.Fatalf("doc %d rejected by inferred DTD: %v\n%s", i, vs, inferred)
+		}
+	}
+}
+
+func TestInferConciseness(t *testing.T) {
+	// The inferred model must generalize, not enumerate: 50 docs with 1..3
+	// items yield item+ (or equivalent), not a 50-way OR.
+	var srcs []string
+	for i := 0; i < 50; i++ {
+		switch i % 3 {
+		case 0:
+			srcs = append(srcs, `<r><item/></r>`)
+		case 1:
+			srcs = append(srcs, `<r><item/><item/></r>`)
+		default:
+			srcs = append(srcs, `<r><item/><item/><item/></r>`)
+		}
+	}
+	d, err := Infer(docs(t, srcs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Elements["r"].NodeCount(); n > 3 {
+		t.Errorf("r model too large (%d nodes): %s", n, d.Elements["r"])
+	}
+}
