@@ -1,6 +1,9 @@
 // Command dtdserved runs the evolution lifecycle as an HTTP service: a
 // long-lived "source of XML documents" whose DTD set follows the incoming
-// population. See internal/api for the routes.
+// population. See internal/api for the routes; ingest is concurrent —
+// POST /documents classifies under a read lock (scoring every DTD in
+// parallel), POST /documents/batch scores whole batches concurrently, and
+// GET /metrics reports ingest counters and per-phase latencies.
 //
 // Usage:
 //
@@ -68,7 +71,9 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("dtdserved: shutting down")
+	m := src.Metrics()
+	log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified)",
+		m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = server.Shutdown(ctx)

@@ -11,25 +11,35 @@
 //	GET  /dtds/{name}             current DTD (text/plain)
 //	POST /dtds/{name}/evolve      force the evolution phase
 //	POST /documents               classify+record one document (body: XML)
+//	POST /documents/batch         batch ingest (body: {"documents": [xml, …]})
 //	GET  /repository              repository size
 //	POST /repository/reclassify   re-classify the repository
 //	PUT  /triggers                install trigger rules (body: rule list)
 //	GET  /triggers                installed rules
+//	GET  /metrics                 ingest counters and per-phase latencies
 //	GET  /snapshot                JSON checkpoint of the whole source
+//
+// Documents in a batch are scored concurrently (one read-lock section, one
+// goroutine per document, each fanning out per DTD) and committed in a
+// single write-lock section, so a batch is both faster than and equivalent
+// to the same documents POSTed one by one.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/source"
+	"dtdevolve/internal/xmltree"
 )
 
-// maxBodyBytes bounds request bodies (documents, DTDs, rule lists).
-const maxBodyBytes = 16 << 20
+// maxBodyBytes bounds request bodies (documents, DTDs, rule lists). A
+// variable so handler tests can exercise the limit without 16 MiB bodies.
+var maxBodyBytes int64 = 16 << 20
 
 // Handler serves the lifecycle API for one Source.
 type Handler struct {
@@ -46,6 +56,8 @@ func New(src *source.Source) *Handler {
 	h.mux.HandleFunc("GET /dtds/{name}", h.getDTD)
 	h.mux.HandleFunc("POST /dtds/{name}/evolve", h.evolve)
 	h.mux.HandleFunc("POST /documents", h.addDocument)
+	h.mux.HandleFunc("POST /documents/batch", h.addBatch)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /repository", h.repository)
 	h.mux.HandleFunc("POST /repository/reclassify", h.reclassify)
 	h.mux.HandleFunc("PUT /triggers", h.putTriggers)
@@ -76,7 +88,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		// Only an over-limit body is 413; any other read failure (client
+		// disconnect, malformed chunking) is the client's bad request.
+		status := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "reading body: %v", err)
 		return nil, false
 	}
 	return data, true
@@ -182,6 +201,65 @@ func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 		Reclassified: res.Reclassified,
 		Triggered:    res.Triggered,
 	})
+}
+
+// batchRequest is the JSON body of POST /documents/batch.
+type batchRequest struct {
+	Documents []string `json:"documents"`
+}
+
+// batchResponse is the JSON shape of a batch ingest.
+type batchResponse struct {
+	Results    []addResponse `json:"results"`
+	Classified int           `json:"classified"`
+	Repository int           `json:"repository"`
+}
+
+func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing batch request: %v", err)
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request has no documents")
+		return
+	}
+	docs := make([]*xmltree.Document, len(req.Documents))
+	for i, src := range req.Documents {
+		doc, err := parseDocument([]byte(src))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing document %d: %v", i, err)
+			return
+		}
+		docs[i] = doc
+	}
+	results := h.src.AddBatch(docs)
+	resp := batchResponse{Results: make([]addResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = addResponse{
+			Classified:   res.Classified,
+			DTD:          res.DTDName,
+			Similarity:   res.Similarity,
+			Evolved:      res.Evolved,
+			Reclassified: res.Reclassified,
+			Triggered:    res.Triggered,
+		}
+		if res.Classified {
+			resp.Classified++
+		} else {
+			resp.Repository++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.src.Metrics())
 }
 
 func (h *Handler) repository(w http.ResponseWriter, _ *http.Request) {

@@ -11,6 +11,7 @@ package classify
 
 import (
 	"sort"
+	"sync"
 
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/similarity"
@@ -31,12 +32,17 @@ type Result struct {
 }
 
 // Classifier matches documents against a set of named DTDs by structural
-// similarity.
+// similarity. It is safe for concurrent use: Classify runs under a read
+// lock and scores each DTD on its own goroutine with evaluators drawn from
+// a per-DTD similarity.Pool, so concurrent classifications never share
+// evaluator state.
 type Classifier struct {
 	sigma float64
 	cfg   similarity.Config
+
+	mu    sync.RWMutex
 	dtds  map[string]*dtd.DTD
-	evals map[string]*similarity.Evaluator
+	pools map[string]*similarity.Pool
 }
 
 // New returns a Classifier with threshold σ and measure configuration cfg.
@@ -45,27 +51,40 @@ func New(sigma float64, cfg similarity.Config) *Classifier {
 		sigma: sigma,
 		cfg:   cfg,
 		dtds:  make(map[string]*dtd.DTD),
-		evals: make(map[string]*similarity.Evaluator),
+		pools: make(map[string]*similarity.Pool),
 	}
 }
 
 // Sigma returns the classification threshold.
 func (c *Classifier) Sigma() float64 { return c.sigma }
 
-// Set adds or replaces the DTD registered under name.
+// Set adds or replaces the DTD registered under name, precompiling its
+// evaluator pool. The DTD must not be mutated afterwards; to evolve it,
+// call Set again with the replacement.
 func (c *Classifier) Set(name string, d *dtd.DTD) {
+	pool := similarity.NewPool(d, c.cfg) // precompile outside the lock
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.dtds[name] = d
-	c.evals[name] = similarity.NewEvaluator(d, c.cfg)
+	c.pools[name] = pool
 }
 
 // Remove deletes the DTD registered under name.
 func (c *Classifier) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.dtds, name)
-	delete(c.evals, name)
+	delete(c.pools, name)
 }
 
 // Names returns the registered DTD names, sorted.
 func (c *Classifier) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.namesLocked()
+}
+
+func (c *Classifier) namesLocked() []string {
 	out := make([]string, 0, len(c.dtds))
 	for name := range c.dtds {
 		out = append(out, name)
@@ -75,7 +94,11 @@ func (c *Classifier) Names() []string {
 }
 
 // DTD returns the DTD registered under name, or nil.
-func (c *Classifier) DTD(name string) *dtd.DTD { return c.dtds[name] }
+func (c *Classifier) DTD(name string) *dtd.DTD {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dtds[name]
+}
 
 // Classify evaluates the document against every DTD and returns the best
 // match. Ties break deterministically by DTD name.
@@ -83,23 +106,51 @@ func (c *Classifier) Classify(doc *xmltree.Document) Result {
 	return c.ClassifyElement(doc.Root)
 }
 
-// ClassifyElement classifies the document subtree rooted at root.
+// ClassifyElement classifies the document subtree rooted at root. Each
+// registered DTD is scored on its own goroutine, so a classification over n
+// DTDs costs one alignment's wall-clock time given n spare cores.
 func (c *Classifier) ClassifyElement(root *xmltree.Node) Result {
-	res := Result{All: make(map[string]float64, len(c.dtds))}
-	for _, name := range c.Names() {
-		var sim float64
-		// A DTD with a declared root only matches documents rooted there.
-		if d := c.dtds[name]; d.Name == "" || root == nil || d.Name == root.Name {
-			sim = c.evals[name].GlobalSim(root)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := c.namesLocked()
+	sims := make([]float64, len(names))
+	if len(names) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(names))
+		for i, name := range names {
+			go func(i int, name string) {
+				defer wg.Done()
+				sims[i] = c.simLocked(name, root)
+			}(i, name)
 		}
-		res.All[name] = sim
-		if sim > res.Similarity || res.DTDName == "" {
-			res.Similarity = sim
+		wg.Wait()
+	} else {
+		for i, name := range names {
+			sims[i] = c.simLocked(name, root)
+		}
+	}
+	// Fold in sorted name order so ties break deterministically regardless
+	// of goroutine scheduling.
+	res := Result{All: make(map[string]float64, len(names))}
+	for i, name := range names {
+		res.All[name] = sims[i]
+		if sims[i] > res.Similarity || res.DTDName == "" {
+			res.Similarity = sims[i]
 			res.DTDName = name
 		}
 	}
 	res.Classified = res.DTDName != "" && res.Similarity >= c.sigma
 	return res
+}
+
+// simLocked scores root against one registered DTD. Callers hold c.mu (read
+// side is enough: pools are safe for concurrent use).
+func (c *Classifier) simLocked(name string, root *xmltree.Node) float64 {
+	// A DTD with a declared root only matches documents rooted there.
+	if d := c.dtds[name]; d.Name == "" || root == nil || d.Name == root.Name {
+		return c.pools[name].GlobalSim(root)
+	}
+	return 0
 }
 
 // ValidatorClassifier is the boolean baseline: a document is associated

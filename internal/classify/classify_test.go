@@ -1,6 +1,8 @@
 package classify
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"dtdevolve/internal/dtd"
@@ -131,5 +133,53 @@ func TestValidatorClassifierBaseline(t *testing.T) {
 	c := newClassifier(0.6)
 	if res := c.Classify(deviant); !res.Classified || res.DTDName != "article" {
 		t.Errorf("similarity classifier lost the deviant document: %+v", res)
+	}
+}
+
+// TestClassifyConcurrent runs many concurrent classifications (with a Set
+// replacing a DTD in flight) and checks each result is internally
+// consistent and matches one of the two possible DTD-set states. Run with
+// -race.
+func TestClassifyConcurrent(t *testing.T) {
+	c := newClassifier(0.5)
+	docs := []*xmltree.Document{
+		parseDoc(t, `<article><title>t</title><body>b</body></article>`),
+		parseDoc(t, `<catalog><product><name>n</name><price>1</price></product></catalog>`),
+		parseDoc(t, `<article><title>t</title><body>b</body><extra>x</extra></article>`),
+	}
+	want := make([]Result, len(docs))
+	for i, doc := range docs {
+		want[i] = c.Classify(doc)
+	}
+	done := make(chan struct{})
+	go func() { // churn the set while classifications run
+		defer close(done)
+		d := testDTDs()["article"]
+		for i := 0; i < 50; i++ {
+			c.Set("article", d)
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % len(docs)
+				got := c.Classify(docs[k])
+				if got.DTDName != want[k].DTDName || got.Similarity != want[k].Similarity {
+					errs <- fmt.Sprintf("doc %d: got (%s, %v), want (%s, %v)",
+						k, got.DTDName, got.Similarity, want[k].DTDName, want[k].Similarity)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-done
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

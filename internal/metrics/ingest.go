@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Ingest aggregates operational counters for the source ingest pipeline:
+// how many documents were offered, where they went, how often evolution
+// fired, and how long the two phases of an Add (concurrent classification,
+// write-locked commit) take. All methods are safe for concurrent use and
+// nil-safe, so instrumentation points need no guards.
+//
+// These are service-side observability counters, complementing the offline
+// evaluation measures (Conformance, MeanSimilarity, …) in this package.
+type Ingest struct {
+	added        atomic.Int64
+	classified   atomic.Int64
+	repository   atomic.Int64
+	evolutions   atomic.Int64
+	reclassified atomic.Int64
+	batches      atomic.Int64
+
+	classifyNS    atomic.Int64
+	classifyCalls atomic.Int64
+	commitNS      atomic.Int64
+	commitCalls   atomic.Int64
+}
+
+// ObserveDocument records the outcome of one added document.
+func (m *Ingest) ObserveDocument(classified bool) {
+	if m == nil {
+		return
+	}
+	m.added.Add(1)
+	if classified {
+		m.classified.Add(1)
+	} else {
+		m.repository.Add(1)
+	}
+}
+
+// ObserveBatch records one AddBatch call.
+func (m *Ingest) ObserveBatch() {
+	if m == nil {
+		return
+	}
+	m.batches.Add(1)
+}
+
+// ObserveEvolution records one run of the evolution phase.
+func (m *Ingest) ObserveEvolution() {
+	if m == nil {
+		return
+	}
+	m.evolutions.Add(1)
+}
+
+// ObserveReclassified records n repository documents recovered by
+// re-classification.
+func (m *Ingest) ObserveReclassified(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.reclassified.Add(int64(n))
+}
+
+// ObserveClassifyPhase records the latency of one classification phase (the
+// read-locked, concurrent scoring of one Add or AddBatch).
+func (m *Ingest) ObserveClassifyPhase(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.classifyNS.Add(int64(d))
+	m.classifyCalls.Add(1)
+}
+
+// ObserveCommitPhase records the latency of one commit phase (the
+// write-locked record/check/evolve section of one Add or AddBatch).
+func (m *Ingest) ObserveCommitPhase(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.commitNS.Add(int64(d))
+	m.commitCalls.Add(1)
+}
+
+// IngestSnapshot is a point-in-time copy of the counters, with derived
+// per-call phase latencies. It is the JSON shape of the service's
+// GET /metrics route.
+type IngestSnapshot struct {
+	// Added is the total number of documents offered (Add and AddBatch).
+	Added int64 `json:"added"`
+	// Classified counts documents that reached σ against some DTD.
+	Classified int64 `json:"classified"`
+	// Repository counts documents sent to the unclassified repository.
+	Repository int64 `json:"repository"`
+	// Evolutions counts runs of the evolution phase (automatic or forced).
+	Evolutions int64 `json:"evolutions"`
+	// Reclassified counts repository documents recovered after evolutions.
+	Reclassified int64 `json:"reclassified"`
+	// Batches counts AddBatch calls.
+	Batches int64 `json:"batches"`
+
+	// ClassifyNS / CommitNS are cumulative per-phase latencies; the Avg
+	// variants divide by the number of calls (0 when none).
+	ClassifyNS    int64 `json:"classify_ns_total"`
+	CommitNS      int64 `json:"commit_ns_total"`
+	AvgClassifyNS int64 `json:"classify_ns_avg"`
+	AvgCommitNS   int64 `json:"commit_ns_avg"`
+}
+
+// Snapshot returns a copy of the current counters. A nil Ingest yields the
+// zero snapshot.
+func (m *Ingest) Snapshot() IngestSnapshot {
+	if m == nil {
+		return IngestSnapshot{}
+	}
+	s := IngestSnapshot{
+		Added:        m.added.Load(),
+		Classified:   m.classified.Load(),
+		Repository:   m.repository.Load(),
+		Evolutions:   m.evolutions.Load(),
+		Reclassified: m.reclassified.Load(),
+		Batches:      m.batches.Load(),
+		ClassifyNS:   m.classifyNS.Load(),
+		CommitNS:     m.commitNS.Load(),
+	}
+	if calls := m.classifyCalls.Load(); calls > 0 {
+		s.AvgClassifyNS = s.ClassifyNS / calls
+	}
+	if calls := m.commitCalls.Load(); calls > 0 {
+		s.AvgCommitNS = s.CommitNS / calls
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIngestCounters(t *testing.T) {
+	var m Ingest
+	m.ObserveDocument(true)
+	m.ObserveDocument(true)
+	m.ObserveDocument(false)
+	m.ObserveBatch()
+	m.ObserveEvolution()
+	m.ObserveReclassified(3)
+	m.ObserveClassifyPhase(10 * time.Millisecond)
+	m.ObserveClassifyPhase(20 * time.Millisecond)
+	m.ObserveCommitPhase(4 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.Added != 3 || s.Classified != 2 || s.Repository != 1 {
+		t.Errorf("document counters = %+v", s)
+	}
+	if s.Batches != 1 || s.Evolutions != 1 || s.Reclassified != 3 {
+		t.Errorf("lifecycle counters = %+v", s)
+	}
+	if s.AvgClassifyNS != int64(15*time.Millisecond) {
+		t.Errorf("AvgClassifyNS = %d", s.AvgClassifyNS)
+	}
+	if s.AvgCommitNS != int64(4*time.Millisecond) {
+		t.Errorf("AvgCommitNS = %d", s.AvgCommitNS)
+	}
+}
+
+func TestIngestNilSafe(t *testing.T) {
+	var m *Ingest
+	m.ObserveDocument(true)
+	m.ObserveBatch()
+	m.ObserveEvolution()
+	m.ObserveReclassified(1)
+	m.ObserveClassifyPhase(time.Millisecond)
+	m.ObserveCommitPhase(time.Millisecond)
+	if s := m.Snapshot(); s != (IngestSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestIngestConcurrent(t *testing.T) {
+	var m Ingest
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.ObserveDocument(i%2 == 0)
+				m.ObserveClassifyPhase(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Added != 800 || s.Classified != 400 || s.Repository != 400 {
+		t.Errorf("concurrent counters = %+v", s)
+	}
+}

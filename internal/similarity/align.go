@@ -54,6 +54,7 @@ type AlignOp struct {
 // child extra, (#PCDATA) marks element children extra, mixed content and
 // ANY match allowed children in place.
 func (e *Evaluator) AlignChildren(model *dtd.Content, children []*xmltree.Node) []AlignOp {
+	defer clear(e.triMemo) // global triples are scoped per call, as in Evaluate
 	switch {
 	case model == nil || model.Kind == dtd.Any:
 		out := make([]AlignOp, len(children))

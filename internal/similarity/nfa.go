@@ -41,8 +41,14 @@ type nfa struct {
 }
 
 // compiled returns the automaton for model, building and caching it on
-// first use.
+// first use. Evaluators drawn from a Pool consult the pool's precompiled
+// read-only table first, so concurrent evaluators never race on the cache.
 func (e *Evaluator) compiled(model *dtd.Content) *nfa {
+	if e.shared != nil {
+		if a, ok := e.shared.nfas[model]; ok {
+			return a
+		}
+	}
 	if a, ok := e.nfaMemo[model]; ok {
 		return a
 	}

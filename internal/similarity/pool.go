@@ -1,0 +1,97 @@
+package similarity
+
+import (
+	"sync"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// sharedTables holds the per-DTD memo tables shared by every Evaluator of a
+// Pool: the required-weight table and the compiled alignment automata. Both
+// are built once at Pool construction and are read-only afterwards, so
+// pooled evaluators consult them without locking.
+type sharedTables struct {
+	req  map[string]float64
+	nfas map[*dtd.Content]*nfa
+}
+
+// Pool hands out Evaluators for one DTD so that many goroutines can score
+// documents against it concurrently. The evaluator memo maps are
+// unsynchronized by design (they sit on the scoring hot path); the pool
+// keeps the expensive, DTD-derived tables — required weights and compiled
+// alignment automata — in a shared read-only structure precompiled at
+// construction, and gives each borrowed evaluator its own private maps for
+// anything not precompiled.
+//
+// Get/Put follow the usual sync.Pool discipline; Evaluate and GlobalSim
+// wrap a borrow-score-return cycle for the common case.
+type Pool struct {
+	d      *dtd.DTD
+	shared *sharedTables
+	pool   sync.Pool
+}
+
+// NewPool precompiles the alignment automata and required-weight table of d
+// and returns a pool of evaluators sharing them. The DTD must not be
+// mutated while the pool is in use; register a fresh pool after an
+// evolution instead.
+func NewPool(d *dtd.DTD, cfg Config) *Pool {
+	seed := NewEvaluator(d, cfg)
+	for name, model := range d.Elements {
+		seed.requiredWeight(name, make(map[string]bool))
+		if isElementContent(model) {
+			seed.compiled(model)
+		}
+	}
+	shared := &sharedTables{req: seed.reqMemo, nfas: seed.nfaMemo}
+	p := &Pool{d: d, shared: shared}
+	p.pool.New = func() any {
+		e := NewEvaluator(d, cfg)
+		e.shared = shared
+		return e
+	}
+	return p
+}
+
+// isElementContent reports whether elementTriple would compile an alignment
+// automaton for model (i.e. it is regular element content, not EMPTY, ANY,
+// (#PCDATA) or mixed).
+func isElementContent(m *dtd.Content) bool {
+	if m == nil {
+		return false
+	}
+	switch m.Kind {
+	case dtd.Any, dtd.Empty, dtd.PCDATA:
+		return false
+	}
+	return !m.IsMixed()
+}
+
+// DTD returns the DTD the pool scores against.
+func (p *Pool) DTD() *dtd.DTD { return p.d }
+
+// Get borrows an evaluator. Return it with Put when done; evaluators must
+// not be used concurrently or after Put.
+func (p *Pool) Get() *Evaluator { return p.pool.Get().(*Evaluator) }
+
+// Put returns a borrowed evaluator to the pool. Evaluators built for a
+// different DTD are dropped.
+func (p *Pool) Put(e *Evaluator) {
+	if e != nil && e.d == p.d {
+		p.pool.Put(e)
+	}
+}
+
+// Evaluate scores root with a pooled evaluator. Safe for concurrent use.
+func (p *Pool) Evaluate(root *xmltree.Node) Result {
+	e := p.Get()
+	defer p.Put(e)
+	return e.Evaluate(root)
+}
+
+// GlobalSim returns only the global degree of Evaluate. Safe for concurrent
+// use.
+func (p *Pool) GlobalSim(root *xmltree.Node) float64 {
+	return p.Evaluate(root).Global
+}

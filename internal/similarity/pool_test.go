@@ -1,0 +1,126 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// TestEvaluateClearsTriMemo is the regression test for the evaluator memo
+// leak: triMemo is keyed by live document nodes, so a long-lived evaluator
+// reused across documents must not retain entries (and thus whole document
+// trees) after Evaluate returns.
+func TestEvaluateClearsTriMemo(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (sec, sec, sec)>
+<!ELEMENT sec (title?, para*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT para (#PCDATA)>`)
+	e := NewEvaluator(d, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		root := parseDoc(t, `<doc><sec><title>t</title><para>p</para></sec><sec/><sec><para>q</para></sec></doc>`)
+		if sim := e.Evaluate(root).Global; sim <= 0 {
+			t.Fatalf("document %d: unexpected similarity %v", i, sim)
+		}
+		if n := len(e.triMemo); n != 0 {
+			t.Fatalf("document %d: triMemo retains %d entries after Evaluate", i, n)
+		}
+	}
+}
+
+func TestAlignChildrenClearsTriMemo(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (a, b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a)>`)
+	e := NewEvaluator(d, DefaultConfig())
+	root := parseDoc(t, `<doc><a>x</a><b><a>y</a></b></doc>`)
+	ops := e.AlignChildren(d.Elements["doc"], root.ChildElements())
+	if len(ops) == 0 {
+		t.Fatal("expected alignment ops")
+	}
+	if n := len(e.triMemo); n != 0 {
+		t.Fatalf("triMemo retains %d entries after AlignChildren", n)
+	}
+}
+
+// TestPoolMatchesStandaloneEvaluator checks that pooled evaluators, which
+// share precompiled automata and required-weight tables, score exactly like
+// a fresh standalone evaluator.
+func TestPoolMatchesStandaloneEvaluator(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (head, section+)>
+<!ELEMENT head (title, meta*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT section (heading?, (para | list)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>`)
+	docs := []string{
+		`<doc><head><title>t</title></head><section><para>p</para></section></doc>`,
+		`<doc><head><title>t</title><meta/></head><section><heading>h</heading><list><item>i</item></list></section></doc>`,
+		`<doc><section><para>p</para><extra/></section></doc>`,
+		`<other><para>p</para></other>`,
+	}
+	p := NewPool(d, DefaultConfig())
+	for _, src := range docs {
+		root := parseDoc(t, src)
+		want := NewEvaluator(d, DefaultConfig()).Evaluate(root)
+		got := p.Evaluate(root)
+		if math.Abs(got.Global-want.Global) > 1e-12 || math.Abs(got.Local-want.Local) > 1e-12 {
+			t.Errorf("%s: pool = (%v, %v), standalone = (%v, %v)",
+				src, got.Global, got.Local, want.Global, want.Local)
+		}
+	}
+}
+
+// TestPoolConcurrent hammers one pool from many goroutines and checks every
+// result against the serial answer (run with -race).
+func TestPoolConcurrent(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (sec+)>
+<!ELEMENT sec (title, para*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT para (#PCDATA)>`)
+	docs := make([]string, 8)
+	for i := range docs {
+		docs[i] = `<doc>`
+		for j := 0; j <= i; j++ {
+			docs[i] += fmt.Sprintf(`<sec><title>t%d</title><para>p</para></sec>`, j)
+		}
+		docs[i] += `<stray/></doc>`
+	}
+	roots := make([]*xmltree.Node, len(docs))
+	want := make([]float64, len(docs))
+	p := NewPool(d, DefaultConfig())
+	for i, src := range docs {
+		roots[i] = parseDoc(t, src)
+		want[i] = NewEvaluator(d, DefaultConfig()).GlobalSim(roots[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % len(docs)
+				if got := p.GlobalSim(roots[k]); math.Abs(got-want[k]) > 1e-12 {
+					errs <- fmt.Sprintf("doc %d: got %v, want %v", k, got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -114,15 +114,21 @@ type Result struct {
 // Evaluator computes similarities against a fixed DTD. It memoizes
 // per-declaration data (required weights, compiled alignment automata) and
 // is safe for sequential reuse across many documents; create one per
-// goroutine for concurrent use.
+// goroutine for concurrent use, or draw evaluators from a Pool, which
+// shares the per-DTD tables across goroutines.
 type Evaluator struct {
-	cfg     Config
-	d       *dtd.DTD
+	cfg Config
+	d   *dtd.DTD
+	// shared holds precompiled read-only tables when the evaluator comes
+	// from a Pool; nil for a standalone evaluator.
+	shared  *sharedTables
 	reqMemo map[string]float64
 	nfaMemo map[*dtd.Content]*nfa
 	// triMemo caches global triples per (element node, model): a model may
 	// reference the same name several times, and without the cache the same
-	// subtree would be re-evaluated once per reference.
+	// subtree would be re-evaluated once per reference. It is scoped to a
+	// single Evaluate/AlignChildren call — entries key live document nodes,
+	// and a long-lived evaluator must not pin every tree it ever scored.
 	triMemo map[triKey]Triple
 }
 
@@ -149,6 +155,7 @@ func NewEvaluator(d *dtd.DTD, cfg Config) *Evaluator {
 // at root against the DTD. A root whose tag has no declaration has
 // similarity 0.
 func (e *Evaluator) Evaluate(root *xmltree.Node) Result {
+	defer clear(e.triMemo)
 	if root == nil || !root.IsElement() {
 		return Result{}
 	}
@@ -382,6 +389,11 @@ func (e *Evaluator) weightedSize(n *xmltree.Node) float64 {
 // element called name: 1 for the element itself plus the decayed required
 // weight of its own declaration. Cycles in the DTD contribute once.
 func (e *Evaluator) requiredWeight(name string, visiting map[string]bool) float64 {
+	if e.shared != nil {
+		if w, ok := e.shared.req[name]; ok {
+			return w
+		}
+	}
 	if w, ok := e.reqMemo[name]; ok {
 		return w
 	}

@@ -12,7 +12,14 @@
 //   - an evolution phase rewriting the DTD (package evolve);
 //   - re-classification of the repository against the evolved DTD set.
 //
-// A Source is safe for concurrent use.
+// A Source is safe for concurrent use. Ingest is two-phase: classification
+// (the expensive per-DTD alignment, parallelized across DTDs by package
+// classify) runs under a read lock, so many documents score concurrently;
+// only the commit — record, check, evolve, re-classify — takes the write
+// lock. A generation counter detects DTD-set changes between the two
+// phases, in which case the document is re-scored under the write lock, so
+// a stale similarity is never recorded. See DESIGN.md §8 for the full
+// concurrency model.
 package source
 
 import (
@@ -20,12 +27,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dtdevolve/internal/adapt"
 	"dtdevolve/internal/classify"
 	"dtdevolve/internal/docstore"
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/metrics"
 	"dtdevolve/internal/record"
 	"dtdevolve/internal/similarity"
 	"dtdevolve/internal/trigger"
@@ -77,15 +86,24 @@ type entry struct {
 
 // Source is the document source: a DTD set, the extended-DTD recorders and
 // the repository of unclassified documents.
+//
+// Lock discipline: mu is held for reading during classification (the DTD
+// set and σ are read-mostly) and for writing during every state mutation
+// (record, check, evolve, re-classify, trigger actions). gen increments on
+// every DTD-set change — AddDTD and each evolution — and lets the
+// two-phase Add/AddBatch detect that a similarity computed under the read
+// lock is stale.
 type Source struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	cfg        Config
 	entries    map[string]*entry
 	classifier *classify.Classifier
 	repository []*xmltree.Document
 	added      int
+	gen        uint64
 	triggers   []*trigger.Rule
 	store      *docstore.Store
+	metrics    *metrics.Ingest
 }
 
 // New returns an empty Source.
@@ -94,6 +112,7 @@ func New(cfg Config) *Source {
 		cfg:        cfg,
 		entries:    make(map[string]*entry),
 		classifier: classify.New(cfg.Sigma, cfg.Similarity),
+		metrics:    new(metrics.Ingest),
 	}
 }
 
@@ -104,22 +123,25 @@ func (s *Source) AddDTD(name string, d *dtd.DTD) {
 	defer s.mu.Unlock()
 	s.entries[name] = &entry{d: d, rec: record.New(d)}
 	s.classifier.Set(name, d)
+	s.gen++
 }
 
-// DTD returns the current DTD registered under name, or nil.
+// DTD returns a deep copy of the DTD currently registered under name, or
+// nil. The copy is stable: later evolutions replace the live declaration,
+// and callers must not observe (or cause) mutations of engine state.
 func (s *Source) DTD(name string) *dtd.DTD {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e, ok := s.entries[name]; ok {
-		return e.d
+		return e.d.Clone()
 	}
 	return nil
 }
 
 // Names returns the registered DTD names, sorted.
 func (s *Source) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.names()
 }
 
@@ -156,11 +178,87 @@ type AddResult struct {
 // Add classifies a document against the DTD set, records it (or stores it
 // in the repository), and — with AutoEvolve — runs the check and evolution
 // phases.
+//
+// Add is two-phase: the similarity scoring runs under the read lock (so
+// concurrent Adds classify in parallel, and each classification fans out
+// across DTDs), then the commit re-acquires the write lock. If the DTD set
+// changed in between (another Add evolved a DTD, or AddDTD ran), the
+// document is re-scored under the write lock before being recorded.
 func (s *Source) Add(doc *xmltree.Document) AddResult {
+	start := time.Now()
+	s.mu.RLock()
+	gen := s.gen
+	cls := s.classifier.Classify(doc)
+	s.mu.RUnlock()
+	s.metrics.ObserveClassifyPhase(time.Since(start))
+
+	commit := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.gen != gen {
+		cls = s.classifier.Classify(doc)
+	}
+	res := s.commitLocked(doc, cls)
+	s.fireTriggers(&res)
+	s.metrics.ObserveCommitPhase(time.Since(commit))
+	return res
+}
+
+// AddBatch ingests many documents at once: every document is scored
+// concurrently under one read-lock section, then all results are committed
+// (record/check/evolve/triggers, exactly as repeated Adds would) in a
+// single write-lock section. The returned slice has one AddResult per
+// document, in input order.
+//
+// If a document's classification triggers an evolution mid-batch, later
+// documents of the batch are re-scored against the updated DTD set before
+// being committed, so the batch is equivalent to a serial Add sequence.
+func (s *Source) AddBatch(docs []*xmltree.Document) []AddResult {
+	results := make([]AddResult, len(docs))
+	if len(docs) == 0 {
+		return results
+	}
+	s.metrics.ObserveBatch()
+
+	start := time.Now()
+	s.mu.RLock()
+	gen := s.gen
+	cls := make([]classify.Result, len(docs))
+	var wg sync.WaitGroup
+	wg.Add(len(docs))
+	for i, doc := range docs {
+		go func(i int, doc *xmltree.Document) {
+			defer wg.Done()
+			cls[i] = s.classifier.Classify(doc)
+		}(i, doc)
+	}
+	wg.Wait()
+	s.mu.RUnlock()
+	s.metrics.ObserveClassifyPhase(time.Since(start))
+
+	commit := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, doc := range docs {
+		if s.gen != gen {
+			// The set changed after the batch was scored (an evolution
+			// earlier in this loop, or a concurrent AddDTD): re-score
+			// against the current set. gen stays at its snapshot value, so
+			// every later document re-scores too.
+			cls[i] = s.classifier.Classify(doc)
+		}
+		results[i] = s.commitLocked(doc, cls[i])
+		s.fireTriggers(&results[i])
+	}
+	s.metrics.ObserveCommitPhase(time.Since(commit))
+	return results
+}
+
+// commitLocked records one scored document and runs the check phase.
+// Callers hold the write lock.
+func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	s.added++
-	res := s.classifyAndRecord(doc)
+	res := s.recordLocked(doc, cls)
 	if res.Classified && s.cfg.AutoEvolve {
 		e := s.entries[res.DTDName]
 		if e.docs >= s.cfg.MinDocs && e.rec.ShouldEvolve(s.cfg.Tau) {
@@ -170,8 +268,13 @@ func (s *Source) Add(doc *xmltree.Document) AddResult {
 			res.Reclassified = reclassified
 		}
 	}
-	s.fireTriggers(&res)
 	return res
+}
+
+// Metrics returns a snapshot of the ingest counters (documents classified
+// or sent to the repository, evolutions, per-phase latencies).
+func (s *Source) Metrics() metrics.IngestSnapshot {
+	return s.metrics.Snapshot()
 }
 
 // AddTriggerRule installs one rule of the evolution trigger language, e.g.
@@ -207,8 +310,8 @@ func (s *Source) SetTriggerRules(src string) error {
 
 // TriggerRules returns the source text of the installed rules.
 func (s *Source) TriggerRules() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.triggers))
 	for i, r := range s.triggers {
 		out[i] = r.String()
@@ -274,9 +377,12 @@ func (s *Source) fireTriggers(res *AddResult) {
 	}
 }
 
-func (s *Source) classifyAndRecord(doc *xmltree.Document) AddResult {
-	cls := s.classifier.Classify(doc)
+// recordLocked runs the recording phase for one scored document: the
+// extended-DTD statistics for a classified document, the repository
+// otherwise. Callers hold the write lock.
+func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	res := AddResult{DTDName: cls.DTDName, Similarity: cls.Similarity, Classified: cls.Classified}
+	s.metrics.ObserveDocument(cls.Classified)
 	if !cls.Classified {
 		res.DTDName = ""
 		s.repository = append(s.repository, doc)
@@ -323,9 +429,9 @@ func (s *Source) CloseStore() error {
 
 // StoredDocs returns the stored documents classified in the named DTD.
 func (s *Source) StoredDocs(name string) []*xmltree.Document {
-	s.mu.Lock()
+	s.mu.RLock()
 	store := s.store
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if store == nil {
 		return nil
 	}
@@ -336,17 +442,22 @@ func (s *Source) StoredDocs(name string) []*xmltree.Document {
 // conform to its current (typically just-evolved) declaration, replacing
 // the stored collection. It returns how many documents needed changes.
 func (s *Source) AdaptStored(name string, opts adapt.Options) (int, error) {
-	s.mu.Lock()
-	e, ok := s.entries[name]
+	s.mu.RLock()
+	var d *dtd.DTD
+	if e, ok := s.entries[name]; ok {
+		// Clone so the adapter never reads a declaration that a concurrent
+		// evolution is replacing.
+		d = e.d.Clone()
+	}
 	store := s.store
-	s.mu.Unlock()
-	if !ok {
+	s.mu.RUnlock()
+	if d == nil {
 		return 0, fmt.Errorf("source: no DTD named %q", name)
 	}
 	if store == nil {
 		return 0, fmt.Errorf("source: no document store attached (EnableStore)")
 	}
-	adapter := adapt.New(e.d, opts)
+	adapter := adapt.New(d, opts)
 	docs := store.Docs(name)
 	changed := 0
 	out := make([]*xmltree.Document, len(docs))
@@ -366,8 +477,8 @@ func (s *Source) AdaptStored(name string, opts adapt.Options) (int, error) {
 // NeedsEvolution returns the names of DTDs whose check-phase condition
 // currently exceeds τ (with at least MinDocs documents recorded).
 func (s *Source) NeedsEvolution() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []string
 	for _, name := range s.names() {
 		e := s.entries[name]
@@ -400,6 +511,8 @@ func (s *Source) evolveLocked(name string) (evolve.Report, int) {
 	e.docs = 0
 	e.evolutions++
 	s.classifier.Set(name, evolved)
+	s.gen++
+	s.metrics.ObserveEvolution()
 	return report, s.reclassifyLocked()
 }
 
@@ -427,21 +540,22 @@ func (s *Source) reclassifyLocked() int {
 		remaining = append(remaining, doc)
 	}
 	s.repository = remaining
+	s.metrics.ObserveReclassified(recovered)
 	return recovered
 }
 
 // RepositorySize returns the number of unclassified documents currently
 // held in the repository.
 func (s *Source) RepositorySize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.repository)
 }
 
 // Repository returns a copy of the repository's documents.
 func (s *Source) Repository() []*xmltree.Document {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]*xmltree.Document(nil), s.repository...)
 }
 
@@ -456,8 +570,8 @@ type DTDStatus struct {
 
 // Status returns a summary of every DTD in the source.
 func (s *Source) Status() []DTDStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []DTDStatus
 	for _, name := range s.names() {
 		e := s.entries[name]
@@ -486,8 +600,8 @@ type snapshot struct {
 // Snapshot serializes the source state (DTD set, extended-DTD statistics,
 // repository) to JSON, so a long-lived service can checkpoint and resume.
 func (s *Source) Snapshot() ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := snapshot{
 		DTDs:       make(map[string]string),
 		Roots:      make(map[string]string),

@@ -1,0 +1,247 @@
+package source
+
+import (
+	"sync"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// TestAddBatchMatchesSerialAdds checks that a batch ingest is equivalent to
+// the same documents added one by one.
+func TestAddBatchMatchesSerialAdds(t *testing.T) {
+	mixed := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<article><title>t</title><author>a</author><body>b</body></article>`,
+		`<invoice><total>3</total></invoice>`,
+		`<article><title>u</title><body>c</body></article>`,
+	}
+	serial, batch := New(DefaultConfig()), New(DefaultConfig())
+	serial.AddDTD("article", articleDTD())
+	batch.AddDTD("article", articleDTD())
+
+	var serialResults []AddResult
+	for _, src := range mixed {
+		serialResults = append(serialResults, serial.Add(parseDoc(t, src)))
+	}
+	batchResults := batch.AddBatch(parseDocs(t, mixed))
+
+	if len(batchResults) != len(serialResults) {
+		t.Fatalf("batch returned %d results, want %d", len(batchResults), len(serialResults))
+	}
+	for i := range serialResults {
+		a, b := serialResults[i], batchResults[i]
+		if a.Classified != b.Classified || a.DTDName != b.DTDName || a.Similarity != b.Similarity {
+			t.Errorf("doc %d: serial %+v, batch %+v", i, a, b)
+		}
+	}
+	if serial.RepositorySize() != batch.RepositorySize() {
+		t.Errorf("repository: serial %d, batch %d", serial.RepositorySize(), batch.RepositorySize())
+	}
+	ss, bs := serial.Status(), batch.Status()
+	if ss[0].Docs != bs[0].Docs || ss[0].CheckRatio != bs[0].CheckRatio {
+		t.Errorf("status: serial %+v, batch %+v", ss[0], bs[0])
+	}
+}
+
+// TestAddBatchRescoresAfterMidBatchEvolution drives an evolution in the
+// middle of a batch commit and checks that the documents committed after it
+// are re-scored against the evolved DTD set (the generation-counter path of
+// the two-phase ingest).
+func TestAddBatchRescoresAfterMidBatchEvolution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDocs = 10
+	s := New(cfg)
+	s.AddDTD("article", articleDTD())
+
+	drifted := `<article><title>t</title><author>a</author><body>b</body></article>`
+	srcs := make([]string, 30)
+	for i := range srcs {
+		srcs[i] = drifted
+	}
+	results := s.AddBatch(parseDocs(t, srcs))
+	evolvedAt := -1
+	for i, res := range results {
+		if !res.Classified {
+			t.Fatalf("doc %d unclassified (sim %v)", i, res.Similarity)
+		}
+		if res.Evolved && evolvedAt < 0 {
+			evolvedAt = i
+		}
+	}
+	if evolvedAt < 0 {
+		t.Fatal("no evolution inside the batch")
+	}
+	for i := evolvedAt + 1; i < len(results); i++ {
+		if results[i].Similarity != 1 {
+			t.Errorf("doc %d after mid-batch evolution: similarity %v, want 1 (stale score committed?)",
+				i, results[i].Similarity)
+		}
+	}
+}
+
+// TestSourceConcurrentStress hammers one Source from many goroutines mixing
+// Add, AddBatch, Status, DTD, AddDTD, EvolveNow, Snapshot and
+// ReclassifyRepository (run with -race), then checks the ingest counters
+// balance: every offered document was counted exactly once, and every
+// repository document is either still unclassified or was recovered exactly
+// once.
+func TestSourceConcurrentStress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sigma = 0.6
+	cfg.MinDocs = 15
+	s := New(cfg)
+	s.AddDTD("article", articleDTD())
+
+	const (
+		adders   = 4
+		perAdder = 20
+		batchers = 2
+		batches  = 4
+		perBatch = 5
+	)
+	shapes := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<article><title>t</title><author>a</author><body>b</body></article>`,
+		`<article><title>t</title><ref/><ref/><body>b</body></article>`,
+		`<article><title>t</title><ref/><ref/><ref/><ref/><ref/><ref/><body>b</body></article>`,
+		`<alien><x/><y/></alien>`,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				s.Add(parseDoc(t, shapes[(g+i)%len(shapes)]))
+			}
+		}(g)
+	}
+	for g := 0; g < batchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				srcs := make([]string, perBatch)
+				for i := range srcs {
+					srcs[i] = shapes[(g+b+i)%len(shapes)]
+				}
+				s.AddBatch(parseDocs(t, srcs))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // readers
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Status()
+			s.Names()
+			s.RepositorySize()
+			s.Metrics()
+			if d := s.DTD("article"); d == nil {
+				t.Error("article DTD disappeared")
+				return
+			}
+			if _, err := s.Snapshot(); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // DTD-set churn: re-register a second DTD, force evolutions
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			catalog := dtd.MustParse(`
+<!ELEMENT catalog (product*)>
+<!ELEMENT product (name)>
+<!ELEMENT name (#PCDATA)>`)
+			catalog.Name = "catalog"
+			s.AddDTD("catalog", catalog)
+			_, _, _ = s.EvolveNow("article")
+			s.ReclassifyRepository()
+		}
+	}()
+	wg.Wait()
+
+	const total = adders*perAdder + batchers*batches*perBatch
+	m := s.Metrics()
+	if m.Added != total {
+		t.Errorf("metrics.Added = %d, want %d", m.Added, total)
+	}
+	if m.Classified+m.Repository != m.Added {
+		t.Errorf("counters unbalanced: classified %d + repository %d != added %d",
+			m.Classified, m.Repository, m.Added)
+	}
+	if got, want := int64(s.RepositorySize()), m.Repository-m.Reclassified; got != want {
+		t.Errorf("repository size %d, want %d (sent %d - recovered %d): documents lost or duplicated",
+			got, want, m.Repository, m.Reclassified)
+	}
+}
+
+// TestReclassificationNotLostUnderConcurrentAdds checks the evolution
+// phase's repository re-classification against concurrent ingest: recovered
+// documents must leave the repository exactly once, and documents scored
+// concurrently with the evolution must not vanish.
+func TestReclassificationNotLostUnderConcurrentAdds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sigma = 0.6
+	cfg.AutoEvolve = false
+	s := New(cfg)
+	s.AddDTD("article", articleDTD())
+
+	// Heavily drifted documents land in the repository.
+	far := `<article><title>t</title><ref/><ref/><ref/><ref/><ref/><ref/><body>b</body></article>`
+	for i := 0; i < 5; i++ {
+		if res := s.Add(parseDoc(t, far)); res.Classified {
+			t.Fatalf("far doc classified (sim %v)", res.Similarity)
+		}
+	}
+	// Mildly drifted documents accumulate concurrently with repeated
+	// repository re-classifications.
+	mild := `<article><title>t</title><ref/><ref/><body>b</body></article>`
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if res := s.Add(parseDoc(t, mild)); !res.Classified {
+					t.Errorf("mild doc unclassified (sim %v)", res.Similarity)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			s.ReclassifyRepository()
+		}
+	}()
+	wg.Wait()
+
+	// The evolution's re-classification recovers the repository.
+	if _, _, err := s.EvolveNow("article"); err != nil {
+		t.Fatal(err)
+	}
+	if s.RepositorySize() != 0 {
+		t.Errorf("repository after evolution = %d, want 0 (recovered)", s.RepositorySize())
+	}
+	m := s.Metrics()
+	if got, want := int64(s.RepositorySize()), m.Repository-m.Reclassified; got != want {
+		t.Errorf("repository size %d, want %d (sent %d - recovered %d)",
+			got, want, m.Repository, m.Reclassified)
+	}
+}
+
+func parseDocs(t *testing.T, srcs []string) []*xmltree.Document {
+	t.Helper()
+	docs := make([]*xmltree.Document, len(srcs))
+	for i, src := range srcs {
+		docs[i] = parseDoc(t, src)
+	}
+	return docs
+}
