@@ -139,6 +139,40 @@ func BenchmarkSimilarityDP(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalSimilarity measures one steady-state local similarity
+// evaluation on a reused evaluator — the per-element cost inside the
+// classify → record pipeline. The interned kernel keeps this at 0 allocs/op
+// (asserted by TestLocalSimSteadyStateAllocs and gated by cmd/benchgate).
+func BenchmarkLocalSimilarity(b *testing.B) {
+	docs := benchCorpus(100, 0.3)
+	e := similarity.NewEvaluator(benchDTD, similarity.DefaultConfig())
+	model := benchDTD.Elements[benchDTD.Name]
+	for _, doc := range docs { // warm up memos and scratch
+		e.LocalSim(doc.Root, model)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.LocalSim(docs[i%len(docs)].Root, model)
+	}
+}
+
+// BenchmarkGlobalSimilarity is the whole-document variant: one pooled
+// global evaluation per iteration over stamped documents, as the source's
+// ingest path performs it.
+func BenchmarkGlobalSimilarity(b *testing.B) {
+	docs := benchCorpus(100, 0.3)
+	pool := similarity.NewPool(benchDTD, similarity.DefaultConfig())
+	for _, doc := range docs {
+		pool.GlobalSim(doc.Root)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.GlobalSim(docs[i%len(docs)].Root)
+	}
+}
+
 func BenchmarkRecordDocument(b *testing.B) {
 	docs := benchCorpus(100, 0.3)
 	rec := record.New(benchDTD)

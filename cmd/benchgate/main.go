@@ -1,0 +1,254 @@
+// Command benchgate compares two `go test -bench -benchmem` output files and
+// fails when a benchmark regresses beyond a threshold. It is the CI gate for
+// the allocation budget (DESIGN.md §9): allocs/op and B/op are
+// machine-independent, so they are gated tightly; ns/op varies with the
+// runner's hardware, so its threshold should be set leniently when the
+// baseline was recorded on a different machine.
+//
+// Usage:
+//
+//	benchgate -old bench/baseline.txt -new current.txt \
+//	          [-json report.json] [-max-alloc-regress 0.10] [-max-time-regress 0.10]
+//
+// Each input file may contain several runs of the same benchmark (go test
+// -count=N); runs are averaged. Benchmarks present in only one file are
+// reported but never fail the gate. The JSON report records both sides and
+// the ratios, for archival next to the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's averaged measurements.
+type metrics struct {
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+// comparison is one benchmark's entry in the JSON report. Ratios are
+// new/old; a ratio above 1 is a regression, below 1 an improvement.
+type comparison struct {
+	Name        string   `json:"name"`
+	Old         *metrics `json:"old,omitempty"`
+	New         *metrics `json:"new,omitempty"`
+	TimeRatio   float64  `json:"time_ratio,omitempty"`
+	AllocsRatio float64  `json:"allocs_ratio,omitempty"`
+	BytesRatio  float64  `json:"bytes_ratio,omitempty"`
+	Status      string   `json:"status"` // "ok", "regression", "old-only", "new-only"
+}
+
+type report struct {
+	OldFile    string       `json:"old_file"`
+	NewFile    string       `json:"new_file"`
+	MaxAlloc   float64      `json:"max_alloc_regress"`
+	MaxTime    float64      `json:"max_time_regress"`
+	Benchmarks []comparison `json:"benchmarks"`
+	Failures   []string     `json:"failures,omitempty"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output")
+	newPath := flag.String("new", "", "current benchmark output")
+	jsonPath := flag.String("json", "", "write a JSON comparison report to this file")
+	maxAlloc := flag.Float64("max-alloc-regress", 0.10, "fail when allocs/op or B/op grow beyond this fraction")
+	maxTime := flag.Float64("max-time-regress", 0.10, "fail when ns/op grows beyond this fraction")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldBench, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newBench, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := report{OldFile: *oldPath, NewFile: *newPath, MaxAlloc: *maxAlloc, MaxTime: *maxTime}
+	for _, name := range sortedNames(oldBench, newBench) {
+		o, haveOld := oldBench[name]
+		n, haveNew := newBench[name]
+		c := comparison{Name: name}
+		switch {
+		case !haveNew:
+			c.Old, c.Status = o, "old-only"
+		case !haveOld:
+			c.New, c.Status = n, "new-only"
+		default:
+			c.Old, c.New, c.Status = o, n, "ok"
+			c.TimeRatio = ratio(n.NsPerOp, o.NsPerOp)
+			c.AllocsRatio = ratio(n.AllocsOp, o.AllocsOp)
+			c.BytesRatio = ratio(n.BPerOp, o.BPerOp)
+			var why []string
+			if c.AllocsRatio > 1+*maxAlloc {
+				why = append(why, fmt.Sprintf("allocs/op %.1f → %.1f (%+.1f%%)", o.AllocsOp, n.AllocsOp, pct(c.AllocsRatio)))
+			}
+			if c.BytesRatio > 1+*maxAlloc {
+				why = append(why, fmt.Sprintf("B/op %.0f → %.0f (%+.1f%%)", o.BPerOp, n.BPerOp, pct(c.BytesRatio)))
+			}
+			if c.TimeRatio > 1+*maxTime {
+				why = append(why, fmt.Sprintf("ns/op %.0f → %.0f (%+.1f%%)", o.NsPerOp, n.NsPerOp, pct(c.TimeRatio)))
+			}
+			if len(why) > 0 {
+				c.Status = "regression"
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %s", name, strings.Join(why, "; ")))
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, c)
+	}
+
+	for _, c := range rep.Benchmarks {
+		switch c.Status {
+		case "ok":
+			fmt.Printf("ok    %-34s ns/op %.3fx  allocs/op %.3fx  B/op %.3fx\n", c.Name, c.TimeRatio, c.AllocsRatio, c.BytesRatio)
+		case "regression":
+			fmt.Printf("FAIL  %-34s ns/op %.3fx  allocs/op %.3fx  B/op %.3fx\n", c.Name, c.TimeRatio, c.AllocsRatio, c.BytesRatio)
+		default:
+			fmt.Printf("skip  %-34s (%s)\n", c.Name, c.Status)
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s):\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func ratio(new, old float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 1
+		}
+		// Regressing from zero is infinitely bad; report a large finite
+		// ratio so thresholds catch it and JSON stays valid.
+		return 1e9
+	}
+	return new / old
+}
+
+func pct(r float64) float64 { return (r - 1) * 100 }
+
+func sortedNames(a, b map[string]*metrics) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for n := range a {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range b {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseFile reads `go test -bench` output, averaging repeated runs of each
+// benchmark. Lines that are not benchmark results are skipped.
+func parseFile(path string) (map[string]*metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*metrics)
+	sums := make(map[string]*metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, m, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s, exists := sums[name]
+		if !exists {
+			s = &metrics{}
+			sums[name] = s
+		}
+		s.Runs++
+		s.NsPerOp += m.NsPerOp
+		s.BPerOp += m.BPerOp
+		s.AllocsOp += m.AllocsOp
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, s := range sums {
+		out[name] = &metrics{
+			Runs:     s.Runs,
+			NsPerOp:  s.NsPerOp / float64(s.Runs),
+			BPerOp:   s.BPerOp / float64(s.Runs),
+			AllocsOp: s.AllocsOp / float64(s.Runs),
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkFoo-8   12345   987 ns/op   64 B/op   2 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines from machines with
+// different core counts compare by benchmark name.
+func parseLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", metrics{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var m metrics
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp, seen = v, true
+		case "B/op":
+			m.BPerOp = v
+		case "allocs/op":
+			m.AllocsOp = v
+		}
+	}
+	return name, m, seen
+}

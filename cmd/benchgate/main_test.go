@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkE1Classification-8   \t 153\t   6992286 ns/op\t 3129468 B/op\t   42611 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkE1Classification" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", name)
+	}
+	if m.NsPerOp != 6992286 || m.BPerOp != 3129468 || m.AllocsOp != 42611 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestParseLineNoBenchmem(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkFoo \t 100 \t 42 ns/op")
+	if !ok || name != "BenchmarkFoo" || m.NsPerOp != 42 {
+		t.Errorf("got %q %+v ok=%v", name, m, ok)
+	}
+	if _, _, ok := parseLine("ok  \tdtdevolve\t31.957s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Error("PASS line parsed")
+	}
+}
+
+func TestParseFileAveragesRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := `goos: linux
+BenchmarkFoo-4 	 100 	 10 ns/op 	 8 B/op 	 1 allocs/op
+BenchmarkFoo-4 	 100 	 30 ns/op 	 8 B/op 	 3 allocs/op
+BenchmarkBar-4 	 100 	 7 ns/op 	 0 B/op 	 0 allocs/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo := got["BenchmarkFoo"]
+	if foo == nil || foo.Runs != 2 || foo.NsPerOp != 20 || foo.AllocsOp != 2 {
+		t.Errorf("BenchmarkFoo = %+v", foo)
+	}
+	bar := got["BenchmarkBar"]
+	if bar == nil || bar.Runs != 1 || bar.AllocsOp != 0 {
+		t.Errorf("BenchmarkBar = %+v", bar)
+	}
+}
+
+func TestRatioFromZero(t *testing.T) {
+	if r := ratio(0, 0); r != 1 {
+		t.Errorf("ratio(0,0) = %v, want 1", r)
+	}
+	if r := ratio(5, 0); r <= 1.10 {
+		t.Errorf("ratio(5,0) = %v: regressing from zero must trip any threshold", r)
+	}
+	if r := ratio(50, 100); r != 0.5 {
+		t.Errorf("ratio(50,100) = %v, want 0.5", r)
+	}
+}

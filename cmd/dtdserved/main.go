@@ -8,10 +8,13 @@
 // Usage:
 //
 //	dtdserved [-addr :8080] [-sigma 0.7] [-tau 0.25] [-mindocs 20] \
-//	          [-store dir] [-snapshot file]
+//	          [-store dir] [-snapshot file] [-pprof]
 //
 // With -snapshot the service restores from the checkpoint at startup (when
 // the file exists) and writes a new checkpoint on SIGINT/SIGTERM shutdown.
+// With -pprof the server also exposes the net/http/pprof profiling handlers
+// under /debug/pprof/, for live CPU and allocation profiling of the ingest
+// pipeline (e.g. go tool pprof http://host/debug/pprof/allocs).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +42,7 @@ func main() {
 	minDocs := flag.Int("mindocs", 20, "minimum documents between evolutions")
 	storeDir := flag.String("store", "", "directory for the durable document store (empty: no store)")
 	snapshotPath := flag.String("snapshot", "", "checkpoint file restored at startup and written at shutdown")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
 	cfg := dtdevolve.DefaultConfig()
@@ -56,9 +61,21 @@ func main() {
 		defer src.CloseStore()
 	}
 
+	var handler http.Handler = api.New(src)
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("dtdserved: profiling enabled at /debug/pprof/")
+	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           api.New(src),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {

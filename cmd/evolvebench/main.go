@@ -7,12 +7,22 @@
 //	evolvebench -e e3       # run one experiment
 //	evolvebench -seed 7     # change the workload seed
 //	evolvebench -quick      # reduced corpus sizes (CI-friendly)
+//
+// Profiling (DESIGN.md §9):
+//
+//	evolvebench -cpuprofile cpu.out -e e1   # CPU profile of one experiment
+//	evolvebench -memprofile mem.out         # heap profile at exit
+//
+// Profiles are written in pprof format; inspect them with
+// go tool pprof evolvebench <profile>.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dtdevolve/internal/experiments"
 )
@@ -21,7 +31,23 @@ func main() {
 	exp := flag.String("e", "", "experiment id (e1..e8; default: all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "reduced corpus sizes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evolvebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "evolvebench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	o := experiments.Options{Seed: *seed, Quick: *quick}
 	if *exp != "" {
@@ -31,9 +57,23 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(table)
-		return
+	} else {
+		for _, table := range experiments.All(o) {
+			fmt.Println(table)
+		}
 	}
-	for _, table := range experiments.All(o) {
-		fmt.Println(table)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evolvebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "evolvebench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

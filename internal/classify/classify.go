@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/similarity"
 	"dtdevolve/internal/validate"
 	"dtdevolve/internal/xmltree"
@@ -39,17 +40,28 @@ type Result struct {
 type Classifier struct {
 	sigma float64
 	cfg   similarity.Config
+	tab   *intern.Table
 
 	mu    sync.RWMutex
 	dtds  map[string]*dtd.DTD
 	pools map[string]*similarity.Pool
 }
 
-// New returns a Classifier with threshold σ and measure configuration cfg.
+// New returns a Classifier with threshold σ and measure configuration cfg,
+// interning labels into a private symbol table.
 func New(sigma float64, cfg similarity.Config) *Classifier {
+	return NewWithTable(sigma, cfg, intern.NewTable())
+}
+
+// NewWithTable is New with a caller-provided symbol table, shared by the
+// evaluator pools of every registered DTD. The source engine passes the
+// same table to its recorders, so the label IDs it stamps on documents
+// stay valid across classification and recording.
+func NewWithTable(sigma float64, cfg similarity.Config, tab *intern.Table) *Classifier {
 	return &Classifier{
 		sigma: sigma,
 		cfg:   cfg,
+		tab:   tab,
 		dtds:  make(map[string]*dtd.DTD),
 		pools: make(map[string]*similarity.Pool),
 	}
@@ -58,11 +70,14 @@ func New(sigma float64, cfg similarity.Config) *Classifier {
 // Sigma returns the classification threshold.
 func (c *Classifier) Sigma() float64 { return c.sigma }
 
+// Table returns the symbol table shared by the classifier's pools.
+func (c *Classifier) Table() *intern.Table { return c.tab }
+
 // Set adds or replaces the DTD registered under name, precompiling its
 // evaluator pool. The DTD must not be mutated afterwards; to evolve it,
 // call Set again with the replacement.
 func (c *Classifier) Set(name string, d *dtd.DTD) {
-	pool := similarity.NewPool(d, c.cfg) // precompile outside the lock
+	pool := similarity.NewPoolWithTable(d, c.cfg, c.tab) // precompile outside the lock
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dtds[name] = d

@@ -1,0 +1,202 @@
+// Package intern implements a symbol table mapping element labels to
+// dense int32 IDs, so the similarity and recording hot paths can replace
+// string-keyed maps with slice indexing and integer comparisons.
+//
+// A Table is built in two phases mirroring the lifecycle of a DTD set
+// (DESIGN.md §9):
+//
+//   - at pool-compile time, every element name and content-model label of
+//     a DTD is interned (InternDTD), so the alignment automata carry IDs
+//     on their symbol edges and the required-weight memo is a dense slice;
+//   - at ingest time, tags of incoming documents that the DTDs never
+//     declared are interned on first sight (Intern), extending the table.
+//
+// Reads (ID, Name, NameIs) are lock-free: the table keeps its state in an
+// atomically-published immutable snapshot, and writers copy-on-write under
+// a mutex. Interning a new symbol is therefore O(n) — the table is meant
+// for element-label alphabets (tens to a few thousand symbols), not for
+// arbitrary document text. A Table never shrinks; it is shared by every
+// pool, evaluator and recorder of one Source so that IDs assigned to a
+// document during classification remain valid during recording.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+// None is the reserved ID meaning "no symbol": the zero value of a node's
+// cached label ID, and the lookup result for unknown names.
+const None int32 = 0
+
+// Table is a concurrency-safe label → dense-ID symbol table. IDs are
+// assigned consecutively starting at 1; 0 is None. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	mu    sync.Mutex
+	state atomic.Pointer[tableState]
+}
+
+// tableState is an immutable snapshot: readers load it atomically and
+// never observe a partially-updated table.
+type tableState struct {
+	ids   map[string]int32
+	names []string // names[id]; names[0] is "" for None
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	t.state.Store(&tableState{ids: map[string]int32{}, names: []string{""}})
+	return t
+}
+
+// Len returns the number of interned symbols (excluding None).
+func (t *Table) Len() int { return len(t.state.Load().names) - 1 }
+
+// ID returns the ID of name, or None when it has never been interned.
+// Lock-free.
+func (t *Table) ID(name string) int32 { return t.state.Load().ids[name] }
+
+// Name returns the symbol with the given ID, or "" for None and
+// out-of-range IDs. Lock-free.
+func (t *Table) Name(id int32) string {
+	s := t.state.Load()
+	if id <= 0 || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// NameIs reports whether id is a valid ID naming exactly name. It lets a
+// consumer verify a cached ID (e.g. xmltree.Node.LabelID, possibly stamped
+// by a different table) before trusting it. Lock-free.
+func (t *Table) NameIs(id int32, name string) bool {
+	s := t.state.Load()
+	return id > 0 && int(id) < len(s.names) && s.names[id] == name
+}
+
+// Intern returns the ID of name, assigning the next dense ID when the name
+// is new. The read path is lock-free; only the first interning of a name
+// takes the write lock and republishes a copied snapshot. Interning "" is
+// a no-op returning None.
+func (t *Table) Intern(name string) int32 {
+	if name == "" {
+		return None
+	}
+	if id, ok := t.state.Load().ids[name]; ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state.Load()
+	if id, ok := s.ids[name]; ok {
+		// Lost the race to another writer.
+		return id
+	}
+	ids := make(map[string]int32, len(s.ids)+1)
+	for k, v := range s.ids {
+		ids[k] = v
+	}
+	id := int32(len(s.names))
+	ids[name] = id
+	names := make([]string, len(s.names)+1)
+	copy(names, s.names)
+	names[id] = name
+	t.state.Store(&tableState{ids: ids, names: names})
+	return id
+}
+
+// InternAll interns every name in names, taking the write lock and copying
+// the snapshot at most once — use it over per-name Intern calls when
+// seeding a table, where n copy-on-write extensions would cost O(n²).
+// Empty names are skipped.
+func (t *Table) InternAll(names []string) {
+	s := t.state.Load()
+	fresh := 0
+	for _, n := range names {
+		if n != "" {
+			if _, ok := s.ids[n]; !ok {
+				fresh++
+			}
+		}
+	}
+	if fresh == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s = t.state.Load()
+	ids := make(map[string]int32, len(s.ids)+fresh)
+	for k, v := range s.ids {
+		ids[k] = v
+	}
+	grown := make([]string, len(s.names), len(s.names)+fresh)
+	copy(grown, s.names)
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		if _, ok := ids[n]; ok {
+			continue
+		}
+		ids[n] = int32(len(grown))
+		grown = append(grown, n)
+	}
+	t.state.Store(&tableState{ids: ids, names: grown})
+}
+
+// Names returns the interned symbols in ID order, starting at ID 1.
+func (t *Table) Names() []string {
+	s := t.state.Load()
+	out := make([]string, len(s.names)-1)
+	copy(out, s.names[1:])
+	return out
+}
+
+// InternDTD interns every element name and every content-model label of d,
+// in one batched table extension. Called once per DTD at pool-compile time.
+func InternDTD(t *Table, d *dtd.DTD) {
+	if d == nil {
+		return
+	}
+	names := make([]string, 0, 2*len(d.Elements))
+	for name, model := range d.Elements {
+		names = append(names, name)
+		names = collectContent(names, model)
+	}
+	t.InternAll(names)
+}
+
+func collectContent(names []string, c *dtd.Content) []string {
+	if c == nil {
+		return names
+	}
+	if c.Kind == dtd.Name {
+		return append(names, c.Name)
+	}
+	for _, ch := range c.Children {
+		names = collectContent(names, ch)
+	}
+	return names
+}
+
+// InternDocument interns the tag of every element node under root and
+// stamps the node's cached LabelID. The table itself is safe for
+// concurrent interning, but stamping writes to the nodes: callers must be
+// the only writer of the tree (the source engine stamps documents under
+// its write lock, just before recording).
+func InternDocument(t *Table, root *xmltree.Node) {
+	if root == nil {
+		return
+	}
+	if root.Kind == xmltree.Element {
+		root.SetLabelID(t.Intern(root.Name))
+	}
+	for _, c := range root.Children {
+		InternDocument(t, c)
+	}
+}

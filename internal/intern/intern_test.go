@@ -1,0 +1,193 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+func TestInternBasics(t *testing.T) {
+	tab := NewTable()
+	if tab.Len() != 0 {
+		t.Fatalf("fresh table has Len %d", tab.Len())
+	}
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a == None || b == None {
+		t.Fatalf("Intern returned None for non-empty names: %d, %d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct names share ID %d", a)
+	}
+	if got := tab.Intern("alpha"); got != a {
+		t.Errorf("re-interning alpha: got %d, want %d", got, a)
+	}
+	if got := tab.ID("alpha"); got != a {
+		t.Errorf("ID(alpha) = %d, want %d", got, a)
+	}
+	if got := tab.ID("missing"); got != None {
+		t.Errorf("ID(missing) = %d, want None", got)
+	}
+	if got := tab.Name(a); got != "alpha" {
+		t.Errorf("Name(%d) = %q, want alpha", a, got)
+	}
+	if got := tab.Name(None); got != "" {
+		t.Errorf("Name(None) = %q, want empty", got)
+	}
+	if got := tab.Name(99); got != "" {
+		t.Errorf("Name(out of range) = %q, want empty", got)
+	}
+	if !tab.NameIs(a, "alpha") || tab.NameIs(a, "beta") || tab.NameIs(None, "") {
+		t.Error("NameIs misbehaves")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestInternEmptyStringIsNone(t *testing.T) {
+	tab := NewTable()
+	if got := tab.Intern(""); got != None {
+		t.Fatalf("Intern(\"\") = %d, want None", got)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("interning the empty string grew the table to %d", tab.Len())
+	}
+}
+
+func TestNamesRoundTrip(t *testing.T) {
+	tab := NewTable()
+	want := []string{"x", "y", "z"}
+	for _, n := range want {
+		tab.Intern(n)
+	}
+	names := tab.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+// TestInternConcurrent hammers one table from many goroutines interning an
+// overlapping name set, then checks the table is consistent: every name has
+// exactly one ID and every ID maps back to its name. Run with -race.
+func TestInternConcurrent(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	const names = 200
+	ids := make([][]int32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]int32, names)
+			for i := 0; i < names; i++ {
+				// Overlapping sets: every goroutine interns every name,
+				// in a goroutine-dependent order.
+				ids[g][i] = tab.Intern(fmt.Sprintf("name%d", (i+g*7)%names))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != names {
+		t.Fatalf("Len = %d, want %d", tab.Len(), names)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < names; i++ {
+			name := fmt.Sprintf("name%d", (i+g*7)%names)
+			if got := tab.ID(name); got != ids[g][i] {
+				t.Fatalf("goroutine %d saw %s=%d, table says %d", g, name, ids[g][i], got)
+			}
+			if got := tab.Name(ids[g][i]); got != name {
+				t.Fatalf("Name(%d) = %q, want %q", ids[g][i], got, name)
+			}
+		}
+	}
+}
+
+func TestInternAll(t *testing.T) {
+	tab := NewTable()
+	pre := tab.Intern("b")
+	tab.InternAll([]string{"a", "b", "", "c", "a"})
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (dedup, skip empty)", tab.Len())
+	}
+	if got := tab.ID("b"); got != pre {
+		t.Errorf("InternAll reassigned existing ID: %d vs %d", got, pre)
+	}
+	for _, n := range []string{"a", "c"} {
+		id := tab.ID(n)
+		if id == None || tab.Name(id) != n {
+			t.Errorf("%q: ID %d, Name %q", n, id, tab.Name(id))
+		}
+	}
+	tab.InternAll([]string{"a", "b", "c"}) // all present: must be a no-op
+	if tab.Len() != 3 {
+		t.Errorf("idempotent InternAll grew table to %d", tab.Len())
+	}
+}
+
+func TestInternDTDCoversDeclaredAndReferencedLabels(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (head, (para | note)*)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT para (#PCDATA | em)*>`)
+	tab := NewTable()
+	InternDTD(tab, d)
+	// Declared elements, plus labels only referenced in models (note, em).
+	for _, name := range []string{"doc", "head", "para", "note", "em"} {
+		if tab.ID(name) == None {
+			t.Errorf("label %q not interned", name)
+		}
+	}
+}
+
+func TestInternDocumentStampsEveryElement(t *testing.T) {
+	doc, err := xmltree.ParseString(`<doc><head>t</head><para>x<em>y</em></para></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable()
+	InternDocument(tab, doc.Root)
+	var check func(n *xmltree.Node)
+	check = func(n *xmltree.Node) {
+		if n.Kind != xmltree.Element {
+			return
+		}
+		id := n.LabelID()
+		if id == None {
+			t.Errorf("element <%s> not stamped", n.Name)
+		} else if !tab.NameIs(id, n.Name) {
+			t.Errorf("element <%s> stamped with foreign ID %d (%q)", n.Name, id, tab.Name(id))
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	check(doc.Root)
+}
+
+// TestInternDocumentRestampsAfterForeignStamp models a document migrating
+// between sources: IDs from the old table must be replaced, not trusted.
+func TestInternDocumentRestampsAfterForeignStamp(t *testing.T) {
+	doc, err := xmltree.ParseString(`<b><a/></b>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := NewTable()
+	old.Intern("padding") // skew the ID space
+	InternDocument(old, doc.Root)
+	fresh := NewTable()
+	InternDocument(fresh, doc.Root)
+	if id := doc.Root.LabelID(); !fresh.NameIs(id, "b") {
+		t.Errorf("root not restamped: ID %d in fresh table is %q", id, fresh.Name(id))
+	}
+}

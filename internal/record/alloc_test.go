@@ -1,0 +1,33 @@
+package record
+
+// Allocation-budget regression test (DESIGN.md §9): recording a document
+// whose shape has been seen before must not allocate — all per-instance
+// bookkeeping lives in pooled scratch, and the ID-keyed stat tables only
+// grow on first sight of a label, sequence or group.
+
+import (
+	"testing"
+
+	"dtdevolve/internal/gen"
+)
+
+func TestRecordSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	g := gen.New(gen.DefaultConfig(6))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 6, 3, 0.6)
+	r := New(d)
+	for _, doc := range docs { // warm up: create stat rows for every shape
+		r.Record(doc)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(docs[i%len(docs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}

@@ -24,19 +24,31 @@
 // presence and repetition aggregates are kept over all instances, valid
 // ones included, along with first-position order statistics used to order
 // the children of rebuilt AND groups.
+//
+// Internally all statistics are keyed by interned label IDs (package
+// intern), so the recording hot path — one recordInstance per element per
+// document — hashes small integers instead of strings and allocates
+// nothing at steady state. Strings reappear only at the edges: Stats,
+// Snapshot and Restore convert between the ID-keyed tables and the
+// exported, JSON-stable ElementStats view.
 package record
 
 import (
 	"sort"
+	"strings"
 
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/mine"
 	"dtdevolve/internal/validate"
 	"dtdevolve/internal/xmltree"
 )
 
 // ElementStats is the extended-DTD data structure attached to one element
-// declaration (or to a plus element discovered in documents).
+// declaration (or to a plus element discovered in documents). It is the
+// exported, string-keyed view of the recorder's internal ID-keyed tables:
+// Stats and Snapshot materialize it, Restore ingests it, and the evolution
+// phase consumes it.
 type ElementStats struct {
 	// Name is the element tag these statistics describe.
 	Name string
@@ -186,33 +198,144 @@ func (s *ElementStats) EverPresent(tag string) bool {
 	return s.PresentCount[tag] > 0
 }
 
+// Interleaved reports whether the two tags were ever observed interleaved
+// within one instance. A single interleaved instance already falsifies any
+// "all x before all y" form, so one observation is evidence enough for the
+// (x | y)* shape.
+func (s *ElementStats) Interleaved(x, y string) bool {
+	return s.InterleavedCount[mine.Key([]string{x, y})] > 0
+}
+
+// elemStats is the recorder-internal, ID-keyed counterpart of ElementStats.
+type elemStats struct {
+	name          string
+	valid         int
+	docsWithValid int
+	invalid       int
+	textInstances int
+	labels        map[int32]*labelAgg
+	// seqs and groups are keyed by the packed bytes of their sorted ID set.
+	seqs   map[string]*seqAgg
+	groups map[string]*groupAgg
+	// Aggregates over all instances, keyed by label ID.
+	present  map[int32]int
+	repeat   map[int32]int
+	posSum   map[int32]float64
+	posCount map[int32]int
+	pairs    map[pairKey]pairAgg
+}
+
+type labelAgg struct {
+	invalidWith int
+	repeated    int
+	child       *elemStats
+}
+
+type seqAgg struct {
+	ids   []int32 // sorted ascending
+	count int
+}
+
+type groupAgg struct {
+	ids   []int32 // sorted ascending
+	count int
+}
+
+// pairKey identifies an unordered label pair; a < b.
+type pairKey struct {
+	a, b int32
+}
+
+type pairAgg struct {
+	count       int
+	interleaved int
+}
+
+func newElemStats(name string) *elemStats {
+	return &elemStats{
+		name:     name,
+		labels:   make(map[int32]*labelAgg),
+		seqs:     make(map[string]*seqAgg),
+		groups:   make(map[string]*groupAgg),
+		present:  make(map[int32]int),
+		repeat:   make(map[int32]int),
+		posSum:   make(map[int32]float64),
+		posCount: make(map[int32]int),
+		pairs:    make(map[pairKey]pairAgg),
+	}
+}
+
+func (es *elemStats) invalidityRatio() float64 {
+	n := es.valid + es.invalid
+	if n == 0 {
+		return 0
+	}
+	return float64(es.invalid) / float64(n)
+}
+
 // Recorder accumulates extended-DTD statistics for one DTD over a stream of
 // classified documents. It is not safe for concurrent use; the source
 // engine serializes access.
 type Recorder struct {
-	d        *dtd.DTD
-	v        *validate.Validator
-	elements map[string]*ElementStats
+	d   *dtd.DTD
+	v   *validate.Validator
+	tab *intern.Table
+	// elements is keyed by the interned ID of the declared element's name.
+	elements map[int32]*elemStats
 	docs     int
 	// invalidMass is Σ over documents of (#non-valid elements / #elements),
 	// the numerator of the paper's check-phase trigger condition.
 	invalidMass float64
+	// declared caches, per content model, the set of its label IDs; used to
+	// detect plus elements without re-walking the model per instance.
+	declared map[*dtd.Content]map[int32]bool
+	// validSeen collects, per document, the IDs of elements with at least
+	// one valid instance; reused (cleared) across documents.
+	validSeen map[int32]bool
+	// scratch is a free list of per-instance buffers: recordInstance
+	// recurses into plus elements, and each level needs live buffers.
+	scratch []*recScratch
 }
 
-// New returns an empty Recorder for d.
+// New returns an empty Recorder for d with a private symbol table. To share
+// the table with classification pools (so document label stamps stay
+// valid), use NewWithTable.
 func New(d *dtd.DTD) *Recorder {
+	return NewWithTable(d, intern.NewTable())
+}
+
+// NewWithTable returns an empty Recorder for d keying its statistics by
+// tab's IDs.
+func NewWithTable(d *dtd.DTD, tab *intern.Table) *Recorder {
+	intern.InternDTD(tab, d)
 	return &Recorder{
-		d:        d,
-		v:        validate.New(d),
-		elements: make(map[string]*ElementStats),
+		d:         d,
+		v:         validate.New(d),
+		tab:       tab,
+		elements:  make(map[int32]*elemStats),
+		declared:  make(map[*dtd.Content]map[int32]bool),
+		validSeen: make(map[int32]bool),
 	}
 }
 
 // DTD returns the DTD the recorder is attached to.
 func (r *Recorder) DTD() *dtd.DTD { return r.d }
 
+// Table returns the symbol table the recorder keys its statistics by.
+func (r *Recorder) Table() *intern.Table { return r.tab }
+
 // Docs returns the number of documents recorded since the last reset.
 func (r *Recorder) Docs() int { return r.docs }
+
+// id resolves the interned ID of a document element's tag: the node's
+// cached LabelID when it verifiably belongs to this recorder's table, else
+// a fresh intern.
+func (r *Recorder) id(n *xmltree.Node) int32 {
+	if id := n.LabelID(); id > 0 && r.tab.NameIs(id, n.Name) {
+		return id
+	}
+	return r.tab.Intern(n.Name)
+}
 
 // DocResult summarizes the recording of one document.
 type DocResult struct {
@@ -242,23 +365,24 @@ func (r *Recorder) RecordElement(root *xmltree.Node) DocResult {
 		return DocResult{}
 	}
 	res := DocResult{}
-	validSeen := make(map[string]bool)
-	r.walk(root, &res, validSeen)
-	for name := range validSeen {
-		r.elements[name].DocsWithValid++
+	clear(r.validSeen)
+	r.walk(root, &res)
+	for id := range r.validSeen {
+		r.elements[id].docsWithValid++
 	}
 	r.docs++
 	r.invalidMass += res.InvalidRatio()
 	return res
 }
 
-func (r *Recorder) walk(n *xmltree.Node, res *DocResult, validSeen map[string]bool) {
+func (r *Recorder) walk(n *xmltree.Node, res *DocResult) {
 	res.Elements++
-	decl, declared := r.d.Elements[n.Name]
-	if declared {
-		stats := r.stats(n.Name)
+	decl, ok := r.d.Elements[n.Name]
+	if ok {
+		id := r.id(n)
+		stats := r.statsFor(id, n.Name)
 		if r.recordInstance(stats, n, decl) {
-			validSeen[n.Name] = true
+			r.validSeen[id] = true
 		} else {
 			res.Invalid++
 		}
@@ -268,57 +392,156 @@ func (r *Recorder) walk(n *xmltree.Node, res *DocResult, validSeen map[string]bo
 		// statistics (see recordInstance), not at the top level.
 		res.Invalid++
 	}
-	for _, c := range n.ChildElements() {
-		r.walk(c, res, validSeen)
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Element {
+			r.walk(c, res)
+		}
 	}
+}
+
+// recScratch is one reusable set of per-instance buffers. The maps are
+// cleared on reuse (retaining buckets); the slices are grow-only.
+type recScratch struct {
+	counts map[int32]int
+	first  map[int32]int
+	last   map[int32]int
+	order  []int32 // label IDs in first-occurrence order
+	set    []int32 // label IDs sorted ascending (the instance's αβ)
+	rep    []repEntry
+	key    []byte
+}
+
+type repEntry struct {
+	count int
+	id    int32
+}
+
+func (r *Recorder) getScratch() *recScratch {
+	if n := len(r.scratch); n > 0 {
+		sc := r.scratch[n-1]
+		r.scratch = r.scratch[:n-1]
+		clear(sc.counts)
+		clear(sc.first)
+		clear(sc.last)
+		sc.order = sc.order[:0]
+		sc.set = sc.set[:0]
+		sc.rep = sc.rep[:0]
+		return sc
+	}
+	return &recScratch{
+		counts: make(map[int32]int),
+		first:  make(map[int32]int),
+		last:   make(map[int32]int),
+	}
+}
+
+func (r *Recorder) putScratch(sc *recScratch) {
+	r.scratch = append(r.scratch, sc)
+}
+
+// packIDs appends the little-endian bytes of ids to buf[:0], forming a map
+// key for an ID set. Lookups use the m[string(buf)] no-copy idiom; only a
+// first insertion materializes the key string.
+func packIDs(buf []byte, ids []int32) []byte {
+	buf = buf[:0]
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
 }
 
 // recordInstance merges one instance of an element into stats and reports
 // whether the instance was locally valid for decl.
-func (r *Recorder) recordInstance(stats *ElementStats, n *xmltree.Node, decl *dtd.Content) bool {
-	counts := childCounts(n)
-	r.recordAggregates(stats, n, counts)
+func (r *Recorder) recordInstance(stats *elemStats, n *xmltree.Node, decl *dtd.Content) bool {
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+
+	// One pass over the element children: occurrence counts, first/last
+	// positions, first-occurrence order.
+	idx := 0
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		id := r.id(c)
+		if cnt, seen := sc.counts[id]; seen {
+			sc.counts[id] = cnt + 1
+		} else {
+			sc.counts[id] = 1
+			sc.first[id] = idx
+			sc.order = append(sc.order, id)
+			stats.posSum[id] += float64(idx)
+			stats.posCount[id]++
+		}
+		sc.last[id] = idx
+		idx++
+	}
+
+	// All-instance aggregates.
+	if n.HasText() {
+		stats.textInstances++
+	}
+	for _, id := range sc.order {
+		stats.present[id]++
+		if sc.counts[id] > 1 {
+			stats.repeat[id]++
+		}
+	}
+	for i := 0; i < len(sc.order); i++ {
+		for j := i + 1; j < len(sc.order); j++ {
+			x, y := sc.order[i], sc.order[j]
+			k := pairKey{a: x, b: y}
+			if y < x {
+				k = pairKey{a: y, b: x}
+			}
+			pa := stats.pairs[k]
+			pa.count++
+			// Interleaved: neither tag's occurrences entirely precede the
+			// other's.
+			if sc.first[x] < sc.last[y] && sc.first[y] < sc.last[x] {
+				pa.interleaved++
+			}
+			stats.pairs[k] = pa
+		}
+	}
 
 	if decl != nil && r.v.LocalValid(n, decl) {
-		stats.ValidInstances++
+		stats.valid++
 		return true
 	}
-	stats.InvalidInstances++
+	stats.invalid++
 
-	// Labels and the sequence (αβ of the instance).
-	tags := n.TagSet()
-	seqKey := mine.Key(tags)
-	if seq, ok := stats.Sequences[seqKey]; ok {
-		seq.Count++
+	// The sequence (αβ of the instance): the sorted set of child label IDs.
+	sc.set = append(sc.set[:0], sc.order...)
+	sortIDs(sc.set)
+	sc.key = packIDs(sc.key, sc.set)
+	if seq, ok := stats.seqs[string(sc.key)]; ok {
+		seq.count++
 	} else {
-		stats.Sequences[seqKey] = &SeqStats{Tags: tags, Count: 1}
+		stats.seqs[string(sc.key)] = &seqAgg{ids: append([]int32(nil), sc.set...), count: 1}
 	}
 
-	declaredLabels := make(map[string]bool)
-	if decl != nil {
-		for _, l := range decl.Labels() {
-			declaredLabels[l] = true
-		}
-	}
-	for _, tag := range tags {
-		ls, ok := stats.Labels[tag]
+	// Labels of the non-valid instance; plus elements recurse.
+	declared := r.declaredSet(decl)
+	for _, id := range sc.set {
+		la, ok := stats.labels[id]
 		if !ok {
-			ls = &LabelStats{}
-			stats.Labels[tag] = ls
+			la = &labelAgg{}
+			stats.labels[id] = la
 		}
-		ls.InvalidWithLabel++
-		if counts[tag] > 1 {
-			ls.RepeatedInInvalid++
+		la.invalidWith++
+		if sc.counts[id] > 1 {
+			la.repeated++
 		}
 		// Plus element: record the structure of its instances so a
 		// declaration can be deduced for it (paper §3.2, Example 5).
-		if !declaredLabels[tag] {
-			if ls.Child == nil {
-				ls.Child = newElementStats(tag)
+		if !declared[id] {
+			if la.child == nil {
+				la.child = newElemStats(r.tab.Name(id))
 			}
-			for _, c := range n.ChildElements() {
-				if c.Name == tag {
-					r.recordPlusInstance(ls.Child, c)
+			for _, c := range n.Children {
+				if c.Kind == xmltree.Element && r.id(c) == id {
+					r.recordInstance(la.child, c, nil)
 				}
 			}
 		}
@@ -326,111 +549,110 @@ func (r *Recorder) recordInstance(stats *ElementStats, n *xmltree.Node, decl *dt
 
 	// Groups: for each repetition count m > 1, the set of labels repeated
 	// exactly m times forms a group (when it has at least two members).
-	byCount := make(map[int][]string)
-	for tag, c := range counts {
-		if c > 1 {
-			byCount[c] = append(byCount[c], tag)
+	// Collecting from the sorted set and stably ordering by count keeps
+	// each group's IDs ascending.
+	for _, id := range sc.set {
+		if c := sc.counts[id]; c > 1 {
+			sc.rep = append(sc.rep, repEntry{count: c, id: id})
 		}
 	}
-	for _, group := range byCount {
-		if len(group) < 2 {
-			continue
+	sortRepByCount(sc.rep)
+	for i := 0; i < len(sc.rep); {
+		j := i
+		for j < len(sc.rep) && sc.rep[j].count == sc.rep[i].count {
+			j++
 		}
-		sort.Strings(group)
-		key := mine.Key(group)
-		if g, ok := stats.Groups[key]; ok {
-			g.Count++
-		} else {
-			stats.Groups[key] = &GroupStats{Tags: group, Count: 1}
+		if j-i >= 2 {
+			sc.set = sc.set[:0]
+			for k := i; k < j; k++ {
+				sc.set = append(sc.set, sc.rep[k].id)
+			}
+			sc.key = packIDs(sc.key, sc.set)
+			if g, ok := stats.groups[string(sc.key)]; ok {
+				g.count++
+			} else {
+				stats.groups[string(sc.key)] = &groupAgg{ids: append([]int32(nil), sc.set...), count: 1}
+			}
 		}
+		i = j
 	}
 	return false
 }
 
-// recordPlusInstance records an instance of an element that has no DTD
-// declaration: every instance is non-valid by definition, and all its
-// subelements recurse as plus elements too.
-func (r *Recorder) recordPlusInstance(stats *ElementStats, n *xmltree.Node) {
-	r.recordInstance(stats, n, nil)
-}
-
-// recordAggregates updates the all-instance presence/repetition/order
-// statistics.
-func (r *Recorder) recordAggregates(stats *ElementStats, n *xmltree.Node, counts map[string]int) {
-	if n.HasText() {
-		stats.TextInstances++
-	}
-	for tag, c := range counts {
-		stats.PresentCount[tag]++
-		if c > 1 {
-			stats.RepeatCount[tag]++
-		}
-	}
-	// First/last occurrence positions per tag, for order statistics and
-	// pairwise interleaving evidence.
-	first := make(map[string]int)
-	last := make(map[string]int)
-	var tags []string
-	for i, c := range n.ChildElements() {
-		if _, seen := first[c.Name]; !seen {
-			first[c.Name] = i
-			tags = append(tags, c.Name)
-			stats.PosSum[c.Name] += float64(i)
-			stats.PosCount[c.Name]++
-		}
-		last[c.Name] = i
-	}
-	for i := 0; i < len(tags); i++ {
-		for j := i + 1; j < len(tags); j++ {
-			x, y := tags[i], tags[j]
-			key := mine.Key([]string{x, y})
-			stats.PairCount[key]++
-			// Interleaved: neither tag's occurrences entirely precede the
-			// other's.
-			if first[x] < last[y] && first[y] < last[x] {
-				stats.InterleavedCount[key]++
-			}
+// sortIDs is an insertion sort: instance label sets are small, and this
+// avoids any sorting-machinery allocations on the hot path.
+func sortIDs(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
 }
 
-// Interleaved reports whether the two tags were ever observed interleaved
-// within one instance. A single interleaved instance already falsifies any
-// "all x before all y" form, so one observation is evidence enough for the
-// (x | y)* shape.
-func (s *ElementStats) Interleaved(x, y string) bool {
-	return s.InterleavedCount[mine.Key([]string{x, y})] > 0
-}
-
-func childCounts(n *xmltree.Node) map[string]int {
-	counts := make(map[string]int)
-	for _, c := range n.ChildElements() {
-		counts[c.Name]++
+// sortRepByCount stably orders entries by repetition count, preserving the
+// ascending-ID order of equal counts.
+func sortRepByCount(rep []repEntry) {
+	for i := 1; i < len(rep); i++ {
+		for j := i; j > 0 && rep[j].count < rep[j-1].count; j-- {
+			rep[j], rep[j-1] = rep[j-1], rep[j]
+		}
 	}
-	return counts
 }
 
-// stats returns (creating if needed) the statistics entry for a declared
+// declaredSet returns the cached set of label IDs referenced by decl; nil
+// (matching nothing) for a nil model.
+func (r *Recorder) declaredSet(decl *dtd.Content) map[int32]bool {
+	if decl == nil {
+		return nil
+	}
+	if s, ok := r.declared[decl]; ok {
+		return s
+	}
+	s := make(map[int32]bool)
+	for _, l := range decl.Labels() {
+		s[r.tab.Intern(l)] = true
+	}
+	r.declared[decl] = s
+	return s
+}
+
+// statsFor returns (creating if needed) the statistics entry for a declared
 // element.
-func (r *Recorder) stats(name string) *ElementStats {
-	s, ok := r.elements[name]
+func (r *Recorder) statsFor(id int32, name string) *elemStats {
+	s, ok := r.elements[id]
 	if !ok {
-		s = newElementStats(name)
-		r.elements[name] = s
+		s = newElemStats(name)
+		r.elements[id] = s
 	}
 	return s
 }
 
 // Stats returns the recorded statistics for the named element, or nil when
-// no instance has been recorded.
-func (r *Recorder) Stats(name string) *ElementStats { return r.elements[name] }
+// no instance has been recorded. The returned view is materialized from the
+// internal ID-keyed tables; it is a snapshot, not updated by later Records.
+func (r *Recorder) Stats(name string) *ElementStats {
+	es, ok := r.elements[r.tab.ID(name)]
+	if !ok {
+		return nil
+	}
+	return r.materialize(es)
+}
+
+// InvalidityRatio returns I(e) for the named element without materializing
+// its statistics view (0 when nothing was recorded).
+func (r *Recorder) InvalidityRatio(name string) float64 {
+	if es, ok := r.elements[r.tab.ID(name)]; ok {
+		return es.invalidityRatio()
+	}
+	return 0
+}
 
 // ElementNames returns the names of all elements with recorded statistics,
 // sorted.
 func (r *Recorder) ElementNames() []string {
 	out := make([]string, 0, len(r.elements))
-	for name := range r.elements {
-		out = append(out, name)
+	for id := range r.elements {
+		out = append(out, r.tab.Name(id))
 	}
 	sort.Strings(out)
 	return out
@@ -456,15 +678,19 @@ func (r *Recorder) ShouldEvolve(tau float64) bool {
 
 // Reset clears all recorded statistics, e.g. after an evolution step.
 func (r *Recorder) Reset() {
-	r.elements = make(map[string]*ElementStats)
+	r.elements = make(map[int32]*elemStats)
 	r.docs = 0
 	r.invalidMass = 0
 }
 
 // SetDTD swaps the recorder onto a new (evolved) DTD and clears statistics.
+// The symbol table is kept (tables only ever grow): the new DTD's labels
+// are interned into it.
 func (r *Recorder) SetDTD(d *dtd.DTD) {
 	r.d = d
 	r.v = validate.New(d)
+	r.declared = make(map[*dtd.Content]map[int32]bool)
+	intern.InternDTD(r.tab, d)
 	r.Reset()
 }
 
@@ -476,10 +702,14 @@ type Snapshot struct {
 	Elements    map[string]*ElementStats `json:"elements"`
 }
 
-// Snapshot exports the recorder's statistics. The returned structure shares
-// memory with the recorder; serialize it (or copy it) before mutating.
+// Snapshot exports the recorder's statistics, materializing the
+// string-keyed view. The result shares no mutable state with the recorder.
 func (r *Recorder) Snapshot() *Snapshot {
-	return &Snapshot{Docs: r.docs, InvalidMass: r.invalidMass, Elements: r.elements}
+	elements := make(map[string]*ElementStats, len(r.elements))
+	for id, es := range r.elements {
+		elements[r.tab.Name(id)] = r.materialize(es)
+	}
+	return &Snapshot{Docs: r.docs, InvalidMass: r.invalidMass, Elements: elements}
 }
 
 // Restore replaces the recorder's statistics with a snapshot previously
@@ -487,51 +717,143 @@ func (r *Recorder) Snapshot() *Snapshot {
 func (r *Recorder) Restore(s *Snapshot) {
 	r.docs = s.Docs
 	r.invalidMass = s.InvalidMass
-	if s.Elements != nil {
-		r.elements = s.Elements
-	} else {
-		r.elements = make(map[string]*ElementStats)
-	}
-	// Maps may be nil after JSON decoding of sparse snapshots.
-	for name, es := range r.elements {
-		normalizeStats(name, es)
+	r.elements = make(map[int32]*elemStats, len(s.Elements))
+	for name, es := range s.Elements {
+		r.elements[r.tab.Intern(name)] = r.internalize(name, es)
 	}
 }
 
-func normalizeStats(name string, es *ElementStats) {
-	if es.Name == "" {
-		es.Name = name
+// materialize converts the internal ID-keyed statistics into the exported
+// string-keyed view.
+func (r *Recorder) materialize(es *elemStats) *ElementStats {
+	out := newElementStats(es.name)
+	out.ValidInstances = es.valid
+	out.DocsWithValid = es.docsWithValid
+	out.InvalidInstances = es.invalid
+	out.TextInstances = es.textInstances
+	for id, la := range es.labels {
+		ls := &LabelStats{InvalidWithLabel: la.invalidWith, RepeatedInInvalid: la.repeated}
+		if la.child != nil {
+			ls.Child = r.materialize(la.child)
+		}
+		out.Labels[r.tab.Name(id)] = ls
 	}
-	if es.Labels == nil {
-		es.Labels = make(map[string]*LabelStats)
+	for _, seq := range es.seqs {
+		tags := r.sortedNames(seq.ids)
+		out.Sequences[mine.Key(tags)] = &SeqStats{Tags: tags, Count: seq.count}
 	}
-	if es.Sequences == nil {
-		es.Sequences = make(map[string]*SeqStats)
+	for _, g := range es.groups {
+		tags := r.sortedNames(g.ids)
+		out.Groups[mine.Key(tags)] = &GroupStats{Tags: tags, Count: g.count}
 	}
-	if es.Groups == nil {
-		es.Groups = make(map[string]*GroupStats)
+	for id, c := range es.present {
+		out.PresentCount[r.tab.Name(id)] = c
 	}
-	if es.PresentCount == nil {
-		es.PresentCount = make(map[string]int)
+	for id, c := range es.repeat {
+		out.RepeatCount[r.tab.Name(id)] = c
 	}
-	if es.RepeatCount == nil {
-		es.RepeatCount = make(map[string]int)
+	for id, s := range es.posSum {
+		out.PosSum[r.tab.Name(id)] = s
 	}
-	if es.PosSum == nil {
-		es.PosSum = make(map[string]float64)
+	for id, c := range es.posCount {
+		out.PosCount[r.tab.Name(id)] = c
 	}
-	if es.PosCount == nil {
-		es.PosCount = make(map[string]int)
-	}
-	if es.PairCount == nil {
-		es.PairCount = make(map[string]int)
-	}
-	if es.InterleavedCount == nil {
-		es.InterleavedCount = make(map[string]int)
-	}
-	for label, ls := range es.Labels {
-		if ls.Child != nil {
-			normalizeStats(label, ls.Child)
+	for k, pa := range es.pairs {
+		key := mine.Key([]string{r.tab.Name(k.a), r.tab.Name(k.b)})
+		out.PairCount[key] = pa.count
+		if pa.interleaved > 0 {
+			out.InterleavedCount[key] = pa.interleaved
 		}
 	}
+	return out
+}
+
+// sortedNames resolves the IDs and sorts the names, matching the canonical
+// tag-set order of the exported view.
+func (r *Recorder) sortedNames(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = r.tab.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// internalize converts an exported view (e.g. decoded from JSON) into the
+// internal ID-keyed form, interning every tag it mentions.
+func (r *Recorder) internalize(name string, s *ElementStats) *elemStats {
+	if s.Name != "" {
+		name = s.Name
+	}
+	es := newElemStats(name)
+	es.valid = s.ValidInstances
+	es.docsWithValid = s.DocsWithValid
+	es.invalid = s.InvalidInstances
+	es.textInstances = s.TextInstances
+	for label, ls := range s.Labels {
+		la := &labelAgg{invalidWith: ls.InvalidWithLabel, repeated: ls.RepeatedInInvalid}
+		if ls.Child != nil {
+			la.child = r.internalize(label, ls.Child)
+		}
+		es.labels[r.tab.Intern(label)] = la
+	}
+	for _, seq := range s.Sequences {
+		ids := r.internIDs(seq.Tags)
+		es.seqs[string(packIDs(nil, ids))] = &seqAgg{ids: ids, count: seq.Count}
+	}
+	for _, g := range s.Groups {
+		ids := r.internIDs(g.Tags)
+		es.groups[string(packIDs(nil, ids))] = &groupAgg{ids: ids, count: g.Count}
+	}
+	for tag, c := range s.PresentCount {
+		es.present[r.tab.Intern(tag)] = c
+	}
+	for tag, c := range s.RepeatCount {
+		es.repeat[r.tab.Intern(tag)] = c
+	}
+	for tag, sum := range s.PosSum {
+		es.posSum[r.tab.Intern(tag)] = sum
+	}
+	for tag, c := range s.PosCount {
+		es.posCount[r.tab.Intern(tag)] = c
+	}
+	for key, c := range s.PairCount {
+		if k, ok := r.pairKeyOf(key); ok {
+			pa := es.pairs[k]
+			pa.count = c
+			es.pairs[k] = pa
+		}
+	}
+	for key, c := range s.InterleavedCount {
+		if k, ok := r.pairKeyOf(key); ok {
+			pa := es.pairs[k]
+			pa.interleaved = c
+			es.pairs[k] = pa
+		}
+	}
+	return es
+}
+
+// internIDs interns the tags and returns their IDs sorted ascending.
+func (r *Recorder) internIDs(tags []string) []int32 {
+	ids := make([]int32, len(tags))
+	for i, t := range tags {
+		ids[i] = r.tab.Intern(t)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// pairKeyOf parses a canonical pair key (mine.Key of two tags) back into an
+// ID pair.
+func (r *Recorder) pairKeyOf(key string) (pairKey, bool) {
+	sep := strings.IndexByte(key, 0)
+	if sep < 0 {
+		return pairKey{}, false
+	}
+	a, b := r.tab.Intern(key[:sep]), r.tab.Intern(key[sep+1:])
+	if b < a {
+		a, b = b, a
+	}
+	return pairKey{a: a, b: b}, true
 }

@@ -1,0 +1,79 @@
+package similarity
+
+// Allocation-budget regression tests (DESIGN.md §9): the scoring hot path
+// must not allocate at steady state. First calls may allocate (memo growth,
+// scratch acquisition); these tests warm the evaluator up, then assert zero.
+
+import (
+	"testing"
+
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/intern"
+)
+
+func TestEvaluateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	g := gen.New(gen.DefaultConfig(3))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 6, 3, 0.6)
+	e := NewEvaluator(d, DefaultConfig())
+	for _, doc := range docs { // warm up: intern tags, grow memos and scratch
+		e.Evaluate(doc.Root)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Evaluate(docs[i%len(docs)].Root)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Evaluate allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+func TestLocalSimSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	g := gen.New(gen.DefaultConfig(4))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 6, 3, 0.6)
+	model := d.Elements[d.Name]
+	e := NewEvaluator(d, DefaultConfig())
+	for _, doc := range docs {
+		e.LocalSim(doc.Root, model)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		e.LocalSim(docs[i%len(docs)].Root, model)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("LocalSim allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+// TestPooledEvaluateSteadyStateAllocs covers the classify path: a pooled
+// borrow-score-return cycle over stamped documents.
+func TestPooledEvaluateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	g := gen.New(gen.DefaultConfig(5))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 6, 3, 0.6)
+	pool := NewPoolWithTable(d, DefaultConfig(), intern.NewTable())
+	for _, doc := range docs {
+		intern.InternDocument(pool.Table(), doc.Root)
+		pool.Evaluate(doc.Root)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.Evaluate(docs[i%len(docs)].Root)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("pooled Evaluate allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}

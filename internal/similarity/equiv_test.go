@@ -1,0 +1,184 @@
+package similarity
+
+// Equivalence tests for the interned hot path: the rewritten Evaluator must
+// produce bit-for-bit the scores of the pre-interning implementation, frozen
+// in legacy_test.go. Identity must hold float-for-float (==, not within an
+// epsilon): the rewrite only changed data representation, never arithmetic
+// or iteration order.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/xmltree"
+)
+
+// checkEquivalent scores root with both implementations and fails on any
+// difference. The fresh-evaluator and reused-evaluator scores are also
+// compared, so memo state cannot leak into results.
+func checkEquivalent(t *testing.T, label string, e *Evaluator, d *dtd.DTD, cfg Config, root *xmltree.Node) {
+	t.Helper()
+	want := newLegacyEvaluator(d, cfg).Evaluate(root)
+	got := e.Evaluate(root)
+	if got != want {
+		t.Errorf("%s: interned %+v, legacy %+v", label, got, want)
+	}
+	if decl, ok := d.Elements[root.Name]; ok {
+		lw := newLegacyEvaluator(d, cfg).LocalSim(root, decl)
+		lg := e.LocalSim(root, decl)
+		if lg != lw {
+			t.Errorf("%s: LocalSim interned %v, legacy %v", label, lg, lw)
+		}
+	}
+}
+
+// corpus loads a testdata directory: one .dtd plus every .xml.
+func corpus(t *testing.T, dir string) (*dtd.DTD, []*xmltree.Document) {
+	t.Helper()
+	dtds, err := filepath.Glob(filepath.Join(dir, "*.dtd"))
+	if err != nil || len(dtds) != 1 {
+		t.Fatalf("globbing %s: %v (%d DTDs)", dir, err, len(dtds))
+	}
+	d, err := dtd.ParseFile(dtds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmls, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil || len(xmls) == 0 {
+		t.Fatalf("globbing %s: %v (%d docs)", dir, err, len(xmls))
+	}
+	var docs []*xmltree.Document
+	for _, path := range xmls {
+		doc, err := xmltree.ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		docs = append(docs, doc)
+	}
+	return d, docs
+}
+
+// TestInternedEquivalenceCorpus runs both implementations over the full
+// testdata corpus: every document of each family scored against both
+// families' DTDs (the cross-family scores exercise the undeclared-tag and
+// bestDecl paths).
+func TestInternedEquivalenceCorpus(t *testing.T) {
+	feedDTD, feedDocs := corpus(t, filepath.Join("..", "..", "testdata", "feeds"))
+	playDTD, playDocs := corpus(t, filepath.Join("..", "..", "testdata", "plays"))
+	cfg := DefaultConfig()
+	for _, set := range []struct {
+		name string
+		d    *dtd.DTD
+	}{{"feeds", feedDTD}, {"plays", playDTD}} {
+		e := NewEvaluator(set.d, cfg)
+		for i, doc := range append(append([]*xmltree.Document{}, feedDocs...), playDocs...) {
+			checkEquivalent(t, fmt.Sprintf("%s vs doc %d", set.name, i), e, set.d, cfg, doc.Root)
+		}
+	}
+}
+
+// TestInternedEquivalenceRandom fuzzes both implementations with generated
+// DTDs and mutated documents: same-DTD documents, heavily mutated ones, and
+// cross-DTD pairs. One evaluator is reused across all documents of a DTD, so
+// stale-memo bugs would surface as score drift.
+func TestInternedEquivalenceRandom(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(1); seed <= 5; seed++ {
+		g := gen.New(gen.DefaultConfig(seed))
+		a := g.RandomDTD("root", 8)
+		b := g.RandomDTD("root", 6)
+		docsA := g.MutatedDocuments(a, 10, 3, 0.7)
+		docsB := g.MutatedDocuments(b, 10, 3, 0.7)
+		ea := NewEvaluator(a, cfg)
+		eb := NewEvaluator(b, cfg)
+		for i, doc := range docsA {
+			checkEquivalent(t, fmt.Sprintf("seed %d A/A doc %d", seed, i), ea, a, cfg, doc.Root)
+			checkEquivalent(t, fmt.Sprintf("seed %d B/A doc %d", seed, i), eb, b, cfg, doc.Root)
+		}
+		for i, doc := range docsB {
+			checkEquivalent(t, fmt.Sprintf("seed %d B/B doc %d", seed, i), eb, b, cfg, doc.Root)
+		}
+	}
+}
+
+// TestInternedEquivalenceThesaurus repeats the fuzz with a tag-similarity
+// function installed, covering the simMemo cache and the partial-match
+// paths.
+func TestInternedEquivalenceThesaurus(t *testing.T) {
+	cfg := DefaultConfig()
+	// Deterministic pseudo-thesaurus: tags sharing a first byte are near
+	// synonyms. Works on any generated label set.
+	cfg.TagSimilarity = func(docTag, dtdTag string) float64 {
+		if docTag == dtdTag {
+			return 1
+		}
+		if docTag != "" && dtdTag != "" && docTag[0] == dtdTag[0] {
+			return 0.7
+		}
+		return 0
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		g := gen.New(gen.DefaultConfig(seed))
+		d := g.RandomDTD("root", 8)
+		e := NewEvaluator(d, cfg)
+		for i, doc := range g.MutatedDocuments(d, 10, 4, 0.9) {
+			checkEquivalent(t, fmt.Sprintf("seed %d doc %d", seed, i), e, d, cfg, doc.Root)
+		}
+	}
+}
+
+// TestInternedEquivalenceStampedDocuments checks that label-ID stamps — both
+// stamps from the evaluator's own table and stale stamps from a foreign
+// table — never change scores: stamps are a lookup shortcut, not an input.
+func TestInternedEquivalenceStampedDocuments(t *testing.T) {
+	cfg := DefaultConfig()
+	g := gen.New(gen.DefaultConfig(7))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 8, 3, 0.8)
+	e := NewEvaluator(d, cfg)
+
+	unstamped := make([]Result, len(docs))
+	for i, doc := range docs {
+		unstamped[i] = e.Evaluate(doc.Root)
+	}
+	for i, doc := range docs {
+		intern.InternDocument(e.Table(), doc.Root)
+		if got := e.Evaluate(doc.Root); got != unstamped[i] {
+			t.Errorf("doc %d: own-table stamp changed score: %+v vs %+v", i, got, unstamped[i])
+		}
+	}
+	// Restamp with a skewed foreign table: every cached ID is now wrong for
+	// e's table, and must be rejected by the NameIs verification.
+	foreign := intern.NewTable()
+	for i := 0; i < 17; i++ {
+		foreign.Intern(fmt.Sprintf("skew%d", i))
+	}
+	for i, doc := range docs {
+		intern.InternDocument(foreign, doc.Root)
+		if got := e.Evaluate(doc.Root); got != unstamped[i] {
+			t.Errorf("doc %d: foreign stamp changed score: %+v vs %+v", i, got, unstamped[i])
+		}
+		checkEquivalent(t, fmt.Sprintf("foreign-stamped doc %d", i), e, d, cfg, doc.Root)
+	}
+}
+
+// TestPooledEvaluatorEquivalence draws evaluators from a shared-table pool
+// and checks they score like standalone ones: the precompiled shared tables
+// must be observationally identical to privately built memos.
+func TestPooledEvaluatorEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	g := gen.New(gen.DefaultConfig(11))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 8, 3, 0.6)
+	pool := NewPoolWithTable(d, cfg, intern.NewTable())
+	for i, doc := range docs {
+		want := newLegacyEvaluator(d, cfg).Evaluate(doc.Root)
+		if got := pool.Evaluate(doc.Root); got != want {
+			t.Errorf("doc %d: pooled %+v, legacy %+v", i, got, want)
+		}
+	}
+}

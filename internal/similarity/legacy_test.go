@@ -1,0 +1,418 @@
+package similarity
+
+// This file freezes the string-keyed evaluator as it stood before the
+// interned-label rewrite (PR 2). It exists only as a reference
+// implementation for the equivalence tests: the interned hot path must
+// produce bit-for-bit identical similarity degrees. Keep the arithmetic
+// and iteration order in lockstep with the pre-rewrite code; do not
+// "improve" it.
+
+import (
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/xmltree"
+)
+
+type legacyEvaluator struct {
+	cfg     Config
+	d       *dtd.DTD
+	reqMemo map[string]float64
+	nfaMemo map[*dtd.Content]*legacyNFA
+	triMemo map[triKey]Triple
+}
+
+func newLegacyEvaluator(d *dtd.DTD, cfg Config) *legacyEvaluator {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 64
+	}
+	return &legacyEvaluator{
+		cfg:     cfg,
+		d:       d,
+		reqMemo: make(map[string]float64),
+		nfaMemo: make(map[*dtd.Content]*legacyNFA),
+		triMemo: make(map[triKey]Triple),
+	}
+}
+
+func (e *legacyEvaluator) Evaluate(root *xmltree.Node) Result {
+	defer clear(e.triMemo)
+	if root == nil || !root.IsElement() {
+		return Result{}
+	}
+	declName, ts := e.bestDecl(root.Name)
+	if ts <= 0 {
+		return Result{}
+	}
+	model := e.d.Elements[declName]
+	t := partialMatch(ts).Add(e.globalTriple(root, model, 0).Scale(e.cfg.Decay))
+	local := partialMatch(ts).Add(e.localTriple(root, model).Scale(e.cfg.Decay))
+	return Result{
+		Global: e.cfg.Eval(t),
+		Local:  e.cfg.Eval(local),
+		Triple: t,
+	}
+}
+
+func (e *legacyEvaluator) LocalSim(n *xmltree.Node, model *dtd.Content) float64 {
+	t := Triple{Common: 1}.Add(e.localTriple(n, model).Scale(e.cfg.Decay))
+	return e.cfg.Eval(t)
+}
+
+func (e *legacyEvaluator) globalTriple(n *xmltree.Node, model *dtd.Content, depth int) Triple {
+	key := triKey{n: n, m: model}
+	if t, ok := e.triMemo[key]; ok {
+		return t
+	}
+	t := e.elementTriple(n, model, depth, true)
+	e.triMemo[key] = t
+	return t
+}
+
+func (e *legacyEvaluator) localTriple(n *xmltree.Node, model *dtd.Content) Triple {
+	return e.elementTriple(n, model, 0, false)
+}
+
+func (e *legacyEvaluator) elementTriple(n *xmltree.Node, model *dtd.Content, depth int, global bool) Triple {
+	if depth >= e.cfg.MaxDepth {
+		return Triple{}
+	}
+	elems := n.ChildElements()
+	switch {
+	case model == nil || model.Kind == dtd.Any:
+		return e.anyTriple(elems, depth, global)
+	case model.Kind == dtd.Empty:
+		var t Triple
+		for _, c := range n.Children {
+			t.Plus += e.weightedSize(c)
+		}
+		return t
+	case model.Kind == dtd.PCDATA:
+		var t Triple
+		if n.HasText() {
+			t.Common++
+		}
+		for _, c := range elems {
+			t.Plus += e.weightedSize(c)
+		}
+		return t
+	case model.IsMixed():
+		return e.mixedTriple(model, elems, depth, global)
+	default:
+		return e.contentTriple(model, n, depth, global)
+	}
+}
+
+func (e *legacyEvaluator) anyTriple(elems []*xmltree.Node, depth int, global bool) Triple {
+	var t Triple
+	for _, c := range elems {
+		declName, ts := e.bestDecl(c.Name)
+		if ts <= 0 {
+			t.Plus += e.weightedSize(c)
+			continue
+		}
+		t = t.Add(partialMatch(ts))
+		if global {
+			t = t.Add(e.globalTriple(c, e.d.Elements[declName], depth+1).Scale(e.cfg.Decay))
+		}
+	}
+	return t
+}
+
+func (e *legacyEvaluator) mixedTriple(model *dtd.Content, elems []*xmltree.Node, depth int, global bool) Triple {
+	labels := model.Labels()
+	var t Triple
+	for _, c := range elems {
+		bestLabel, bestSim := "", 0.0
+		for _, l := range labels {
+			if s := e.tagSim(c.Name, l); s > bestSim {
+				bestLabel, bestSim = l, s
+			}
+		}
+		if bestSim <= 0 {
+			t.Plus += e.weightedSize(c)
+			continue
+		}
+		t = t.Add(partialMatch(bestSim))
+		if global {
+			if decl, ok := e.d.Elements[bestLabel]; ok {
+				t = t.Add(e.globalTriple(c, decl, depth+1).Scale(e.cfg.Decay))
+			}
+		}
+	}
+	return t
+}
+
+func (e *legacyEvaluator) contentTriple(model *dtd.Content, n *xmltree.Node, depth int, global bool) Triple {
+	a := e.compiled(model)
+	var textPlus float64
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			textPlus++
+		}
+	}
+	t := e.align(a, n.ChildElements(), depth, global)
+	t.Plus += textPlus
+	return t
+}
+
+func (e *legacyEvaluator) tagSim(docTag, dtdTag string) float64 {
+	if docTag == dtdTag {
+		return 1
+	}
+	if e.cfg.TagSimilarity == nil {
+		return 0
+	}
+	s := e.cfg.TagSimilarity(docTag, dtdTag)
+	if s < e.cfg.MinTagSimilarity || s <= 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func (e *legacyEvaluator) bestDecl(tag string) (string, float64) {
+	if _, ok := e.d.Elements[tag]; ok {
+		return tag, 1
+	}
+	if e.cfg.TagSimilarity == nil {
+		return "", 0
+	}
+	bestName, bestSim := "", 0.0
+	for name := range e.d.Elements {
+		if s := e.tagSim(tag, name); s > bestSim || (s == bestSim && s > 0 && name < bestName) {
+			bestName, bestSim = name, s
+		}
+	}
+	return bestName, bestSim
+}
+
+func (e *legacyEvaluator) matchDelta(c *xmltree.Node, name string, depth int, global bool, ts float64) Triple {
+	t := partialMatch(ts)
+	if !global {
+		return t
+	}
+	decl, ok := e.d.Elements[name]
+	if !ok {
+		return t
+	}
+	return t.Add(e.globalTriple(c, decl, depth+1).Scale(e.cfg.Decay))
+}
+
+func (e *legacyEvaluator) weightedSize(n *xmltree.Node) float64 {
+	size := 1.0
+	var sub float64
+	for _, c := range n.Children {
+		sub += e.weightedSize(c)
+	}
+	return size + e.cfg.Decay*sub
+}
+
+func (e *legacyEvaluator) requiredWeight(name string, visiting map[string]bool) float64 {
+	if w, ok := e.reqMemo[name]; ok {
+		return w
+	}
+	if visiting[name] {
+		return 1
+	}
+	decl, ok := e.d.Elements[name]
+	if !ok {
+		return 1
+	}
+	if visiting == nil {
+		visiting = make(map[string]bool)
+	}
+	visiting[name] = true
+	w := 1 + e.cfg.Decay*e.requiredModelWeight(decl, visiting)
+	delete(visiting, name)
+	e.reqMemo[name] = w
+	return w
+}
+
+func (e *legacyEvaluator) requiredModelWeight(c *dtd.Content, visiting map[string]bool) float64 {
+	switch c.Kind {
+	case dtd.Name:
+		return e.requiredWeight(c.Name, visiting)
+	case dtd.Opt, dtd.Star, dtd.Empty, dtd.Any, dtd.PCDATA:
+		return 0
+	case dtd.Plus:
+		return e.requiredModelWeight(c.Children[0], visiting)
+	case dtd.Seq:
+		var sum float64
+		for _, ch := range c.Children {
+			sum += e.requiredModelWeight(ch, visiting)
+		}
+		return sum
+	case dtd.Choice:
+		best := -1.0
+		for _, ch := range c.Children {
+			w := e.requiredModelWeight(ch, visiting)
+			if best < 0 || w < best {
+				best = w
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	default:
+		return 0
+	}
+}
+
+// --- legacy automaton ---
+
+type legacyEpsEdge struct {
+	to    int
+	minus float64
+}
+
+type legacySymEdge struct {
+	to   int
+	name string
+}
+
+type legacyNFA struct {
+	eps    [][]legacyEpsEdge
+	syms   [][]legacySymEdge
+	start  int
+	accept int
+}
+
+func (e *legacyEvaluator) compiled(model *dtd.Content) *legacyNFA {
+	if a, ok := e.nfaMemo[model]; ok {
+		return a
+	}
+	b := &legacyNFABuilder{e: e}
+	start, accept := b.build(model)
+	a := &legacyNFA{eps: b.eps, syms: b.syms, start: start, accept: accept}
+	e.nfaMemo[model] = a
+	return a
+}
+
+type legacyNFABuilder struct {
+	e    *legacyEvaluator
+	eps  [][]legacyEpsEdge
+	syms [][]legacySymEdge
+}
+
+func (b *legacyNFABuilder) newState() int {
+	b.eps = append(b.eps, nil)
+	b.syms = append(b.syms, nil)
+	return len(b.eps) - 1
+}
+
+func (b *legacyNFABuilder) addEps(from, to int, minus float64) {
+	b.eps[from] = append(b.eps[from], legacyEpsEdge{to: to, minus: minus})
+}
+
+func (b *legacyNFABuilder) addSym(from, to int, name string) {
+	b.syms[from] = append(b.syms[from], legacySymEdge{to: to, name: name})
+}
+
+func (b *legacyNFABuilder) build(c *dtd.Content) (int, int) {
+	start, accept := b.newState(), b.newState()
+	switch c.Kind {
+	case dtd.Name:
+		b.addSym(start, accept, c.Name)
+		b.addEps(start, accept, b.e.requiredWeight(c.Name, make(map[string]bool)))
+	case dtd.PCDATA, dtd.Empty, dtd.Any:
+		b.addEps(start, accept, 0)
+	case dtd.Seq:
+		prev := start
+		for _, ch := range c.Children {
+			fs, fa := b.build(ch)
+			b.addEps(prev, fs, 0)
+			prev = fa
+		}
+		b.addEps(prev, accept, 0)
+	case dtd.Choice:
+		for _, ch := range c.Children {
+			fs, fa := b.build(ch)
+			b.addEps(start, fs, 0)
+			b.addEps(fa, accept, 0)
+		}
+	case dtd.Opt:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(start, accept, 0)
+	case dtd.Star:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(start, accept, 0)
+		b.addEps(fa, fs, 0)
+	case dtd.Plus:
+		fs, fa := b.build(c.Children[0])
+		b.addEps(start, fs, 0)
+		b.addEps(fa, accept, 0)
+		b.addEps(fa, fs, 0)
+	default:
+		b.addEps(start, accept, 0)
+	}
+	return start, accept
+}
+
+func (e *legacyEvaluator) align(a *legacyNFA, children []*xmltree.Node, depth int, global bool) Triple {
+	cur := make([]cell, len(a.eps))
+	next := make([]cell, len(a.eps))
+	cur[a.start] = cell{ok: true}
+	e.relaxEps(a, cur)
+	for _, child := range children {
+		for i := range next {
+			next[i] = cell{}
+		}
+		for s := range cur {
+			if !cur[s].ok {
+				continue
+			}
+			e.improve(next, s, cur[s].t.Add(Triple{Plus: e.weightedSize(child)}))
+			for _, edge := range a.syms[s] {
+				ts := e.tagSim(child.Name, edge.name)
+				if ts <= 0 {
+					continue
+				}
+				delta := e.matchDelta(child, edge.name, depth, global, ts)
+				e.improve(next, edge.to, cur[s].t.Add(delta))
+			}
+		}
+		cur, next = next, cur
+		e.relaxEps(a, cur)
+	}
+	if !cur[a.accept].ok {
+		return Triple{Minus: 1}
+	}
+	return cur[a.accept].t
+}
+
+func (e *legacyEvaluator) improve(cells []cell, s int, t Triple) bool {
+	if !cells[s].ok || e.cfg.score(t) > e.cfg.score(cells[s].t) {
+		cells[s] = cell{t: t, ok: true}
+		return true
+	}
+	return false
+}
+
+func (e *legacyEvaluator) relaxEps(a *legacyNFA, cells []cell) {
+	work := make([]int, 0, len(cells))
+	inWork := make([]bool, len(cells))
+	for s := range cells {
+		if cells[s].ok {
+			work = append(work, s)
+			inWork[s] = true
+		}
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[s] = false
+		for _, edge := range a.eps[s] {
+			cand := cells[s].t.Add(Triple{Minus: edge.minus})
+			if e.improve(cells, edge.to, cand) && !inWork[edge.to] {
+				work = append(work, edge.to)
+				inWork[edge.to] = true
+			}
+		}
+	}
+}

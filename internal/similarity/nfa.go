@@ -2,6 +2,7 @@ package similarity
 
 import (
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/xmltree"
 )
 
@@ -17,7 +18,10 @@ import (
 //     paper's plus components).
 //
 // The best triple per automaton state is propagated across child positions,
-// maximizing the linear score surrogate (see Config.score).
+// maximizing the linear score surrogate (see Config.score). The automaton
+// alphabet is interned: symbol edges carry the dense ID of their label, so
+// the inner matching loop is an integer comparison; the name is kept only
+// for thesaurus lookups and alignment traces.
 
 type epsEdge struct {
 	to    int
@@ -30,6 +34,7 @@ type epsEdge struct {
 
 type symEdge struct {
 	to   int
+	id   int32 // interned label ID; never None (labels are interned at build)
 	name string
 }
 
@@ -79,8 +84,8 @@ func (b *nfaBuilder) addSkip(from, to int, minus float64, name string) {
 	b.eps[from] = append(b.eps[from], epsEdge{to: to, minus: minus, skipName: name})
 }
 
-func (b *nfaBuilder) addSym(from, to int, name string) {
-	b.syms[from] = append(b.syms[from], symEdge{to: to, name: name})
+func (b *nfaBuilder) addSym(from, to int, id int32, name string) {
+	b.syms[from] = append(b.syms[from], symEdge{to: to, id: id, name: name})
 }
 
 // build compiles c into a fragment and returns its (start, accept) states.
@@ -91,8 +96,9 @@ func (b *nfaBuilder) build(c *dtd.Content) (int, int) {
 	start, accept := b.newState(), b.newState()
 	switch c.Kind {
 	case dtd.Name:
-		b.addSym(start, accept, c.Name)
-		b.addSkip(start, accept, b.e.requiredWeight(c.Name, make(map[string]bool)), c.Name)
+		id := b.e.tab.Intern(c.Name)
+		b.addSym(start, accept, id, c.Name)
+		b.addSkip(start, accept, b.e.requiredWeight(c.Name, id), c.Name)
 	case dtd.PCDATA, dtd.Empty, dtd.Any:
 		// No child elements to consume; character data is costed by the
 		// caller.
@@ -139,14 +145,60 @@ type cell struct {
 	ok bool
 }
 
-// align runs the automaton over the element children, returning the best
-// triple that ends in the accept state after all children are consumed.
-func (e *Evaluator) align(a *nfa, children []*xmltree.Node, depth int, global bool) Triple {
-	cur := make([]cell, len(a.eps))
-	next := make([]cell, len(a.eps))
+// alignScratch is one reusable set of alignment buffers. Evaluators keep a
+// free list of these (not a single instance): global alignment recurses —
+// matching a child recursively aligns the child's own children — so nested
+// align calls each need live buffers. The slices are grow-only; inWork
+// self-cleans (every pushed state is popped), so only cur needs zeroing on
+// reuse (next is wiped at the top of every child step).
+type alignScratch struct {
+	cur, next []cell
+	work      []int
+	inWork    []bool
+}
+
+// getScratch pops (or creates) a scratch sized for n automaton states, with
+// cur zeroed. At steady state this allocates nothing.
+func (e *Evaluator) getScratch(n int) *alignScratch {
+	var sc *alignScratch
+	if len(e.scratch) > 0 {
+		sc = e.scratch[len(e.scratch)-1]
+		e.scratch = e.scratch[:len(e.scratch)-1]
+	} else {
+		sc = &alignScratch{}
+	}
+	if cap(sc.cur) < n {
+		sc.cur = make([]cell, n)
+		sc.next = make([]cell, n)
+		sc.inWork = make([]bool, n)
+	}
+	sc.cur = sc.cur[:n]
+	sc.next = sc.next[:n]
+	sc.inWork = sc.inWork[:n]
+	for i := range sc.cur {
+		sc.cur[i] = cell{}
+	}
+	return sc
+}
+
+func (e *Evaluator) putScratch(sc *alignScratch) {
+	e.scratch = append(e.scratch, sc)
+}
+
+// align runs the automaton over the element children of n, returning the
+// best triple that ends in the accept state after all children are
+// consumed.
+func (e *Evaluator) align(a *nfa, n *xmltree.Node, depth int, global bool) Triple {
+	sc := e.getScratch(len(a.eps))
+	defer e.putScratch(sc)
+	cur, next := sc.cur, sc.next
 	cur[a.start] = cell{ok: true}
-	e.relaxEps(a, cur)
-	for _, child := range children {
+	e.relaxEps(a, cur, sc)
+	for _, child := range n.Children {
+		if child.Kind != xmltree.Element {
+			continue
+		}
+		cid := e.docID(child)
 		for i := range next {
 			next[i] = cell{}
 		}
@@ -156,10 +208,15 @@ func (e *Evaluator) align(a *nfa, children []*xmltree.Node, depth int, global bo
 			}
 			// Skip the child: it is a plus component.
 			e.improve(next, s, cur[s].t.Add(Triple{Plus: e.weightedSize(child)}))
-			// Match the child on a symbol edge (exactly, or by tag
+			// Match the child on a symbol edge (exactly, by ID, or by tag
 			// similarity when a thesaurus is configured).
 			for _, edge := range a.syms[s] {
-				ts := e.tagSim(child.Name, edge.name)
+				var ts float64
+				if cid != intern.None && cid == edge.id {
+					ts = 1
+				} else {
+					ts = e.tagSimID(cid, child.Name, edge.id, edge.name)
+				}
 				if ts <= 0 {
 					continue
 				}
@@ -168,7 +225,7 @@ func (e *Evaluator) align(a *nfa, children []*xmltree.Node, depth int, global bo
 			}
 		}
 		cur, next = next, cur
-		e.relaxEps(a, cur)
+		e.relaxEps(a, cur, sc)
 	}
 	if !cur[a.accept].ok {
 		// Unreachable by construction (every fragment has an epsilon path),
@@ -190,9 +247,8 @@ func (e *Evaluator) improve(cells []cell, s int, t Triple) bool {
 // relaxEps propagates triples along epsilon edges to a fixpoint. Epsilon
 // moves never increase the score (minus costs are non-negative), so the
 // relaxation terminates; a worklist keeps it near-linear in practice.
-func (e *Evaluator) relaxEps(a *nfa, cells []cell) {
-	work := make([]int, 0, len(cells))
-	inWork := make([]bool, len(cells))
+func (e *Evaluator) relaxEps(a *nfa, cells []cell, sc *alignScratch) {
+	work, inWork := sc.work[:0], sc.inWork
 	for s := range cells {
 		if cells[s].ok {
 			work = append(work, s)
@@ -211,4 +267,5 @@ func (e *Evaluator) relaxEps(a *nfa, cells []cell) {
 			}
 		}
 	}
+	sc.work = work[:0]
 }

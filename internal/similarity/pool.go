@@ -4,25 +4,30 @@ import (
 	"sync"
 
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/xmltree"
 )
 
 // sharedTables holds the per-DTD memo tables shared by every Evaluator of a
-// Pool: the required-weight table and the compiled alignment automata. Both
-// are built once at Pool construction and are read-only afterwards, so
-// pooled evaluators consult them without locking.
+// Pool: the symbol table, the required-weight table (indexed by label ID,
+// NaN = no entry), the compiled alignment automata, and the interned label
+// sets of mixed models. All are built once at Pool construction and are
+// read-only afterwards (the Table extends itself internally and is safe
+// for concurrent use), so pooled evaluators consult them without locking.
 type sharedTables struct {
-	req  map[string]float64
-	nfas map[*dtd.Content]*nfa
+	tab   *intern.Table
+	req   []float64
+	nfas  map[*dtd.Content]*nfa
+	mixed map[*dtd.Content]*labelSet
 }
 
 // Pool hands out Evaluators for one DTD so that many goroutines can score
-// documents against it concurrently. The evaluator memo maps are
+// documents against it concurrently. The evaluator memo structures are
 // unsynchronized by design (they sit on the scoring hot path); the pool
-// keeps the expensive, DTD-derived tables — required weights and compiled
-// alignment automata — in a shared read-only structure precompiled at
-// construction, and gives each borrowed evaluator its own private maps for
-// anything not precompiled.
+// keeps the expensive, DTD-derived tables — required weights, compiled
+// alignment automata and mixed-model alphabets — in a shared read-only
+// structure precompiled at construction, and gives each borrowed evaluator
+// its own private memos for anything not precompiled.
 //
 // Get/Put follow the usual sync.Pool discipline; Evaluate and GlobalSim
 // wrap a borrow-score-return cycle for the common case.
@@ -33,21 +38,36 @@ type Pool struct {
 }
 
 // NewPool precompiles the alignment automata and required-weight table of d
-// and returns a pool of evaluators sharing them. The DTD must not be
-// mutated while the pool is in use; register a fresh pool after an
-// evolution instead.
+// and returns a pool of evaluators sharing them, interning d's labels into
+// a fresh symbol table. The DTD must not be mutated while the pool is in
+// use; register a fresh pool after an evolution instead.
 func NewPool(d *dtd.DTD, cfg Config) *Pool {
-	seed := NewEvaluator(d, cfg)
+	return NewPoolWithTable(d, cfg, intern.NewTable())
+}
+
+// NewPoolWithTable is NewPool with a caller-provided symbol table, so one
+// source can share a single table across the pools of all its DTDs and its
+// recorders — IDs stamped on a document stay valid everywhere.
+func NewPoolWithTable(d *dtd.DTD, cfg Config, tab *intern.Table) *Pool {
+	intern.InternDTD(tab, d)
+	seed := newEvaluator(d, cfg, tab)
 	for name, model := range d.Elements {
-		seed.requiredWeight(name, make(map[string]bool))
+		seed.requiredWeightName(name)
 		if isElementContent(model) {
 			seed.compiled(model)
+		} else if model != nil && model.IsMixed() {
+			seed.mixedSet(model)
 		}
 	}
-	shared := &sharedTables{req: seed.reqMemo, nfas: seed.nfaMemo}
+	shared := &sharedTables{
+		tab:   tab,
+		req:   seed.reqMemo,
+		nfas:  seed.nfaMemo,
+		mixed: seed.mixedMemo,
+	}
 	p := &Pool{d: d, shared: shared}
 	p.pool.New = func() any {
-		e := NewEvaluator(d, cfg)
+		e := newEvaluator(d, cfg, tab)
 		e.shared = shared
 		return e
 	}
@@ -70,6 +90,9 @@ func isElementContent(m *dtd.Content) bool {
 
 // DTD returns the DTD the pool scores against.
 func (p *Pool) DTD() *dtd.DTD { return p.d }
+
+// Table returns the symbol table shared by the pool's evaluators.
+func (p *Pool) Table() *intern.Table { return p.shared.tab }
 
 // Get borrows an evaluator. Return it with Put when done; evaluators must
 // not be used concurrently or after Put.

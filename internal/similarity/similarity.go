@@ -24,12 +24,26 @@
 //   - local similarity only evaluates the direct subelements of an element
 //     against the operators in its declaration, and is the signal that
 //     drives the recording and evolution phases.
+//
+// The implementation runs on interned labels: every element name is mapped
+// to a dense int32 ID by an intern.Table shared across the evaluators of a
+// Pool (and, higher up, across one source's classifiers and recorders), so
+// the per-document inner loop compares integers and indexes slices instead
+// of hashing strings. DESIGN.md §9 describes the interning lifecycle and
+// the allocation budget; at steady state Evaluate performs no heap
+// allocations.
 package similarity
 
 import (
+	"math"
+
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/xmltree"
 )
+
+// nan marks unset entries of ID-indexed float64 memo slices.
+var nan = math.NaN()
 
 // Config holds the parameters of the measure. The zero value is not valid;
 // use DefaultConfig (or fill every field).
@@ -119,17 +133,33 @@ type Result struct {
 type Evaluator struct {
 	cfg Config
 	d   *dtd.DTD
+	// tab interns element labels to the dense IDs the hot path runs on.
+	// Every structure below that is ID-indexed is relative to this table.
+	tab *intern.Table
 	// shared holds precompiled read-only tables when the evaluator comes
 	// from a Pool; nil for a standalone evaluator.
-	shared  *sharedTables
-	reqMemo map[string]float64
-	nfaMemo map[*dtd.Content]*nfa
+	shared *sharedTables
+	// reqMemo caches required weights, indexed by label ID; NaN = unset.
+	// visiting is the cycle-detection set of the same computation. Both
+	// grow on demand and self-clean (visiting follows stack discipline).
+	reqMemo  []float64
+	visiting []bool
+	nfaMemo  map[*dtd.Content]*nfa
+	// mixedMemo caches the sorted, interned label set of mixed models.
+	mixedMemo map[*dtd.Content]*labelSet
 	// triMemo caches global triples per (element node, model): a model may
 	// reference the same name several times, and without the cache the same
 	// subtree would be re-evaluated once per reference. It is scoped to a
 	// single Evaluate/AlignChildren call — entries key live document nodes,
 	// and a long-lived evaluator must not pin every tree it ever scored.
 	triMemo map[triKey]Triple
+	// simMemo caches thesaurus degrees per (document tag, DTD tag) ID pair;
+	// nil until the first thesaurus lookup. Degrees are config-stable, so
+	// the cache is never cleared.
+	simMemo map[simKey]float64
+	// scratch is a free list of alignment buffers. A stack (not a single
+	// buffer) because global alignment recurses into nested aligns.
+	scratch []*alignScratch
 }
 
 type triKey struct {
@@ -137,18 +167,54 @@ type triKey struct {
 	m *dtd.Content
 }
 
-// NewEvaluator returns an Evaluator for d with the given configuration.
+type simKey struct {
+	doc, dtd int32
+}
+
+// labelSet is the label alphabet of a mixed content model: names sorted as
+// model.Labels() returns them, with ids[i] the interned ID of names[i].
+type labelSet struct {
+	names []string
+	ids   []int32
+}
+
+// NewEvaluator returns an Evaluator for d with the given configuration,
+// interning d's labels into a private symbol table. To share one table
+// across evaluators (and with recorders), use a Pool.
 func NewEvaluator(d *dtd.DTD, cfg Config) *Evaluator {
+	tab := intern.NewTable()
+	intern.InternDTD(tab, d)
+	return newEvaluator(d, cfg, tab)
+}
+
+// newEvaluator builds a bare evaluator on an existing table; the caller is
+// responsible for having interned d into tab.
+func newEvaluator(d *dtd.DTD, cfg Config, tab *intern.Table) *Evaluator {
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = 64
 	}
 	return &Evaluator{
-		cfg:     cfg,
-		d:       d,
-		reqMemo: make(map[string]float64),
-		nfaMemo: make(map[*dtd.Content]*nfa),
-		triMemo: make(map[triKey]Triple),
+		cfg:       cfg,
+		d:         d,
+		tab:       tab,
+		nfaMemo:   make(map[*dtd.Content]*nfa),
+		mixedMemo: make(map[*dtd.Content]*labelSet),
+		triMemo:   make(map[triKey]Triple),
 	}
+}
+
+// Table returns the symbol table the evaluator interns labels into.
+func (e *Evaluator) Table() *intern.Table { return e.tab }
+
+// docID resolves the interned ID of a document element's tag: the node's
+// cached LabelID when it verifiably belongs to this evaluator's table
+// (documents are stamped by the source engine at recording time), else a
+// fresh intern — lock-free unless the tag has never been seen.
+func (e *Evaluator) docID(n *xmltree.Node) int32 {
+	if id := n.LabelID(); id > 0 && e.tab.NameIs(id, n.Name) {
+		return id
+	}
+	return e.tab.Intern(n.Name)
 }
 
 // Evaluate computes the global and local similarity of the document rooted
@@ -227,10 +293,9 @@ func (e *Evaluator) elementTriple(n *xmltree.Node, model *dtd.Content, depth int
 	if depth >= e.cfg.MaxDepth {
 		return Triple{}
 	}
-	elems := n.ChildElements()
 	switch {
 	case model == nil || model.Kind == dtd.Any:
-		return e.anyTriple(elems, depth, global)
+		return e.anyTriple(n, depth, global)
 	case model.Kind == dtd.Empty:
 		var t Triple
 		for _, c := range n.Children {
@@ -242,12 +307,14 @@ func (e *Evaluator) elementTriple(n *xmltree.Node, model *dtd.Content, depth int
 		if n.HasText() {
 			t.Common++
 		}
-		for _, c := range elems {
-			t.Plus += e.weightedSize(c)
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element {
+				t.Plus += e.weightedSize(c)
+			}
 		}
 		return t
 	case model.IsMixed():
-		return e.mixedTriple(model, elems, depth, global)
+		return e.mixedTriple(model, n, depth, global)
 	default:
 		return e.contentTriple(model, n, depth, global)
 	}
@@ -255,9 +322,12 @@ func (e *Evaluator) elementTriple(n *xmltree.Node, model *dtd.Content, depth int
 
 // anyTriple handles ANY declarations: any declared element is acceptable
 // content; undeclared elements count as plus.
-func (e *Evaluator) anyTriple(elems []*xmltree.Node, depth int, global bool) Triple {
+func (e *Evaluator) anyTriple(n *xmltree.Node, depth int, global bool) Triple {
 	var t Triple
-	for _, c := range elems {
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
 		declName, ts := e.bestDecl(c.Name)
 		if ts <= 0 {
 			t.Plus += e.weightedSize(c)
@@ -271,14 +341,44 @@ func (e *Evaluator) anyTriple(elems []*xmltree.Node, depth int, global bool) Tri
 	return t
 }
 
-func (e *Evaluator) mixedTriple(model *dtd.Content, elems []*xmltree.Node, depth int, global bool) Triple {
-	labels := model.Labels()
+// mixedSet returns the interned label alphabet of a mixed model, building
+// and caching it on first use.
+func (e *Evaluator) mixedSet(model *dtd.Content) *labelSet {
+	if e.shared != nil {
+		if s, ok := e.shared.mixed[model]; ok {
+			return s
+		}
+	}
+	if s, ok := e.mixedMemo[model]; ok {
+		return s
+	}
+	names := model.Labels()
+	s := &labelSet{names: names, ids: make([]int32, len(names))}
+	for i, l := range names {
+		s.ids[i] = e.tab.Intern(l)
+	}
+	e.mixedMemo[model] = s
+	return s
+}
+
+func (e *Evaluator) mixedTriple(model *dtd.Content, n *xmltree.Node, depth int, global bool) Triple {
+	set := e.mixedSet(model)
 	var t Triple
-	for _, c := range elems {
-		bestLabel, bestSim := "", 0.0
-		for _, l := range labels {
-			if s := e.tagSim(c.Name, l); s > bestSim {
-				bestLabel, bestSim = l, s
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		cid := e.docID(c)
+		bestIdx, bestSim := -1, 0.0
+		for i, lid := range set.ids {
+			var s float64
+			if cid != intern.None && cid == lid {
+				s = 1
+			} else {
+				s = e.tagSimID(cid, c.Name, lid, set.names[i])
+			}
+			if s > bestSim {
+				bestIdx, bestSim = i, s
 			}
 		}
 		if bestSim <= 0 {
@@ -287,7 +387,7 @@ func (e *Evaluator) mixedTriple(model *dtd.Content, elems []*xmltree.Node, depth
 		}
 		t = t.Add(partialMatch(bestSim))
 		if global {
-			if decl, ok := e.d.Elements[bestLabel]; ok {
+			if decl, ok := e.d.Elements[set.names[bestIdx]]; ok {
 				t = t.Add(e.globalTriple(c, decl, depth+1).Scale(e.cfg.Decay))
 			}
 		}
@@ -305,7 +405,7 @@ func (e *Evaluator) contentTriple(model *dtd.Content, n *xmltree.Node, depth int
 			textPlus++ // character data is not allowed in element content
 		}
 	}
-	t := e.align(a, n.ChildElements(), depth, global)
+	t := e.align(a, n, depth, global)
 	t.Plus += textPlus
 	return t
 }
@@ -320,11 +420,41 @@ func partialMatch(ts float64) Triple {
 
 // tagSim returns the match degree of a document tag against a DTD tag: 1
 // for equal tags, the configured TagSimilarity for different ones (0 when
-// below the floor or when no TagSimilarity is configured).
+// below the floor or when no TagSimilarity is configured). It is the
+// string-keyed entry point of the cold paths; the hot path compares
+// interned IDs and falls through to tagSimID.
 func (e *Evaluator) tagSim(docTag, dtdTag string) float64 {
 	if docTag == dtdTag {
 		return 1
 	}
+	return e.thesaurusSim(docTag, dtdTag)
+}
+
+// tagSimID is tagSim for tags whose ID comparison already ruled out
+// equality: it consults the thesaurus through a per-ID-pair cache. Degrees
+// for tags that escaped interning (None) are computed uncached.
+func (e *Evaluator) tagSimID(docID int32, docTag string, dtdID int32, dtdTag string) float64 {
+	if e.cfg.TagSimilarity == nil {
+		return 0
+	}
+	if docID == intern.None || dtdID == intern.None {
+		return e.thesaurusSim(docTag, dtdTag)
+	}
+	key := simKey{doc: docID, dtd: dtdID}
+	if s, ok := e.simMemo[key]; ok {
+		return s
+	}
+	s := e.thesaurusSim(docTag, dtdTag)
+	if e.simMemo == nil {
+		e.simMemo = make(map[simKey]float64)
+	}
+	e.simMemo[key] = s
+	return s
+}
+
+// thesaurusSim applies the configured TagSimilarity with the floor and
+// clamp of the measure; the tags are known to differ.
+func (e *Evaluator) thesaurusSim(docTag, dtdTag string) float64 {
 	if e.cfg.TagSimilarity == nil {
 		return 0
 	}
@@ -340,7 +470,8 @@ func (e *Evaluator) tagSim(docTag, dtdTag string) float64 {
 
 // bestDecl finds the declaration best matching a document tag: the tag's
 // own declaration when present, otherwise the declared element with the
-// highest tag similarity.
+// highest tag similarity (ties broken toward the lexicographically
+// smallest name, so the result is independent of map iteration order).
 func (e *Evaluator) bestDecl(tag string) (string, float64) {
 	if _, ok := e.d.Elements[tag]; ok {
 		return tag, 1
@@ -385,55 +516,74 @@ func (e *Evaluator) weightedSize(n *xmltree.Node) float64 {
 	return size + e.cfg.Decay*sub
 }
 
+// requiredWeightName is the entry point for required weights keyed by a
+// name alone (pool precompilation, tests): it interns the name and
+// delegates to the ID-indexed computation.
+func (e *Evaluator) requiredWeightName(name string) float64 {
+	return e.requiredWeight(name, e.tab.Intern(name))
+}
+
 // requiredWeight is the minus cost of skipping a mandatory reference to the
-// element called name: 1 for the element itself plus the decayed required
-// weight of its own declaration. Cycles in the DTD contribute once.
-func (e *Evaluator) requiredWeight(name string, visiting map[string]bool) float64 {
-	if e.shared != nil {
-		if w, ok := e.shared.req[name]; ok {
+// element called name (with interned ID id): 1 for the element itself plus
+// the decayed required weight of its own declaration. Cycles in the DTD
+// contribute once, tracked by the ID-indexed visiting stack.
+func (e *Evaluator) requiredWeight(name string, id int32) float64 {
+	if e.shared != nil && int(id) < len(e.shared.req) {
+		if w := e.shared.req[id]; w == w { // not NaN: precompiled
 			return w
 		}
 	}
-	if w, ok := e.reqMemo[name]; ok {
-		return w
+	if int(id) < len(e.reqMemo) {
+		if w := e.reqMemo[id]; w == w {
+			return w
+		}
 	}
-	if visiting[name] {
+	if int(id) < len(e.visiting) && e.visiting[id] {
 		return 1
 	}
 	decl, ok := e.d.Elements[name]
 	if !ok {
 		return 1
 	}
-	if visiting == nil {
-		visiting = make(map[string]bool)
-	}
-	visiting[name] = true
-	w := 1 + e.cfg.Decay*e.requiredModelWeight(decl, visiting)
-	delete(visiting, name)
-	e.reqMemo[name] = w
+	e.growReqMemo(id)
+	e.visiting[id] = true
+	w := 1 + e.cfg.Decay*e.requiredModelWeight(decl)
+	e.visiting[id] = false
+	e.reqMemo[id] = w
 	return w
+}
+
+// growReqMemo extends the ID-indexed required-weight tables to cover id,
+// filling new memo entries with NaN ("unset").
+func (e *Evaluator) growReqMemo(id int32) {
+	for int(id) >= len(e.reqMemo) {
+		e.reqMemo = append(e.reqMemo, nan)
+	}
+	for int(id) >= len(e.visiting) {
+		e.visiting = append(e.visiting, false)
+	}
 }
 
 // requiredModelWeight is the minimal mandatory weight of a content model:
 // the minus cost of providing none of its content.
-func (e *Evaluator) requiredModelWeight(c *dtd.Content, visiting map[string]bool) float64 {
+func (e *Evaluator) requiredModelWeight(c *dtd.Content) float64 {
 	switch c.Kind {
 	case dtd.Name:
-		return e.requiredWeight(c.Name, visiting)
+		return e.requiredWeight(c.Name, e.tab.Intern(c.Name))
 	case dtd.Opt, dtd.Star, dtd.Empty, dtd.Any, dtd.PCDATA:
 		return 0
 	case dtd.Plus:
-		return e.requiredModelWeight(c.Children[0], visiting)
+		return e.requiredModelWeight(c.Children[0])
 	case dtd.Seq:
 		var sum float64
 		for _, ch := range c.Children {
-			sum += e.requiredModelWeight(ch, visiting)
+			sum += e.requiredModelWeight(ch)
 		}
 		return sum
 	case dtd.Choice:
 		best := -1.0
 		for _, ch := range c.Children {
-			w := e.requiredModelWeight(ch, visiting)
+			w := e.requiredModelWeight(ch)
 			if best < 0 || w < best {
 				best = w
 			}

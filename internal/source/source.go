@@ -34,6 +34,7 @@ import (
 	"dtdevolve/internal/docstore"
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/intern"
 	"dtdevolve/internal/metrics"
 	"dtdevolve/internal/record"
 	"dtdevolve/internal/similarity"
@@ -98,6 +99,10 @@ type Source struct {
 	cfg        Config
 	entries    map[string]*entry
 	classifier *classify.Classifier
+	// tab is the per-source symbol table: every classifier pool and every
+	// recorder keys its label work by the same dense IDs, and recordLocked
+	// stamps classified documents with them (intern.InternDocument).
+	tab        *intern.Table
 	repository []*xmltree.Document
 	added      int
 	gen        uint64
@@ -108,10 +113,12 @@ type Source struct {
 
 // New returns an empty Source.
 func New(cfg Config) *Source {
+	tab := intern.NewTable()
 	return &Source{
 		cfg:        cfg,
 		entries:    make(map[string]*entry),
-		classifier: classify.New(cfg.Sigma, cfg.Similarity),
+		classifier: classify.NewWithTable(cfg.Sigma, cfg.Similarity, tab),
+		tab:        tab,
 		metrics:    new(metrics.Ingest),
 	}
 }
@@ -121,7 +128,7 @@ func New(cfg Config) *Source {
 func (s *Source) AddDTD(name string, d *dtd.DTD) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[name] = &entry{d: d, rec: record.New(d)}
+	s.entries[name] = &entry{d: d, rec: record.NewWithTable(d, s.tab)}
 	s.classifier.Set(name, d)
 	s.gen++
 }
@@ -341,9 +348,7 @@ func (l lockedState) Repository() int { return len(l.s.repository) }
 
 func (l lockedState) Invalidity(name, element string) float64 {
 	if e, ok := l.s.entries[name]; ok {
-		if st := e.rec.Stats(element); st != nil {
-			return st.InvalidityRatio()
-		}
+		return e.rec.InvalidityRatio(element)
 	}
 	return 0
 }
@@ -389,6 +394,12 @@ func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddRes
 		return res
 	}
 	e := s.entries[cls.DTDName]
+	// Stamp the document's label IDs before recording. Safe here: the write
+	// lock makes this the tree's only writer, and the recorder (same table)
+	// then resolves every tag by a verified cached ID instead of a map
+	// lookup. Node IDs are atomics, so a concurrent classification of the
+	// same tree (e.g. a caller reusing a document) stays race-free.
+	intern.InternDocument(s.tab, doc.Root)
 	e.rec.Record(doc)
 	e.docs++
 	if s.store != nil {
@@ -532,6 +543,7 @@ func (s *Source) reclassifyLocked() int {
 		cls := s.classifier.Classify(doc)
 		if cls.Classified {
 			e := s.entries[cls.DTDName]
+			intern.InternDocument(s.tab, doc.Root)
 			e.rec.Record(doc)
 			e.docs++
 			recovered++
@@ -636,7 +648,7 @@ func Restore(cfg Config, data []byte) (*Source, error) {
 			return nil, fmt.Errorf("source: snapshot DTD %q: %w", name, err)
 		}
 		d.Name = snap.Roots[name]
-		e := &entry{d: d, rec: record.New(d), docs: snap.Docs[name], evolutions: snap.Evolutions[name]}
+		e := &entry{d: d, rec: record.NewWithTable(d, s.tab), docs: snap.Docs[name], evolutions: snap.Evolutions[name]}
 		if rs := snap.Recorders[name]; rs != nil {
 			e.rec.Restore(rs)
 		}

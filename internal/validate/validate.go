@@ -5,12 +5,16 @@
 //
 // Content-model matching is a memoized dynamic program over the model tree
 // and child-tag segments, equivalent in power to matching with Brzozowski
-// derivatives but allocation-free on the model side.
+// derivatives but allocation-free on the model side. Matchers (and their
+// memo tables and tag scratch) are pooled per Validator, so the recording
+// hot path — LocalValid on every element of every document — does not
+// allocate at steady state.
 package validate
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/xmltree"
@@ -30,15 +34,35 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s <%s>: %s", v.Path, v.Element, v.Msg)
 }
 
-// Validator validates documents against one DTD. A Validator is stateless
-// and safe for concurrent use.
+// Validator validates documents against one DTD. A Validator is safe for
+// concurrent use: its only mutable state is a pool of matcher scratch.
 type Validator struct {
 	d *dtd.DTD
+	// mixed precomputes the allowed-label set of every mixed content model
+	// of d; read-only after New. Models not in the map (foreign models
+	// passed to LocalValid directly) fall back to a per-call set.
+	mixed    map[*dtd.Content]map[string]bool
+	matchers sync.Pool
 }
 
 // New returns a Validator for d.
 func New(d *dtd.DTD) *Validator {
-	return &Validator{d: d}
+	v := &Validator{d: d, mixed: map[*dtd.Content]map[string]bool{}}
+	for _, model := range d.Elements {
+		if model != nil && model.IsMixed() {
+			v.mixed[model] = labelSet(model)
+		}
+	}
+	v.matchers.New = func() any { return newMatcher() }
+	return v
+}
+
+func labelSet(model *dtd.Content) map[string]bool {
+	allowed := make(map[string]bool)
+	for _, l := range model.Labels() {
+		allowed[l] = true
+	}
+	return allowed
 }
 
 // Valid reports whether the whole document is valid for the DTD.
@@ -98,51 +122,77 @@ func childPath(parent, name string, i int) string {
 
 // LocalValid reports whether element n's direct content conforms to model:
 // the paper's one-level validity, whose numeric counterpart is local
-// similarity. It does not descend into grandchildren.
+// similarity. It does not descend into grandchildren. LocalValid never
+// allocates — it sits on the recording hot path, called once per element of
+// every document; diagnostics belong to localViolation.
 func (v *Validator) LocalValid(n *xmltree.Node, model *dtd.Content) bool {
-	return v.localViolation(n, model) == ""
+	return v.localConforms(n, model)
+}
+
+// localConforms is the allocation-free boolean core of local validation.
+func (v *Validator) localConforms(n *xmltree.Node, model *dtd.Content) bool {
+	switch {
+	case model == nil || model.Kind == dtd.Any:
+		return true
+	case model.Kind == dtd.Empty:
+		return len(n.Children) == 0
+	case model.Kind == dtd.PCDATA:
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element {
+				return false
+			}
+		}
+		return true
+	case model.IsMixed():
+		allowed, ok := v.mixed[model]
+		if !ok {
+			allowed = labelSet(model)
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element && !allowed[c.Name] {
+				return false
+			}
+		}
+		return true
+	default:
+		if n.HasText() {
+			return false
+		}
+		m := v.matchers.Get().(*matcher)
+		tags := m.fillTags(n)
+		ok := m.match(model, tags)
+		m.reset()
+		v.matchers.Put(m)
+		return ok
+	}
 }
 
 // localViolation returns "" when n's direct content conforms to model, or a
-// description of the mismatch.
+// description of the mismatch. Messages are only built after localConforms
+// fails, so ValidateDocument on a valid document allocates no diagnostics.
 func (v *Validator) localViolation(n *xmltree.Node, model *dtd.Content) string {
-	tags := n.ChildTags()
-	hasText := n.HasText()
-	switch {
-	case model == nil || model.Kind == dtd.Any:
-		return ""
-	case model.Kind == dtd.Empty:
-		if len(n.Children) > 0 {
-			return "declared EMPTY but has content"
-		}
-		return ""
-	case model.Kind == dtd.PCDATA:
-		if len(tags) > 0 {
-			return fmt.Sprintf("declared (#PCDATA) but has element children %v", tags)
-		}
-		return ""
-	case model.IsMixed():
-		allowed := make(map[string]bool)
-		for _, l := range model.Labels() {
-			allowed[l] = true
-		}
-		for _, tag := range tags {
-			if !allowed[tag] {
-				return fmt.Sprintf("element <%s> not allowed in mixed content %s", tag, model)
-			}
-		}
-		return ""
-	default:
-		if hasText {
-			return fmt.Sprintf("character data not allowed in element content %s", model)
-		}
-		// The memo is keyed by model node and segment, so a matcher is
-		// only valid for a single tag sequence: use a fresh one per call.
-		if !newMatcher().match(model, tags) {
-			return fmt.Sprintf("children %v do not match content model %s", compactTags(tags), model)
-		}
+	if v.localConforms(n, model) {
 		return ""
 	}
+	switch {
+	case model.Kind == dtd.Empty:
+		return "declared EMPTY but has content"
+	case model.Kind == dtd.PCDATA:
+		return fmt.Sprintf("declared (#PCDATA) but has element children %v", n.ChildTags())
+	case model.IsMixed():
+		allowed, ok := v.mixed[model]
+		if !ok {
+			allowed = labelSet(model)
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element && !allowed[c.Name] {
+				return fmt.Sprintf("element <%s> not allowed in mixed content %s", c.Name, model)
+			}
+		}
+	case n.HasText():
+		return fmt.Sprintf("character data not allowed in element content %s", model)
+	}
+	return fmt.Sprintf("children %v do not match content model %s", compactTags(n.ChildTags()), model)
 }
 
 func compactTags(tags []string) string {
@@ -159,10 +209,14 @@ func MatchModel(model *dtd.Content, tags []string) bool {
 	return newMatcher().match(model, tags)
 }
 
-// matcher memoizes content-model matching per (model node, segment).
+// matcher memoizes content-model matching per (model node, segment). The
+// memo is keyed by model node and segment, so a matcher is only valid for
+// a single tag sequence; reset clears it (retaining map buckets and tag
+// capacity) for reuse on the next sequence.
 type matcher struct {
 	memo    map[memoKey]bool
 	seqMemo map[seqKey]bool
+	tags    []string
 }
 
 type memoKey struct {
@@ -178,6 +232,23 @@ type seqKey struct {
 
 func newMatcher() *matcher {
 	return &matcher{memo: make(map[memoKey]bool), seqMemo: make(map[seqKey]bool)}
+}
+
+// fillTags loads the direct child tags of n into the matcher's scratch.
+func (m *matcher) fillTags(n *xmltree.Node) []string {
+	m.tags = m.tags[:0]
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Element {
+			m.tags = append(m.tags, c.Name)
+		}
+	}
+	return m.tags
+}
+
+// reset prepares the matcher for a different tag sequence.
+func (m *matcher) reset() {
+	clear(m.memo)
+	clear(m.seqMemo)
 }
 
 // match reports whether model matches exactly tags[0:len(tags)].

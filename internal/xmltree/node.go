@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates the node variants of a document tree.
@@ -51,7 +52,21 @@ type Node struct {
 	Data     string // character data; empty for element nodes
 	Attrs    []Attr
 	Children []*Node
+	// labelID caches the dense symbol-table ID of Name (package intern).
+	// 0 means "not stamped". The value is only meaningful relative to the
+	// intern.Table that assigned it, so consumers verify it (Table.NameIs)
+	// before trusting it. Accessed atomically: the source engine stamps
+	// documents under its write lock while concurrent classifications may
+	// still be reading the tree.
+	labelID int32
 }
+
+// LabelID returns the cached symbol-table ID of the node's tag, or 0 when
+// the node has never been stamped. See intern.InternDocument.
+func (n *Node) LabelID() int32 { return atomic.LoadInt32(&n.labelID) }
+
+// SetLabelID stamps the cached symbol-table ID of the node's tag.
+func (n *Node) SetLabelID(id int32) { atomic.StoreInt32(&n.labelID, id) }
 
 // Doctype is a parsed <!DOCTYPE ...> declaration.
 type Doctype struct {
@@ -177,7 +192,7 @@ func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
-	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data, labelID: n.LabelID()}
 	if len(n.Attrs) > 0 {
 		c.Attrs = append([]Attr(nil), n.Attrs...)
 	}
