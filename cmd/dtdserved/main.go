@@ -8,13 +8,29 @@
 // Usage:
 //
 //	dtdserved [-addr :8080] [-sigma 0.7] [-tau 0.25] [-mindocs 20] \
-//	          [-store dir] [-snapshot file] [-pprof]
+//	          [-store dir] [-snapshot file] [-pprof] \
+//	          [-wal dir] [-fsync always|interval|off] [-fsync-interval 100ms] \
+//	          [-wal-segment 4194304] [-checkpoint 30s]
 //
-// With -snapshot the service restores from the checkpoint at startup (when
-// the file exists) and writes a new checkpoint on SIGINT/SIGTERM shutdown.
+// With -wal the service journals every state-changing operation to a
+// write-ahead log before acknowledging it, recovers at startup from the
+// latest checkpoint plus the log tail (tolerating a torn final record), and
+// checkpoints in the background every -checkpoint interval, truncating the
+// log history each snapshot covers. The checkpoint lives at -snapshot when
+// given, else <wal>/checkpoint.json. If the log stops accepting records
+// (disk full, dying device) the service degrades to read-only: mutating
+// routes answer 503 and GET /status reports the error. See DESIGN.md §10.
+//
+// Without -wal, -snapshot alone keeps the old behavior: restore at startup,
+// checkpoint once at shutdown — durable only across clean exits.
+//
 // With -pprof the server also exposes the net/http/pprof profiling handlers
 // under /debug/pprof/, for live CPU and allocation profiling of the ingest
 // pipeline (e.g. go tool pprof http://host/debug/pprof/allocs).
+//
+// Shutdown: the first SIGINT/SIGTERM drains in-flight requests (bounded at
+// 5s), writes a final checkpoint, and closes the log; a second signal exits
+// immediately.
 package main
 
 import (
@@ -27,11 +43,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"dtdevolve"
 	"dtdevolve/internal/api"
+	"dtdevolve/internal/docstore"
 	"dtdevolve/internal/source"
 )
 
@@ -41,7 +60,12 @@ func main() {
 	tau := flag.Float64("tau", 0.25, "evolution activation threshold τ")
 	minDocs := flag.Int("mindocs", 20, "minimum documents between evolutions")
 	storeDir := flag.String("store", "", "directory for the durable document store (empty: no store)")
-	snapshotPath := flag.String("snapshot", "", "checkpoint file restored at startup and written at shutdown")
+	snapshotPath := flag.String("snapshot", "", "checkpoint file (default with -wal: <wal>/checkpoint.json)")
+	walDir := flag.String("wal", "", "directory for the write-ahead log (empty: no journaling)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
+	walSegment := flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes")
+	checkpointEvery := flag.Duration("checkpoint", 30*time.Second, "background checkpoint interval (with -wal)")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
@@ -50,18 +74,46 @@ func main() {
 	cfg.Tau = *tau
 	cfg.MinDocs = *minDocs
 
-	src, err := buildSource(cfg, *snapshotPath)
+	syncPolicy, err := dtdevolve.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("dtdserved: %v", err)
+	}
+	walOpts := dtdevolve.WALOptions{
+		SegmentSize: *walSegment,
+		Sync:        syncPolicy,
+		SyncEvery:   *fsyncEvery,
+	}
+	checkpointPath := *snapshotPath
+	if checkpointPath == "" && *walDir != "" {
+		checkpointPath = filepath.Join(*walDir, "checkpoint.json")
+	}
+
+	src, err := buildSource(cfg, checkpointPath, *walDir, walOpts)
 	if err != nil {
 		log.Fatalf("dtdserved: %v", err)
 	}
 	if *storeDir != "" {
-		if err := src.EnableStore(*storeDir); err != nil {
+		// The store mirrors the WAL's fsync discipline: with journaling on,
+		// the log is the durability source of truth and the store can flush
+		// lazily; without it, the store is all there is.
+		if err := src.EnableStore(*storeDir, docstore.WithSync(syncPolicy)); err != nil {
 			log.Fatalf("dtdserved: %v", err)
 		}
 		defer src.CloseStore()
 	}
 
+	var stopCheckpointer func()
+	if *walDir != "" {
+		stopCheckpointer = src.StartCheckpointer(checkpointPath, *checkpointEvery, func(err error) {
+			log.Printf("dtdserved: background checkpoint failed: %v", err)
+		})
+		log.Printf("dtdserved: journaling to %s (fsync %s), checkpointing to %s every %s",
+			*walDir, *fsyncMode, checkpointPath, *checkpointEvery)
+	}
+
+	var inflight atomic.Int64
 	var handler http.Handler = api.New(src)
+	handler = countInflight(&inflight, handler)
 	if *pprofFlag {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -77,6 +129,9 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
 		log.Printf("dtdserved: listening on %s", *addr)
@@ -88,37 +143,86 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	// A second signal while draining means "now": skip the graceful path.
+	go func() {
+		<-stop
+		log.Printf("dtdserved: second signal, exiting immediately")
+		os.Exit(1)
+	}()
 	m := src.Metrics()
-	log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified)",
-		m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified)
+	log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified; %d in flight)",
+		m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified, inflight.Load())
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_ = server.Shutdown(ctx)
-	if *snapshotPath != "" {
-		if err := writeSnapshot(src, *snapshotPath); err != nil {
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("dtdserved: graceful shutdown incomplete (%d requests still in flight): %v; closing",
+			inflight.Load(), err)
+		_ = server.Close()
+	} else {
+		log.Printf("dtdserved: in-flight requests drained")
+	}
+	if stopCheckpointer != nil {
+		stopCheckpointer() // runs one final checkpoint
+		log.Printf("dtdserved: final checkpoint written to %s", checkpointPath)
+	} else if checkpointPath != "" {
+		if err := writeSnapshot(src, checkpointPath); err != nil {
 			log.Printf("dtdserved: checkpoint failed: %v", err)
 		} else {
-			log.Printf("dtdserved: checkpoint written to %s", *snapshotPath)
+			log.Printf("dtdserved: checkpoint written to %s", checkpointPath)
 		}
+	}
+	if err := src.CloseWAL(); err != nil {
+		log.Printf("dtdserved: closing WAL: %v", err)
 	}
 }
 
-func buildSource(cfg dtdevolve.Config, snapshotPath string) (*source.Source, error) {
+// countInflight tracks the number of requests currently being served, for
+// the shutdown drain log line.
+func countInflight(n *atomic.Int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		defer n.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// buildSource restores state. With a WAL directory the snapshot is only the
+// checkpoint floor — the journal tail on top of it is replayed and the log
+// reattached; without one, the snapshot alone (when present) is the state.
+func buildSource(cfg dtdevolve.Config, snapshotPath, walDir string, walOpts dtdevolve.WALOptions) (*source.Source, error) {
+	var snapshot []byte
 	if snapshotPath != "" {
 		data, err := os.ReadFile(snapshotPath)
 		switch {
 		case err == nil:
-			src, err := dtdevolve.RestoreSource(cfg, data)
-			if err != nil {
-				return nil, fmt.Errorf("restoring %s: %w", snapshotPath, err)
-			}
-			log.Printf("dtdserved: restored from %s", snapshotPath)
-			return src, nil
+			snapshot = data
 		case !os.IsNotExist(err):
 			return nil, err
 		}
 	}
-	return dtdevolve.NewSource(cfg), nil
+	if walDir == "" {
+		if snapshot == nil {
+			return dtdevolve.NewSource(cfg), nil
+		}
+		src, err := dtdevolve.RestoreSource(cfg, snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("restoring %s: %w", snapshotPath, err)
+		}
+		log.Printf("dtdserved: restored from %s", snapshotPath)
+		return src, nil
+	}
+	src, info, err := dtdevolve.RecoverSource(cfg, snapshot, walDir, walOpts)
+	if err != nil {
+		return nil, fmt.Errorf("recovering from %s + %s: %w", snapshotPath, walDir, err)
+	}
+	log.Printf("dtdserved: recovered (snapshot: %v, %d WAL records replayed)", info.SnapshotRestored, info.Replayed)
+	if info.Truncated {
+		log.Printf("dtdserved: torn final WAL record truncated (crash mid-append)")
+	}
+	if info.Corrupted {
+		log.Printf("dtdserved: corrupt WAL suffix quarantined, NOT applied: %v", info.Quarantined)
+	}
+	return src, nil
 }
 
 func writeSnapshot(src *source.Source, path string) error {

@@ -45,6 +45,7 @@ import (
 	"dtdevolve/internal/source"
 	"dtdevolve/internal/thesaurus"
 	"dtdevolve/internal/validate"
+	"dtdevolve/internal/wal"
 	"dtdevolve/internal/xmltree"
 	"dtdevolve/internal/xsd"
 	"dtdevolve/internal/xtract"
@@ -112,6 +113,42 @@ func NewSource(cfg Config) *Source { return source.New(cfg) }
 // RestoreSource rebuilds a Source from a Snapshot checkpoint.
 func RestoreSource(cfg Config, snapshot []byte) (*Source, error) {
 	return source.Restore(cfg, snapshot)
+}
+
+// Crash-safe durability (DESIGN.md §10): a write-ahead log journals every
+// state-changing operation, background checkpoints bound replay time, and
+// recovery tolerates torn and corrupt log tails.
+type (
+	// WAL is a segmented, CRC-framed append-only log.
+	WAL = wal.Log
+	// WALOptions configures segment size and fsync policy.
+	WALOptions = wal.Options
+	// SyncPolicy selects when appended records are fsynced.
+	SyncPolicy = wal.SyncPolicy
+	// RecoveryInfo describes what RecoverSource rebuilt the state from.
+	RecoveryInfo = source.RecoveryInfo
+)
+
+// Fsync policies for WALOptions.Sync.
+const (
+	SyncInterval = wal.SyncInterval
+	SyncAlways   = wal.SyncAlways
+	SyncOff      = wal.SyncOff
+)
+
+// OpenWAL opens (creating if needed) the write-ahead log at dir. Attach it
+// with Source.AttachWAL to journal every subsequent mutation.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// ParseSyncPolicy parses "always", "interval" or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// RecoverSource rebuilds a Source from an optional checkpoint (nil: start
+// empty) plus the write-ahead log at walDir — truncating a torn tail and
+// quarantining corruption — then reattaches the log so the recovered source
+// is immediately durable again.
+func RecoverSource(cfg Config, snapshot []byte, walDir string, opts WALOptions) (*Source, RecoveryInfo, error) {
+	return source.Recover(cfg, snapshot, walDir, opts)
 }
 
 // ParseDocument reads an XML document from r.

@@ -5,7 +5,7 @@
 //
 // Routes (all JSON unless noted):
 //
-//	GET  /status                  per-DTD status
+//	GET  /status                  per-DTD status + durability health
 //	GET  /dtds                    registered DTD names
 //	PUT  /dtds/{name}?root=r      register/replace a DTD (body: DTD text)
 //	GET  /dtds/{name}             current DTD (text/plain)
@@ -22,7 +22,14 @@
 // Documents in a batch are scored concurrently (one read-lock section, one
 // goroutine per document, each fanning out per DTD) and committed in a
 // single write-lock section, so a batch is both faster than and equivalent
-// to the same documents POSTed one by one.
+// to the same documents POSTed one by one. A client that disconnects
+// mid-batch cancels the remaining scoring work before anything commits.
+//
+// When the source's write-ahead log fails (disk full, dying device), the
+// service degrades to read-only: every mutating route answers 503 with the
+// sticky durability error, while reads — including GET /snapshot, the
+// operator's escape hatch for saving state — keep working. GET /status
+// reports the degraded flag. See DESIGN.md §10.
 package api
 
 import (
@@ -66,8 +73,22 @@ func New(src *source.Source) *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// statusClientClosedRequest is nginx's non-standard code for a client that
+// disconnected before the response was produced.
+const statusClientClosedRequest = 499
+
+// ServeHTTP implements http.Handler. Mutating requests are refused with 503
+// while the source is degraded (its write-ahead log stopped accepting
+// records): the in-memory state could still change, but its durability can
+// no longer be promised, and a lost-on-restart mutation acknowledged with
+// 200 would be a silent lie. All routes mutate iff their method is not GET.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		if err := h.src.Degraded(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "source degraded (read-only): %v", err)
+			return
+		}
+	}
 	h.mux.ServeHTTP(w, r)
 }
 
@@ -101,8 +122,21 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	return data, true
 }
 
+// statusResponse is the JSON shape of GET /status: per-DTD state plus the
+// service's durability health.
+type statusResponse struct {
+	Degraded bool               `json:"degraded"`
+	Error    string             `json:"error,omitempty"`
+	DTDs     []source.DTDStatus `json:"dtds"`
+}
+
 func (h *Handler) status(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.src.Status())
+	resp := statusResponse{DTDs: h.src.Status()}
+	if err := h.src.Degraded(); err != nil {
+		resp.Degraded = true
+		resp.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) listDTDs(w http.ResponseWriter, _ *http.Request) {
@@ -238,7 +272,14 @@ func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		docs[i] = doc
 	}
-	results := h.src.AddBatch(docs)
+	results, err := h.src.AddBatchContext(r.Context(), docs)
+	if err != nil {
+		// The client went away mid-batch; scoring was cancelled and nothing
+		// committed. Nobody reads this response, but access logs should not
+		// record the abort as a server fault.
+		writeError(w, statusClientClosedRequest, "batch cancelled: %v", err)
+		return
+	}
 	resp := batchResponse{Results: make([]addResponse, len(results))}
 	for i, res := range results {
 		resp.Results[i] = addResponse{

@@ -114,12 +114,18 @@ func TestDocumentLifecycleOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var status []map[string]any
+	var status struct {
+		Degraded bool             `json:"degraded"`
+		DTDs     []map[string]any `json:"dtds"`
+	}
 	if err := json.NewDecoder(resp2.Body).Decode(&status); err != nil {
 		t.Fatal(err)
 	}
-	if len(status) != 1 || status[0]["Evolutions"].(float64) < 1 {
+	if len(status.DTDs) != 1 || status.DTDs[0]["Evolutions"].(float64) < 1 {
 		t.Errorf("status = %v", status)
+	}
+	if status.Degraded {
+		t.Error("healthy server reports degraded")
 	}
 }
 

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/wal/faultfs"
+)
+
+// newDurableServer wires a faultfs-backed WAL into the served source so
+// tests can kill the disk under live HTTP traffic.
+func newDurableServer(t *testing.T) (*httptest.Server, *source.Source, *faultfs.FS) {
+	t.Helper()
+	fs := faultfs.New()
+	w, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncOff, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := source.DefaultConfig()
+	cfg.MinDocs = 5
+	src := source.New(cfg)
+	src.AttachWAL(w)
+	t.Cleanup(func() { src.CloseWAL() })
+	srv := httptest.NewServer(New(src))
+	t.Cleanup(srv.Close)
+	return srv, src, fs
+}
+
+// TestDegradedServerGoesReadOnly kills the WAL's disk and checks mutating
+// routes answer 503 while reads (status, snapshot) keep serving.
+func TestDegradedServerGoesReadOnly(t *testing.T) {
+	srv, _, fs := newDurableServer(t)
+	do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD)
+	resp, _ := do(t, "POST", srv.URL+"/documents", `<article><title>t</title><body>b</body></article>`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest status = %d", resp.StatusCode)
+	}
+
+	fs.FailWritesAfter(0)
+	// The request that hits the disk failure is still answered (its
+	// in-memory effect happened); from then on the service is read-only.
+	do(t, "POST", srv.URL+"/documents", `<article><title>t</title><body>b</body></article>`)
+
+	resp, out := do(t, "POST", srv.URL+"/documents", `<article><title>t</title><body>b</body></article>`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("mutation on degraded server = %d (%v), want 503", resp.StatusCode, out)
+	}
+	resp, out = do(t, "PUT", srv.URL+"/triggers", "on article when docs > 1 do evolve")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("trigger install on degraded server = %d (%v), want 503", resp.StatusCode, out)
+	}
+
+	resp, out = do(t, "GET", srv.URL+"/status", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status on degraded server = %d", resp.StatusCode)
+	}
+	if out["degraded"] != true || out["error"] == "" {
+		t.Errorf("status body = %v, want degraded=true with an error", out)
+	}
+	resp, _ = do(t, "GET", srv.URL+"/snapshot", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("snapshot on degraded server = %d, want the operator escape hatch to work", resp.StatusCode)
+	}
+}
+
+// TestSnapshotRoundTripAfterRecovery is the golden round-trip: serve ops,
+// crash, recover from the WAL, and check GET /snapshot of the recovered
+// server equals GET /snapshot of the original.
+func TestSnapshotRoundTripAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := source.DefaultConfig()
+	cfg.MinDocs = 5
+	src := source.New(cfg)
+	src.AttachWAL(w)
+	srv := httptest.NewServer(New(src))
+	defer srv.Close()
+
+	do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD)
+	do(t, "PUT", srv.URL+"/triggers", "on article when docs >= 4 and check_ratio > 0.1 do evolve")
+	for i := 0; i < 8; i++ {
+		do(t, "POST", srv.URL+"/documents",
+			`<article><title>t</title><author>a</author><body>b</body></article>`)
+	}
+	do(t, "POST", srv.URL+"/documents", `<alien><x/></alien>`)
+	do(t, "POST", srv.URL+"/repository/reclassify", "")
+	want, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, info, err := source.Recover(cfg, nil, dir, wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.CloseWAL()
+	if info.Replayed == 0 {
+		t.Fatal("nothing replayed")
+	}
+	srv2 := httptest.NewServer(New(recovered))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(buf.Bytes()), bytes.TrimSpace(want)) {
+		t.Errorf("snapshot after recovery diverges:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestBatchCancelledByClient checks a dead client context aborts the batch
+// with nothing committed.
+func TestBatchCancelledByClient(t *testing.T) {
+	srv, src, _ := newDurableServer(t)
+	do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"documents": ["<article><title>t</title><body>b</body></article>"]}`
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/documents/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("request with cancelled context succeeded")
+	}
+	if n := src.Metrics().Added; n != 0 {
+		t.Errorf("cancelled batch committed %d documents", n)
+	}
+}

@@ -6,14 +6,16 @@
 // package adapt).
 //
 // The on-disk layout is one append-only segment file per collection
-// (collection = DTD name), each record holding a length-prefixed XML
-// serialization. Writes are immediately flushed; reads replay the segment.
-// The store is safe for concurrent use.
+// (collection = DTD name), each record CRC32C-framed with the same codec as
+// the write-ahead log (internal/wal): [length][checksum][XML payload]. A
+// torn final record — the signature of a crash mid-append — is truncated
+// away at load; a checksum mismatch anywhere else is corruption and refuses
+// to load rather than silently serving damaged documents. The store is safe
+// for concurrent use.
 package docstore
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"dtdevolve/internal/wal"
 	"dtdevolve/internal/xmltree"
 )
 
@@ -31,7 +34,9 @@ import (
 type Store struct {
 	mu          sync.Mutex
 	dir         string // "" = in-memory
+	sync        wal.SyncPolicy
 	collections map[string]*collection
+	frame       []byte // reusable framing buffer; guarded by mu
 }
 
 type collection struct {
@@ -39,10 +44,24 @@ type collection struct {
 	file *os.File // nil for in-memory stores
 }
 
+// Option configures a Store at Open time.
+type Option func(*Store)
+
+// WithSync sets the fsync policy for appended records, mirroring the WAL's
+// policies: SyncAlways fsyncs after every Put, anything else leaves flushing
+// to the OS (the default, matching the WAL's interval/off modes where the
+// journal — not the docstore — is the durability source of truth).
+func WithSync(p wal.SyncPolicy) Option {
+	return func(s *Store) { s.sync = p }
+}
+
 // Open returns a Store rooted at dir, loading any existing segments.
 // An empty dir yields an in-memory store.
-func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, collections: make(map[string]*collection)}
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, sync: wal.SyncOff, collections: make(map[string]*collection)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	if dir == "" {
 		return s, nil
 	}
@@ -93,29 +112,42 @@ func (s *Store) loadCollection(name string) error {
 	}
 	c := &collection{file: f}
 	r := bufio.NewReader(f)
+	var validEnd int64
+	var buf []byte
 	for {
-		var length uint32
-		err := binary.Read(r, binary.LittleEndian, &length)
+		payload, err := wal.ReadFrame(r, buf)
 		if errors.Is(err, io.EOF) {
 			break
 		}
+		if errors.Is(err, wal.ErrTorn) {
+			// The process died mid-append: drop the torn final record and
+			// keep the intact prefix.
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("docstore: truncating torn tail of %s: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("docstore: %w", err)
+			}
+			break
+		}
 		if err != nil {
+			// CRC mismatch on a complete frame is corruption, not a crash
+			// signature — refuse to serve damaged documents.
 			f.Close()
 			return fmt.Errorf("docstore: reading %s: %w", path, err)
 		}
-		buf := make([]byte, length)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			f.Close()
-			return fmt.Errorf("docstore: reading %s: %w", path, err)
-		}
-		doc, err := xmltree.ParseString(string(buf))
+		buf = payload[:0]
+		doc, err := xmltree.ParseString(string(payload))
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("docstore: corrupt record in %s: %w", path, err)
 		}
+		validEnd += int64(wal.FrameHeaderSize + len(payload))
 		c.docs = append(c.docs, doc)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
 		f.Close()
 		return fmt.Errorf("docstore: %w", err)
 	}
@@ -150,7 +182,7 @@ func (s *Store) Put(name string, doc *xmltree.Document) error {
 		return err
 	}
 	if c.file != nil {
-		if err := appendRecord(c.file, doc); err != nil {
+		if err := s.appendRecord(c.file, doc); err != nil {
 			return err
 		}
 	}
@@ -158,19 +190,22 @@ func (s *Store) Put(name string, doc *xmltree.Document) error {
 	return nil
 }
 
-func appendRecord(f *os.File, doc *xmltree.Document) error {
+// appendRecord writes one CRC-framed record in a single Write call (so a
+// crash tears at most the final record, never interleaves two), fsyncing
+// per the store's policy. Callers hold s.mu (the frame buffer is shared).
+func (s *Store) appendRecord(f *os.File, doc *xmltree.Document) error {
 	var b strings.Builder
 	if _, err := doc.WriteTo(&b); err != nil {
 		return fmt.Errorf("docstore: %w", err)
 	}
-	data := []byte(b.String())
-	var header [4]byte
-	binary.LittleEndian.PutUint32(header[:], uint32(len(data)))
-	if _, err := f.Write(header[:]); err != nil {
+	s.frame = wal.EncodeFrame(s.frame[:0], []byte(b.String()))
+	if _, err := f.Write(s.frame); err != nil {
 		return fmt.Errorf("docstore: %w", err)
 	}
-	if _, err := f.Write(data); err != nil {
-		return fmt.Errorf("docstore: %w", err)
+	if s.sync == wal.SyncAlways {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
 	}
 	return nil
 }
@@ -225,11 +260,16 @@ func (s *Store) Replace(name string, docs []*xmltree.Document) error {
 			return fmt.Errorf("docstore: %w", err)
 		}
 		for _, doc := range docs {
-			if err := appendRecord(tmp, doc); err != nil {
+			if err := s.appendRecord(tmp, doc); err != nil {
 				tmp.Close()
 				os.Remove(tmpPath)
 				return err
 			}
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("docstore: %w", err)
 		}
 		if err := tmp.Close(); err != nil {
 			os.Remove(tmpPath)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"dtdevolve/internal/wal"
 	"dtdevolve/internal/xmltree"
 )
 
@@ -144,12 +145,87 @@ func TestDrop(t *testing.T) {
 }
 
 func TestCorruptSegmentRejected(t *testing.T) {
+	// A complete frame whose payload no longer matches its CRC is bit rot,
+	// not a crash signature: the store must refuse to serve it.
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "bad.seg"), []byte{0xFF, 0xFF, 0xFF, 0x7F, 'x'}, 0o644); err != nil {
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("bad", doc(t, `<x><y/></x>`))
+	s.Close()
+	path := filepath.Join(dir, "bad.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[wal.FrameHeaderSize] ^= 0xFF // flip a payload byte under an intact CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("corrupt segment accepted")
+	}
+}
+
+func TestTornTailTruncatedOnLoad(t *testing.T) {
+	// A crash mid-append leaves a partial final frame; loading must drop it,
+	// keep the intact prefix, and leave the segment appendable.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put("c", doc(t, `<x><y/></x>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, "c.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(data) / 3
+	for cut := len(data) - 1; cut > len(data)-recLen; cut -= 3 {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if s2.Len("c") != 2 {
+			t.Fatalf("cut %d: loaded %d docs, want the 2 intact ones", cut, s2.Len("c"))
+		}
+		// The truncated segment stays appendable and consistent.
+		if err := s2.Put("c", doc(t, `<x><z/></x>`)); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+		s3, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s3.Len("c") != 3 {
+			t.Fatalf("cut %d: after re-append got %d docs, want 3", cut, s3.Len("c"))
+		}
+		s3.Close()
+	}
+}
+
+func TestSyncAlwaysPolicy(t *testing.T) {
+	s, err := Open(t.TempDir(), WithSync(wal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("c", doc(t, `<x/>`)); err != nil {
+		t.Fatalf("put under SyncAlways: %v", err)
+	}
+	if err := s.Replace("c", []*xmltree.Document{doc(t, `<y/>`)}); err != nil {
+		t.Fatalf("replace under SyncAlways: %v", err)
 	}
 }
 

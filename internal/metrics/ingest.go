@@ -25,6 +25,9 @@ type Ingest struct {
 	classifyCalls atomic.Int64
 	commitNS      atomic.Int64
 	commitCalls   atomic.Int64
+
+	walErrors   atomic.Int64
+	checkpoints atomic.Int64
 }
 
 // ObserveDocument records the outcome of one added document.
@@ -85,6 +88,24 @@ func (m *Ingest) ObserveCommitPhase(d time.Duration) {
 	m.commitCalls.Add(1)
 }
 
+// ObserveWALError records a failed write-ahead-log append or sync — the
+// event that degrades the service to read-only.
+func (m *Ingest) ObserveWALError() {
+	if m == nil {
+		return
+	}
+	m.walErrors.Add(1)
+}
+
+// ObserveCheckpoint records one completed checkpoint (snapshot written,
+// covered WAL history truncated).
+func (m *Ingest) ObserveCheckpoint() {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Add(1)
+}
+
 // IngestSnapshot is a point-in-time copy of the counters, with derived
 // per-call phase latencies. It is the JSON shape of the service's
 // GET /metrics route.
@@ -108,6 +129,17 @@ type IngestSnapshot struct {
 	CommitNS      int64 `json:"commit_ns_total"`
 	AvgClassifyNS int64 `json:"classify_ns_avg"`
 	AvgCommitNS   int64 `json:"commit_ns_avg"`
+
+	// Durability counters (DESIGN.md §10). The WAL* values mirror the
+	// attached log's own statistics; WALErrors counts journal failures
+	// (each marks the source degraded); Checkpoints counts completed
+	// snapshot+truncate cycles.
+	WALAppends   int64 `json:"wal_appends,omitempty"`
+	WALBytes     int64 `json:"wal_bytes,omitempty"`
+	WALSyncs     int64 `json:"wal_syncs,omitempty"`
+	WALRotations int64 `json:"wal_rotations,omitempty"`
+	WALErrors    int64 `json:"wal_errors,omitempty"`
+	Checkpoints  int64 `json:"checkpoints,omitempty"`
 }
 
 // Snapshot returns a copy of the current counters. A nil Ingest yields the
@@ -125,6 +157,8 @@ func (m *Ingest) Snapshot() IngestSnapshot {
 		Batches:      m.batches.Load(),
 		ClassifyNS:   m.classifyNS.Load(),
 		CommitNS:     m.commitNS.Load(),
+		WALErrors:    m.walErrors.Load(),
+		Checkpoints:  m.checkpoints.Load(),
 	}
 	if calls := m.classifyCalls.Load(); calls > 0 {
 		s.AvgClassifyNS = s.ClassifyNS / calls

@@ -1,0 +1,345 @@
+// Crash-safe durability for the source lifecycle (DESIGN.md §10).
+//
+// The paper's scenario is a long-lived document source whose extended-DTD
+// statistics accumulate over an unbounded stream; losing them resets the
+// evolution process. A Source therefore journals every state-changing
+// operation to a write-ahead log before the snapshot-at-shutdown path ever
+// runs: recovery restores the latest checkpoint and replays the WAL tail.
+//
+// The journal is a *logical command log*: each record is the operation
+// (document XML, DTD text, trigger source, forced evolution), not a state
+// delta. Replaying the operations through the normal code paths, in commit
+// order, reproduces the exact state — classification, auto-evolution and
+// trigger firing are deterministic functions of (config, state, operation),
+// and the write lock serializes commits, so WAL order is state order.
+package source
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/xmltree"
+)
+
+// walOp is one journaled operation. Op selects the variant; the other
+// fields carry its arguments.
+type walOp struct {
+	// Op is the operation: "doc" (document ingested), "dtd" (DTD
+	// registered), "triggers" (rule set replaced), "trigger" (rule
+	// appended), "evolve" (forced evolution), "reclassify" (forced
+	// repository re-classification).
+	Op string `json:"op"`
+	// Name is the DTD name for "dtd" and "evolve".
+	Name string `json:"name,omitempty"`
+	// Root is the DTD's declared root element for "dtd".
+	Root string `json:"root,omitempty"`
+	// Text is the operation body: document XML, DTD text, or trigger rule
+	// source.
+	Text string `json:"text,omitempty"`
+}
+
+// journalLocked appends one operation to the attached WAL. Callers hold the
+// write lock, so the append order is exactly the commit order. A failed
+// append marks the source degraded (sticky): the in-memory state the caller
+// is about to produce stays consistent with what the client is told, but
+// the serving layer must stop accepting mutations (Degraded, HTTP 503)
+// because their durability can no longer be promised.
+func (s *Source) journalLocked(op walOp) {
+	if s.wal == nil || s.replaying || s.walErr != nil {
+		return
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		// Marshalling a walOp (strings only) cannot fail; treat it as a
+		// degraded log all the same rather than dropping the record.
+		s.walErr = fmt.Errorf("source: encoding WAL record: %w", err)
+		s.metrics.ObserveWALError()
+		return
+	}
+	if err := s.wal.Append(payload); err != nil {
+		s.walErr = err
+		s.metrics.ObserveWALError()
+	}
+}
+
+// AttachWAL journals every subsequent state-changing operation to w. The
+// log should be positioned after any replayed history (see Recover, which
+// wires this up); attaching a log that still holds unreplayed records of
+// another source would double-apply them on the next recovery.
+func (s *Source) AttachWAL(w *wal.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+	s.walErr = nil
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (s *Source) WAL() *wal.Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
+}
+
+// CloseWAL detaches and closes the write-ahead log (flushing its tail).
+func (s *Source) CloseWAL() error {
+	s.mu.Lock()
+	w := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// Degraded returns the sticky durability failure, or nil while every
+// journaled operation is reaching the log. A degraded source still serves
+// reads and still mutates in memory when asked directly, but the serving
+// layer refuses mutating requests (503) so no client is promised a
+// durability the log can no longer provide.
+func (s *Source) Degraded() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.walErr != nil {
+		return s.walErr
+	}
+	if s.wal != nil {
+		return s.wal.Err()
+	}
+	return nil
+}
+
+// applyOp replays one journaled operation through the normal code paths.
+func (s *Source) applyOp(op walOp) error {
+	switch op.Op {
+	case "doc":
+		doc, err := xmltree.ParseString(op.Text)
+		if err != nil {
+			return fmt.Errorf("source: WAL document: %w", err)
+		}
+		s.Add(doc)
+	case "dtd":
+		d, err := dtdParse(op.Text, op.Root)
+		if err != nil {
+			return fmt.Errorf("source: WAL DTD %q: %w", op.Name, err)
+		}
+		s.AddDTD(op.Name, d)
+	case "triggers":
+		if err := s.SetTriggerRules(op.Text); err != nil {
+			return fmt.Errorf("source: WAL trigger rules: %w", err)
+		}
+	case "trigger":
+		if err := s.AddTriggerRule(op.Text); err != nil {
+			return fmt.Errorf("source: WAL trigger rule: %w", err)
+		}
+	case "evolve":
+		if _, _, err := s.EvolveNow(op.Name); err != nil {
+			return fmt.Errorf("source: WAL evolve: %w", err)
+		}
+	case "reclassify":
+		s.ReclassifyRepository()
+	default:
+		return fmt.Errorf("source: unknown WAL operation %q", op.Op)
+	}
+	return nil
+}
+
+// RecoveryInfo describes what Recover rebuilt the source from.
+type RecoveryInfo struct {
+	// SnapshotRestored reports that a checkpoint was restored (rather than
+	// starting empty).
+	SnapshotRestored bool
+	// Replayed is the number of WAL operations applied on top.
+	Replayed int
+	// Truncated reports a torn final record was truncated away (the normal
+	// signature of a crash mid-append).
+	Truncated bool
+	// Corrupted reports CRC-detected corruption; the invalid suffix was
+	// quarantined, never applied, and the recovered state is the longest
+	// valid prefix.
+	Corrupted bool
+	// Quarantined lists the quarantine files recovery produced.
+	Quarantined []string
+}
+
+// walPosition extracts the WAL segment position a snapshot covers (0 for
+// pre-WAL snapshots: replay everything).
+func walPosition(snapshotData []byte) uint64 {
+	var pos struct {
+		WALSeq uint64 `json:"wal_seq"`
+	}
+	_ = json.Unmarshal(snapshotData, &pos)
+	return pos.WALSeq
+}
+
+// Recover rebuilds a Source from an optional snapshot (nil: start empty)
+// plus the write-ahead log at walDir, then opens the log for appending and
+// attaches it, so the recovered source is immediately durable again.
+// Recovery is total over crash damage: a torn tail is truncated, corrupt
+// suffixes are quarantined, and the state equals the reference state at the
+// last durable record.
+func Recover(cfg Config, snapshotData []byte, walDir string, opts wal.Options) (*Source, RecoveryInfo, error) {
+	var info RecoveryInfo
+	var s *Source
+	var minSeq uint64
+	if len(snapshotData) > 0 {
+		restored, err := Restore(cfg, snapshotData)
+		if err != nil {
+			return nil, info, err
+		}
+		s = restored
+		minSeq = walPosition(snapshotData)
+		info.SnapshotRestored = true
+	} else {
+		s = New(cfg)
+	}
+
+	s.mu.Lock()
+	s.replaying = true
+	s.mu.Unlock()
+	res, err := wal.ReplayFrom(walDir, minSeq, func(payload []byte) error {
+		var op walOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			return fmt.Errorf("source: decoding WAL record: %w", err)
+		}
+		return s.applyOp(op)
+	})
+	s.mu.Lock()
+	s.replaying = false
+	s.mu.Unlock()
+	info.Replayed = res.Records
+	info.Truncated = res.Truncated
+	info.Corrupted = res.Corrupted
+	info.Quarantined = res.Quarantined
+	if err != nil {
+		return nil, info, err
+	}
+
+	w, err := wal.Open(walDir, opts)
+	if err != nil {
+		return nil, info, err
+	}
+	// The checkpoint may have removed every segment it covers; keep new
+	// segment numbers above its position so the next recovery replays them.
+	w.SkipTo(minSeq)
+	s.AttachWAL(w)
+	return s, info, nil
+}
+
+// Checkpoint atomically writes a snapshot of the current state to path
+// (temp file + fsync + rename) and truncates the WAL history the snapshot
+// covers. The snapshot and the WAL position are taken under one write-lock
+// section, so the pair is exact: every operation in the snapshot is in a
+// truncated segment, every operation after it is in a kept one — a crash at
+// any point between the two steps recovers correctly (ReplayFrom skips
+// segments the restored snapshot covers).
+func (s *Source) Checkpoint(path string) error {
+	s.mu.Lock()
+	var keep uint64
+	if s.wal != nil {
+		seq, err := s.wal.Rotate()
+		if err != nil {
+			s.walErr = err
+			s.metrics.ObserveWALError()
+			s.mu.Unlock()
+			return err
+		}
+		keep = seq
+	}
+	data, err := s.snapshotLocked(keep)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w != nil {
+		// Best-effort: leftover sealed segments are skipped at recovery via
+		// the snapshot's WAL position, so a failed removal costs disk, not
+		// correctness.
+		_ = w.RemoveBefore(keep)
+	}
+	s.metrics.ObserveCheckpoint()
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync and rename, so
+// a crash leaves either the old or the new file — never a torn one.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Make the rename itself durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// StartCheckpointer runs Checkpoint(path) every interval on a background
+// goroutine until the returned stop function is called (which runs one
+// final checkpoint before returning). onErr, when non-nil, observes
+// checkpoint failures; the checkpointer keeps trying.
+func (s *Source) StartCheckpointer(path string, interval time.Duration, onErr func(error)) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := s.Checkpoint(path); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			if err := s.Checkpoint(path); err != nil && onErr != nil {
+				onErr(err)
+			}
+		})
+	}
+}

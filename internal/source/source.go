@@ -23,6 +23,7 @@
 package source
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"dtdevolve/internal/record"
 	"dtdevolve/internal/similarity"
 	"dtdevolve/internal/trigger"
+	"dtdevolve/internal/wal"
 	"dtdevolve/internal/xmltree"
 )
 
@@ -109,6 +111,14 @@ type Source struct {
 	triggers   []*trigger.Rule
 	store      *docstore.Store
 	metrics    *metrics.Ingest
+	// wal, when attached, journals every state-changing operation before
+	// (in commit order with) its in-memory effect; replaying marks WAL
+	// recovery, during which ops re-applied from the log must not be
+	// re-journaled. walErr is the sticky durability failure (degraded
+	// mode). See durability.go and DESIGN.md §10.
+	wal       *wal.Log
+	walErr    error
+	replaying bool
 }
 
 // New returns an empty Source.
@@ -128,6 +138,7 @@ func New(cfg Config) *Source {
 func (s *Source) AddDTD(name string, d *dtd.DTD) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(walOp{Op: "dtd", Name: name, Root: d.Name, Text: d.String()})
 	s.entries[name] = &entry{d: d, rec: record.NewWithTable(d, s.tab)}
 	s.classifier.Set(name, d)
 	s.gen++
@@ -221,9 +232,24 @@ func (s *Source) Add(doc *xmltree.Document) AddResult {
 // documents of the batch are re-scored against the updated DTD set before
 // being committed, so the batch is equivalent to a serial Add sequence.
 func (s *Source) AddBatch(docs []*xmltree.Document) []AddResult {
+	results, _ := s.AddBatchContext(context.Background(), docs)
+	return results
+}
+
+// AddBatchContext is AddBatch under a context: when ctx is cancelled — a
+// disconnected client, a server shutdown — the per-document scoring fan-out
+// stops launching new documents, in-flight scorings drain, and the batch
+// returns ctx's error with nothing committed. Cancellation is checked
+// between documents; a single document's per-DTD alignment always runs to
+// completion. Once the commit phase has begun the batch is applied in full
+// (the commit is cheap and must stay equivalent to a serial Add sequence).
+func (s *Source) AddBatchContext(ctx context.Context, docs []*xmltree.Document) ([]AddResult, error) {
 	results := make([]AddResult, len(docs))
 	if len(docs) == 0 {
-		return results
+		return results, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s.metrics.ObserveBatch()
 
@@ -232,8 +258,11 @@ func (s *Source) AddBatch(docs []*xmltree.Document) []AddResult {
 	gen := s.gen
 	cls := make([]classify.Result, len(docs))
 	var wg sync.WaitGroup
-	wg.Add(len(docs))
 	for i, doc := range docs {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
 		go func(i int, doc *xmltree.Document) {
 			defer wg.Done()
 			cls[i] = s.classifier.Classify(doc)
@@ -242,6 +271,9 @@ func (s *Source) AddBatch(docs []*xmltree.Document) []AddResult {
 	wg.Wait()
 	s.mu.RUnlock()
 	s.metrics.ObserveClassifyPhase(time.Since(start))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	commit := time.Now()
 	s.mu.Lock()
@@ -258,12 +290,17 @@ func (s *Source) AddBatch(docs []*xmltree.Document) []AddResult {
 		s.fireTriggers(&results[i])
 	}
 	s.metrics.ObserveCommitPhase(time.Since(commit))
-	return results
+	return results, nil
 }
 
 // commitLocked records one scored document and runs the check phase.
 // Callers hold the write lock.
 func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
+	// Write-ahead: the document is journaled before its effects. Replay
+	// re-runs the whole commit (classification included), which is
+	// deterministic given the journaled commit order, so auto-evolutions
+	// and trigger firings need no records of their own.
+	s.journalLocked(walOp{Op: "doc", Text: doc.String()})
 	s.added++
 	res := s.recordLocked(doc, cls)
 	if res.Classified && s.cfg.AutoEvolve {
@@ -279,9 +316,21 @@ func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddRes
 }
 
 // Metrics returns a snapshot of the ingest counters (documents classified
-// or sent to the repository, evolutions, per-phase latencies).
+// or sent to the repository, evolutions, per-phase latencies), folding in
+// the attached WAL's durability counters.
 func (s *Source) Metrics() metrics.IngestSnapshot {
-	return s.metrics.Snapshot()
+	snap := s.metrics.Snapshot()
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w != nil {
+		st := w.Stats()
+		snap.WALAppends = st.Appends
+		snap.WALBytes = st.Bytes
+		snap.WALSyncs = st.Syncs
+		snap.WALRotations = st.Rotations
+	}
+	return snap
 }
 
 // AddTriggerRule installs one rule of the evolution trigger language, e.g.
@@ -298,6 +347,7 @@ func (s *Source) AddTriggerRule(src string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(walOp{Op: "trigger", Text: src})
 	s.triggers = append(s.triggers, rule)
 	return nil
 }
@@ -311,6 +361,7 @@ func (s *Source) SetTriggerRules(src string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(walOp{Op: "triggers", Text: src})
 	s.triggers = rules
 	return nil
 }
@@ -415,8 +466,8 @@ func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddRes
 // document is kept in the store under its DTD's name (durably when dir is
 // non-empty, in memory otherwise), so that AdaptStored can rewrite the
 // stored population after an evolution — the paper's §6 open problem.
-func (s *Source) EnableStore(dir string) error {
-	store, err := docstore.Open(dir)
+func (s *Source) EnableStore(dir string, opts ...docstore.Option) error {
+	store, err := docstore.Open(dir, opts...)
 	if err != nil {
 		return err
 	}
@@ -508,6 +559,7 @@ func (s *Source) EvolveNow(name string) (evolve.Report, int, error) {
 	if _, ok := s.entries[name]; !ok {
 		return evolve.Report{}, 0, fmt.Errorf("source: no DTD named %q", name)
 	}
+	s.journalLocked(walOp{Op: "evolve", Name: name})
 	report, reclassified := s.evolveLocked(name)
 	return report, reclassified, nil
 }
@@ -533,6 +585,7 @@ func (s *Source) evolveLocked(name string) (evolve.Report, int) {
 func (s *Source) ReclassifyRepository() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(walOp{Op: "reclassify"})
 	return s.reclassifyLocked()
 }
 
@@ -607,13 +660,27 @@ type snapshot struct {
 	Recorders  map[string]*record.Snapshot `json:"recorders"`
 	Repository []string                    `json:"repository"`
 	Added      int                         `json:"added"`
+	// Triggers is the source text of the installed trigger rules, so a
+	// restored service keeps firing them.
+	Triggers []string `json:"triggers,omitempty"`
+	// WALSeq is the first WAL segment NOT covered by this snapshot:
+	// recovery replays only segments >= WALSeq on top (see Checkpoint;
+	// 0 for snapshots taken without a WAL).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // Snapshot serializes the source state (DTD set, extended-DTD statistics,
-// repository) to JSON, so a long-lived service can checkpoint and resume.
+// repository, trigger rules) to JSON, so a long-lived service can
+// checkpoint and resume.
 func (s *Source) Snapshot() ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.snapshotLocked(0)
+}
+
+// snapshotLocked marshals the state with the given WAL position. Callers
+// hold s.mu (read side suffices).
+func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 	snap := snapshot{
 		DTDs:       make(map[string]string),
 		Roots:      make(map[string]string),
@@ -621,6 +688,7 @@ func (s *Source) Snapshot() ([]byte, error) {
 		Evolutions: make(map[string]int),
 		Recorders:  make(map[string]*record.Snapshot),
 		Added:      s.added,
+		WALSeq:     walSeq,
 	}
 	for name, e := range s.entries {
 		snap.DTDs[name] = e.d.String()
@@ -631,6 +699,9 @@ func (s *Source) Snapshot() ([]byte, error) {
 	}
 	for _, doc := range s.repository {
 		snap.Repository = append(snap.Repository, doc.String())
+	}
+	for _, r := range s.triggers {
+		snap.Triggers = append(snap.Triggers, r.String())
 	}
 	return json.Marshal(snap)
 }
@@ -662,6 +733,23 @@ func Restore(cfg Config, data []byte) (*Source, error) {
 		}
 		s.repository = append(s.repository, doc)
 	}
+	for _, src := range snap.Triggers {
+		rule, err := trigger.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("source: snapshot trigger rule: %w", err)
+		}
+		s.triggers = append(s.triggers, rule)
+	}
 	s.added = snap.Added
 	return s, nil
+}
+
+// dtdParse parses journaled DTD text and restores its declared root.
+func dtdParse(text, root string) (*dtd.DTD, error) {
+	d, err := dtd.ParseString(text)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = root
+	return d, nil
 }

@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendAllocs gates the ingest-durability budget: once the frame
+// buffer has grown to the record size, Append must not allocate — the WAL
+// sits on the per-document commit path, which is otherwise allocation-free
+// (DESIGN.md §9).
+func TestAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff, SegmentSize: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("x"), 256)
+	if err := l.Append(payload); err != nil { // warm: grows buf, opens segment
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Append allocates %.1f objects per record, want 0", allocs)
+	}
+}
+
+// TestEncodeFrameAllocs checks the shared frame codec reuses its
+// destination buffer.
+func TestEncodeFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	payload := bytes.Repeat([]byte("y"), 128)
+	buf := make([]byte, 0, FrameHeaderSize+len(payload))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = EncodeFrame(buf[:0], payload)
+	})
+	if allocs != 0 {
+		t.Errorf("EncodeFrame allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,0 +1,152 @@
+// Package faultfs is a fault-injecting filesystem for crash-safety tests.
+// It wraps the real filesystem behind wal.FS and cuts the power at a
+// chosen point: after a configurable number of bytes every write fails (and
+// only a prefix of the in-flight write reaches the disk — the torn write of
+// a real crash), or syncs start lying, or every operation errors. Tests
+// point a wal.Log (or a docstore) at it, kill it mid-append, and then
+// recover from whatever actually hit the disk.
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"dtdevolve/internal/wal"
+)
+
+// ErrInjected is the error returned by every injected failure.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps the real filesystem with programmable failures. The zero value
+// injects nothing. FS is safe for concurrent use.
+type FS struct {
+	mu sync.Mutex
+	// remaining is how many more payload bytes may be written before writes
+	// start failing; -1 means unlimited.
+	remaining int64
+	limited   bool
+	failSync  bool
+	failOps   bool
+	written   int64
+}
+
+// New returns an FS with no faults armed.
+func New() *FS { return &FS{} }
+
+// FailWritesAfter arms the write fault: after n more bytes, every Write
+// fails with ErrInjected. The write that crosses the boundary is torn — the
+// bytes up to the boundary reach the file, the rest do not — exactly like a
+// crash mid-append.
+func (fs *FS) FailWritesAfter(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.remaining = n
+	fs.limited = true
+}
+
+// FailSyncs makes every subsequent Sync fail with ErrInjected.
+func (fs *FS) FailSyncs() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failSync = true
+}
+
+// FailOps makes every subsequent filesystem operation (Create, Remove)
+// fail with ErrInjected.
+func (fs *FS) FailOps() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failOps = true
+}
+
+// Heal disarms every fault.
+func (fs *FS) Heal() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.limited = false
+	fs.remaining = 0
+	fs.failSync = false
+	fs.failOps = false
+}
+
+// Written returns how many bytes reached the underlying files.
+func (fs *FS) Written() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.written
+}
+
+// Create implements wal.FS.
+func (fs *FS) Create(path string) (wal.File, error) {
+	fs.mu.Lock()
+	bad := fs.failOps
+	fs.mu.Unlock()
+	if bad {
+		return nil, ErrInjected
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, f: f}, nil
+}
+
+// Remove implements wal.FS.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	bad := fs.failOps
+	fs.mu.Unlock()
+	if bad {
+		return ErrInjected
+	}
+	return os.Remove(path)
+}
+
+// file is a wal.File that consults the FS's armed faults on every
+// operation.
+type file struct {
+	fs *FS
+	f  *os.File
+}
+
+// Write writes p, tearing it at the armed byte budget: the allowed prefix
+// reaches the disk, then ErrInjected.
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	allowed := len(p)
+	if w.fs.limited {
+		if int64(allowed) > w.fs.remaining {
+			allowed = int(w.fs.remaining)
+		}
+		w.fs.remaining -= int64(allowed)
+	}
+	w.fs.mu.Unlock()
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = w.f.Write(p[:allowed])
+		w.fs.mu.Lock()
+		w.fs.written += int64(n)
+		w.fs.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+	}
+	if allowed < len(p) {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+func (w *file) Sync() error {
+	w.fs.mu.Lock()
+	bad := w.fs.failSync
+	w.fs.mu.Unlock()
+	if bad {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Close() error { return w.f.Close() }

@@ -1,0 +1,117 @@
+package faultfs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/wal/faultfs"
+)
+
+func records(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(rune('a'+i%26))))
+	}
+	return out
+}
+
+// TestInjectedWriteFailureIsSticky kills the disk mid-append and checks the
+// log fails loudly and permanently, while everything durably written before
+// the fault still replays.
+func TestInjectedWriteFailureIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New()
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := records(20)
+	var okRecords int
+	var failed bool
+	fs.FailWritesAfter(130) // tears an append partway through
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("append error = %v, want injected fault", err)
+			}
+			failed = true
+			break
+		}
+		okRecords++
+	}
+	if !failed {
+		t.Fatal("write fault never fired")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() = nil after write failure")
+	}
+	if err := l.Append([]byte("more")); err == nil {
+		t.Fatal("append after failure succeeded; sticky error expected")
+	}
+	l.Close()
+
+	var got [][]byte
+	res, err := wal.Replay(dir, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay after fault: %v", err)
+	}
+	if len(got) != okRecords {
+		t.Fatalf("recovered %d records, want %d (%+v)", len(got), okRecords, res)
+	}
+	for i := range got {
+		if string(got[i]) != string(want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !res.Truncated {
+		t.Errorf("torn append not reported: %+v", res)
+	}
+}
+
+// TestInjectedSyncFailure checks that a lying fsync poisons the log under
+// SyncAlways.
+func TestInjectedSyncFailure(t *testing.T) {
+	fs := faultfs.New()
+	l, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSyncs()
+	if err := l.Append([]byte("doomed")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append = %v, want injected sync fault", err)
+	}
+	if l.Err() == nil {
+		t.Error("Err() = nil after sync failure")
+	}
+	l.Close()
+}
+
+// TestHealRestoresWrites checks faults can be disarmed (used by stress
+// tests that crash and then keep the process running).
+func TestHealRestoresWrites(t *testing.T) {
+	fs := faultfs.New()
+	f, err := fs.Create(t.TempDir() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.FailWritesAfter(0)
+	if _, err := f.Write([]byte("nope")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("write = %v, want injected", err)
+	}
+	fs.Heal()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if fs.Written() != 2 {
+		t.Errorf("Written() = %d, want 2", fs.Written())
+	}
+}

@@ -1,0 +1,35 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable handle the log appends to. It is the only surface a
+// fault-injection filesystem needs to intercept: every durability bug is a
+// write that half-happened or a sync that lied.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the segment directory so tests can inject write and sync
+// failures (package faultfs). The log only ever creates fresh segment files
+// and removes sealed ones; reading is recovery's job and goes through the
+// real filesystem.
+type FS interface {
+	// Create creates (truncating) the file at path for appending.
+	Create(path string) (File, error)
+	// Remove deletes the file at path.
+	Remove(path string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Remove(path string) error { return os.Remove(path) }

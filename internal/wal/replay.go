@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ReplayResult describes what recovery found in the log.
+type ReplayResult struct {
+	// Records is the number of valid records handed to the apply function.
+	Records int
+	// Truncated reports that the final segment ended inside a frame — the
+	// torn write of a crash mid-append — and was truncated back to its last
+	// valid frame boundary.
+	Truncated bool
+	// Corrupted reports that a structurally complete frame failed its CRC
+	// (or carried an impossible length): bit rot or a flipped byte. The
+	// invalid suffix was quarantined, never applied.
+	Corrupted bool
+	// Quarantined lists files holding bytes that were removed from the
+	// replayable log: the invalid suffix of the offending segment, plus any
+	// whole segments after it (their records depend on state the corrupt
+	// record would have produced, so applying them could diverge).
+	Quarantined []string
+}
+
+// Replay is ReplayFrom over the whole directory.
+func Replay(dir string, apply func(payload []byte) error) (ReplayResult, error) {
+	return ReplayFrom(dir, 0, apply)
+}
+
+// ReplayFrom reads every record of every segment numbered >= minSeq, in
+// order, calling apply on each payload. minSeq is the WAL position a
+// restored snapshot covers: records below it are already folded into the
+// snapshot and must not be applied twice. The payload slice passed to
+// apply is reused between records and only valid for the duration of the
+// call.
+//
+// Recovery is total: a torn final record is truncated away (its bytes were
+// never acknowledged as durable), and a corrupt record stops the replay
+// with everything from it onward quarantined to *.quarantine files. In
+// both cases ReplayFrom returns a nil error and the state rebuilt from the
+// longest valid prefix; an apply error or an I/O failure is returned as an
+// error.
+func ReplayFrom(dir string, minSeq uint64, apply func(payload []byte) error) (ReplayResult, error) {
+	var res ReplayResult
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	var buf []byte
+	for i, seq := range seqs {
+		if seq < minSeq {
+			continue
+		}
+		path := filepath.Join(dir, segmentName(seq))
+		stop, err := replaySegment(path, &res, &buf, apply)
+		if err != nil {
+			return res, err
+		}
+		if stop {
+			// Quarantine the untouched later segments: their records were
+			// journaled against state we can no longer reach.
+			for _, later := range seqs[i+1:] {
+				p := filepath.Join(dir, segmentName(later))
+				q := p + ".quarantine"
+				if err := os.Rename(p, q); err != nil {
+					return res, fmt.Errorf("wal: quarantining %s: %w", p, err)
+				}
+				res.Quarantined = append(res.Quarantined, q)
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// replaySegment replays one segment file. It reports stop=true when an
+// invalid frame ended the replayable prefix (the segment was truncated and
+// the suffix quarantined).
+func replaySegment(path string, res *ReplayResult, buf *[]byte, apply func(payload []byte) error) (stop bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var validEnd int64
+	for {
+		payload, err := ReadFrame(r, *buf)
+		if errors.Is(err, io.EOF) {
+			return false, nil
+		}
+		if err != nil {
+			torn := errors.Is(err, ErrTorn)
+			if qerr := quarantineTail(path, validEnd, res); qerr != nil {
+				return false, qerr
+			}
+			if torn {
+				res.Truncated = true
+			} else {
+				res.Corrupted = true
+			}
+			return true, nil
+		}
+		if cap(payload) > cap(*buf) {
+			*buf = payload[:0]
+		}
+		if err := apply(payload); err != nil {
+			return false, fmt.Errorf("wal: applying record %d: %w", res.Records, err)
+		}
+		res.Records++
+		validEnd += int64(FrameHeaderSize + len(payload))
+	}
+}
+
+// quarantineTail copies the bytes of path beyond validEnd to a .quarantine
+// file and truncates the segment back to its last valid frame boundary, so
+// the invalid bytes are preserved for forensics but can never replay.
+func quarantineTail(path string, validEnd int64, res *ReplayResult) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: quarantining %s: %w", path, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: quarantining %s: %w", path, err)
+	}
+	if info.Size() > validEnd {
+		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+			return fmt.Errorf("wal: quarantining %s: %w", path, err)
+		}
+		tail, err := io.ReadAll(f)
+		if err != nil {
+			return fmt.Errorf("wal: quarantining %s: %w", path, err)
+		}
+		q := path + ".quarantine"
+		if err := os.WriteFile(q, tail, 0o644); err != nil {
+			return fmt.Errorf("wal: quarantining %s: %w", path, err)
+		}
+		res.Quarantined = append(res.Quarantined, q)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", path, err)
+	}
+	return f.Sync()
+}

@@ -1,0 +1,413 @@
+// Package wal is a segmented, CRC32C-framed, append-only write-ahead log.
+// The source engine journals every state-changing operation through it so
+// that a crash — OOM kill, power loss, SIGKILL — loses at most the tail the
+// chosen fsync policy permits, instead of every document classified since
+// startup (the snapshot written at graceful shutdown was previously the
+// only durability).
+//
+// The log is a directory of numbered segment files (wal-<seq>.log). Records
+// are length-prefixed and checksummed (see frame.go); segments rotate at a
+// configurable size so a background checkpointer can truncate history that
+// a snapshot already covers (sealed segments below the snapshot's position
+// are removed, never rewritten). Recovery (Replay) tolerates a torn final
+// record by truncating to the last valid frame, and detects byte-flip
+// corruption via CRC, quarantining — never applying — the invalid suffix.
+//
+// Failures are sticky: after the first write or sync error the log refuses
+// further appends and reports the error from Err, which the serving layer
+// surfaces as degraded, read-only mode.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval flushes dirty segments from a background goroutine every
+	// Options.SyncEvery. A crash loses at most one interval of records; the
+	// append hot path never waits on the disk. This is the default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no acknowledged record is ever
+	// lost, at the cost of a disk round-trip per operation.
+	SyncAlways
+	// SyncOff never fsyncs; the OS page cache decides. A crash of the
+	// process alone loses nothing (the kernel still has the writes); a
+	// crash of the machine loses the unflushed tail.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spelling ("always", "interval", "off") to a
+// SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or off)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB). Rotation bounds how much history a checkpoint
+	// leaves behind: only sealed segments are truncated.
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the flush period under SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// FS overrides the filesystem, for fault injection (default: the real
+	// one).
+	FS FS
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+}
+
+// Stats counts what the log has done since Open, for the service's metrics
+// route.
+type Stats struct {
+	Appends   int64 // records appended
+	Bytes     int64 // framed bytes written
+	Syncs     int64 // fsync calls that reached the File
+	Rotations int64 // segments sealed
+}
+
+// Log is an append-only write-ahead log over a directory of segments. It is
+// safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	active     File
+	activeSeq  uint64
+	activeSize int64
+	nextSeq    uint64
+	buf        []byte // reusable frame buffer: zero-alloc appends
+	err        error  // sticky first write/sync failure
+	dirty      bool   // unsynced appends under SyncInterval
+
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	syncs     atomic.Int64
+	rotations atomic.Int64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// segmentName returns the file name of segment seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("wal-%016d.log", seq)
+}
+
+// parseSegmentName extracts the sequence number from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the sequence numbers of the segments in dir, sorted
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Open prepares dir for appending. Existing segments are left untouched —
+// recovery (Replay) reads them first — and new records go to a fresh
+// segment numbered after the highest present, so a truncated tail is never
+// appended into.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	if n := len(seqs); n > 0 {
+		l.nextSeq = seqs[n-1] + 1
+	}
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop(l.stopSync, l.syncDone)
+	}
+	return l, nil
+}
+
+// Append journals one record. The payload is framed (length + CRC32C),
+// written to the active segment and synced per the policy. Append is
+// zero-allocation in steady state: the frame buffer is reused across calls.
+// After the first failure every Append returns the same sticky error — the
+// caller must treat the log as lost and degrade, not retry.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if len(payload) == 0 || len(payload) > MaxRecordSize {
+		return fmt.Errorf("wal: record payload size %d out of range", len(payload))
+	}
+	frameLen := int64(FrameHeaderSize + len(payload))
+	if l.active == nil || (l.activeSize > 0 && l.activeSize+frameLen > l.opts.SegmentSize) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	l.buf = EncodeFrame(l.buf[:0], payload)
+	if _, err := l.active.Write(l.buf); err != nil {
+		l.fail(fmt.Errorf("wal: appending to segment %d: %w", l.activeSeq, err))
+		return l.err
+	}
+	l.activeSize += frameLen
+	l.appends.Add(1)
+	l.bytes.Add(frameLen)
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.active.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: syncing segment %d: %w", l.activeSeq, err))
+			return l.err
+		}
+		l.syncs.Add(1)
+	case SyncInterval:
+		l.dirty = true
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the next
+// one. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
+			return l.err
+		}
+		l.syncs.Add(1)
+		if err := l.active.Close(); err != nil {
+			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
+			return l.err
+		}
+		l.active = nil
+		l.dirty = false
+		l.rotations.Add(1)
+	}
+	f, err := l.opts.FS.Create(filepath.Join(l.dir, segmentName(l.nextSeq)))
+	if err != nil {
+		l.fail(fmt.Errorf("wal: creating segment %d: %w", l.nextSeq, err))
+		return l.err
+	}
+	l.active = f
+	l.activeSeq = l.nextSeq
+	l.activeSize = 0
+	l.nextSeq++
+	return nil
+}
+
+// Rotate seals the active segment and returns the sequence number of the
+// next (not yet written) one: every record appended so far lives in a
+// segment numbered strictly below the returned value. The checkpointer
+// calls this under the source's state lock, so the snapshot it then writes
+// corresponds exactly to the WAL position.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
+			return 0, l.err
+		}
+		l.syncs.Add(1)
+		if err := l.active.Close(); err != nil {
+			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
+			return 0, l.err
+		}
+		l.active = nil
+		l.dirty = false
+		l.rotations.Add(1)
+	}
+	return l.nextSeq, nil
+}
+
+// SkipTo advances the segment numbering so the next created segment is
+// numbered at least seq. Recovery calls this with the restored snapshot's
+// WAL position: a checkpoint may have removed every segment below that
+// position, and a fresh Open of the now-empty directory would otherwise
+// restart numbering inside the covered range — records appended there would
+// be skipped as "already in the snapshot" by the next recovery.
+func (l *Log) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil && seq > l.nextSeq {
+		l.nextSeq = seq
+	}
+}
+
+// RemoveBefore deletes sealed segments with sequence numbers strictly below
+// seq — history a durable snapshot already covers. The active segment is
+// never removed.
+func (l *Log) RemoveBefore(seq uint64) error {
+	l.mu.Lock()
+	activeSeq, haveActive := l.activeSeq, l.active != nil
+	l.mu.Unlock()
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, s := range seqs {
+		if s >= seq || (haveActive && s == activeSeq) {
+			continue
+		}
+		if err := l.opts.FS.Remove(filepath.Join(l.dir, segmentName(s))); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: removing segment %d: %w", s, err)
+		}
+	}
+	return firstErr
+}
+
+// Sync forces an fsync of the active segment, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		l.fail(fmt.Errorf("wal: syncing segment %d: %w", l.activeSeq, err))
+		return l.err
+	}
+	l.syncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(l.opts.SyncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.dirty && l.err == nil {
+				_ = l.syncLocked() // failure is sticky; Err surfaces it
+			}
+			l.mu.Unlock()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// fail records the first failure; the log is unusable afterwards. Callers
+// hold l.mu.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the sticky failure, or nil while the log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats returns operation counters since Open.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:   l.appends.Load(),
+		Bytes:     l.bytes.Load(),
+		Syncs:     l.syncs.Load(),
+		Rotations: l.rotations.Load(),
+	}
+}
+
+// Dir returns the segment directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and closes the active segment and stops the background
+// flusher. The log must not be used afterwards.
+func (l *Log) Close() error {
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+		l.stopSync = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return l.err
+	}
+	syncErr := l.syncLocked()
+	if err := l.active.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	l.active = nil
+	return syncErr
+}
