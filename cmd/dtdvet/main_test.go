@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the dtdvet binary once per test binary run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	exe := filepath.Join(dir, "dtdvet")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building dtdvet: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func TestVersionProbe(t *testing.T) {
+	exe := buildTool(t)
+	out, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	// The go command parses this line and hashes the trailing field into its
+	// build cache key; the format is part of the vettool contract.
+	got := strings.TrimSpace(string(out))
+	re := regexp.MustCompile(`^dtdvet version devel comments-go-here buildID=[0-9a-f]{64}$`)
+	if !re.MatchString(got) {
+		t.Fatalf("-V=full output %q does not match %v", got, re)
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	exe := buildTool(t)
+	out, err := exec.Command(exe, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []any
+	if err := json.Unmarshal(out, &flags); err != nil || len(flags) != 0 {
+		t.Fatalf("-flags output %q: want empty JSON list", out)
+	}
+}
+
+// writeUnit lays out a one-file package plus the vet unit config the go
+// command would hand the tool, and returns the config path and the vetx
+// path the tool must create.
+func writeUnit(t *testing.T, src string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "p.vetx")
+	cfg := map[string]any{
+		"ID":          "p",
+		"Compiler":    "gc",
+		"Dir":         dir,
+		"ImportPath":  "p",
+		"GoFiles":     []string{goFile},
+		"ImportMap":   map[string]string{},
+		"PackageFile": map[string]string{},
+		"Standard":    map[string]bool{},
+		"VetxOnly":    vetxOnly,
+		"VetxOutput":  vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestUnitFindings(t *testing.T) {
+	exe := buildTool(t)
+	// A malformed directive is the one finding reproducible without any
+	// export data for imports.
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+// dtdvet:bogus
+func F() {}
+`, false)
+	cmd := exec.Command(exe, cfgPath)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 on findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "malformed dtdvet directive") {
+		t.Fatalf("diagnostic missing from output:\n%s", out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestUnitClean(t *testing.T) {
+	exe := buildTool(t)
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+func F() {}
+`, false)
+	if out, err := exec.Command(exe, cfgPath).CombinedOutput(); err != nil {
+		t.Fatalf("clean unit: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestUnitVetxOnly(t *testing.T) {
+	exe := buildTool(t)
+	// VetxOnly units are dependency scans: the tool must emit the facts
+	// file and skip analysis entirely, even over a file with findings.
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+// dtdvet:bogus
+func F() {}
+`, true)
+	if out, err := exec.Command(exe, cfgPath).CombinedOutput(); err != nil {
+		t.Fatalf("vetx-only unit: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}

@@ -43,8 +43,8 @@ type Classifier struct {
 	tab   *intern.Table
 
 	mu    sync.RWMutex
-	dtds  map[string]*dtd.DTD
-	pools map[string]*similarity.Pool
+	dtds  map[string]*dtd.DTD         // dtdvet:guarded_by mu
+	pools map[string]*similarity.Pool // dtdvet:guarded_by mu
 }
 
 // New returns a Classifier with threshold σ and measure configuration cfg,
@@ -99,6 +99,7 @@ func (c *Classifier) Names() []string {
 	return c.namesLocked()
 }
 
+// dtdvet:requires mu:r
 func (c *Classifier) namesLocked() []string {
 	out := make([]string, 0, len(c.dtds))
 	for name := range c.dtds {
@@ -135,7 +136,7 @@ func (c *Classifier) ClassifyElement(root *xmltree.Node) Result {
 		for i, name := range names {
 			go func(i int, name string) {
 				defer wg.Done()
-				sims[i] = c.simLocked(name, root)
+				sims[i] = c.simLocked(name, root) // dtdvet:allow locks -- runs under the RLock ClassifyElement holds across wg.Wait
 			}(i, name)
 		}
 		wg.Wait()
@@ -158,8 +159,9 @@ func (c *Classifier) ClassifyElement(root *xmltree.Node) Result {
 	return res
 }
 
-// simLocked scores root against one registered DTD. Callers hold c.mu (read
-// side is enough: pools are safe for concurrent use).
+// simLocked scores root against one registered DTD. The read side is
+// enough: pools are safe for concurrent use.
+// dtdvet:requires mu:r
 func (c *Classifier) simLocked(name string, root *xmltree.Node) float64 {
 	// A DTD with a declared root only matches documents rooted there.
 	if d := c.dtds[name]; d.Name == "" || root == nil || d.Name == root.Name {

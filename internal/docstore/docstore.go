@@ -29,14 +29,19 @@ import (
 	"dtdevolve/internal/xmltree"
 )
 
+// The docstore is part of the durability layer: a dropped Sync/Close/Write
+// error here can serve a document the disk never accepted.
+// dtdvet:strict errsync
+
 // Store holds documents grouped into named collections. A Store with an
-// empty directory path is purely in-memory.
+// empty directory path is purely in-memory. dir and sync are set at Open
+// time and immutable afterwards; everything else is guarded.
 type Store struct {
 	mu          sync.Mutex
 	dir         string // "" = in-memory
 	sync        wal.SyncPolicy
-	collections map[string]*collection
-	frame       []byte // reusable framing buffer; guarded by mu
+	collections map[string]*collection // dtdvet:guarded_by mu
+	frame       []byte                 // reusable framing buffer; dtdvet:guarded_by mu
 }
 
 type collection struct {
@@ -104,12 +109,21 @@ func (s *Store) segPath(name string) string {
 	return filepath.Join(s.dir, name+".seg")
 }
 
+// loadCollection reads one segment into memory, keeping the handle open for
+// appends on success.
+// dtdvet:allow locks -- called only from Open, before the store is shared
 func (s *Store) loadCollection(name string) error {
 	path := s.segPath(name)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("docstore: %w", err)
 	}
+	loaded := false
+	defer func() {
+		if !loaded {
+			_ = f.Close() // dtdvet:allow errsync -- error path: the load already failed and nothing was written
+		}
+	}()
 	c := &collection{file: f}
 	r := bufio.NewReader(f)
 	var validEnd int64
@@ -123,11 +137,9 @@ func (s *Store) loadCollection(name string) error {
 			// The process died mid-append: drop the torn final record and
 			// keep the intact prefix.
 			if err := f.Truncate(validEnd); err != nil {
-				f.Close()
 				return fmt.Errorf("docstore: truncating torn tail of %s: %w", path, err)
 			}
 			if err := f.Sync(); err != nil {
-				f.Close()
 				return fmt.Errorf("docstore: %w", err)
 			}
 			break
@@ -135,28 +147,26 @@ func (s *Store) loadCollection(name string) error {
 		if err != nil {
 			// CRC mismatch on a complete frame is corruption, not a crash
 			// signature — refuse to serve damaged documents.
-			f.Close()
 			return fmt.Errorf("docstore: reading %s: %w", path, err)
 		}
 		buf = payload[:0]
 		doc, err := xmltree.ParseString(string(payload))
 		if err != nil {
-			f.Close()
 			return fmt.Errorf("docstore: corrupt record in %s: %w", path, err)
 		}
 		validEnd += int64(wal.FrameHeaderSize + len(payload))
 		c.docs = append(c.docs, doc)
 	}
 	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
-		f.Close()
 		return fmt.Errorf("docstore: %w", err)
 	}
+	loaded = true
 	s.collections[name] = c
 	return nil
 }
 
-// ensure returns (creating if needed) the named collection. Callers hold
-// s.mu.
+// ensure returns (creating if needed) the named collection.
+// dtdvet:requires mu
 func (s *Store) ensure(name string) (*collection, error) {
 	if c, ok := s.collections[name]; ok {
 		return c, nil
@@ -192,7 +202,8 @@ func (s *Store) Put(name string, doc *xmltree.Document) error {
 
 // appendRecord writes one CRC-framed record in a single Write call (so a
 // crash tears at most the final record, never interleaves two), fsyncing
-// per the store's policy. Callers hold s.mu (the frame buffer is shared).
+// per the store's policy. The lock covers the shared frame buffer.
+// dtdvet:requires mu
 func (s *Store) appendRecord(f *os.File, doc *xmltree.Document) error {
 	var b strings.Builder
 	if _, err := doc.WriteTo(&b); err != nil {
@@ -259,28 +270,33 @@ func (s *Store) Replace(name string, docs []*xmltree.Document) error {
 		if err != nil {
 			return fmt.Errorf("docstore: %w", err)
 		}
+		closed, renamed := false, false
+		defer func() {
+			if !closed {
+				_ = tmp.Close() // dtdvet:allow errsync -- error path: the replace already failed
+			}
+			if !renamed {
+				os.Remove(tmpPath)
+			}
+		}()
 		for _, doc := range docs {
 			if err := s.appendRecord(tmp, doc); err != nil {
-				tmp.Close()
-				os.Remove(tmpPath)
 				return err
 			}
 		}
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
 			return fmt.Errorf("docstore: %w", err)
 		}
+		closed = true
 		if err := tmp.Close(); err != nil {
-			os.Remove(tmpPath)
 			return fmt.Errorf("docstore: %w", err)
 		}
 		old := c.file
 		if err := os.Rename(tmpPath, s.segPath(name)); err != nil {
-			os.Remove(tmpPath)
 			return fmt.Errorf("docstore: %w", err)
 		}
-		old.Close()
+		renamed = true
+		_ = old.Close() // dtdvet:allow errsync -- superseded handle: the rename already replaced its segment
 		f, err := os.OpenFile(s.segPath(name), os.O_RDWR|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("docstore: %w", err)
@@ -301,9 +317,12 @@ func (s *Store) Drop(name string) error {
 	}
 	delete(s.collections, name)
 	if c.file != nil {
-		c.file.Close()
+		cerr := c.file.Close()
 		if err := os.Remove(s.segPath(name)); err != nil {
 			return fmt.Errorf("docstore: %w", err)
+		}
+		if cerr != nil {
+			return fmt.Errorf("docstore: closing segment %s: %w", name, cerr)
 		}
 	}
 	return nil

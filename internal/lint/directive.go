@@ -1,0 +1,152 @@
+// Directive parsing for the dtdvet analyzer suite.
+//
+// Invariants are declared in the source as structured comments with the
+// prefix "dtdvet:" (optionally after "// "). The verbs, one directive per
+// comment line — each spelled as the prefix immediately followed by the
+// verb (see DESIGN.md §11 for the full grammar with examples; the lines
+// below omit the prefix so this very comment is not parsed as directives):
+//
+//	requires <lock>[:r]      on a func: callers must hold <lock>
+//	                         (<lock> = [Type.]field; :r = the read
+//	                         side of an RWMutex suffices)
+//	guarded_by <field>       on a struct field: accesses require the
+//	                         named sibling mutex field
+//	noalloc                  on a func: body must contain no
+//	                         obviously-allocating construct
+//	journaled                on a struct type: exported mutating
+//	                         methods must journal before writing
+//	journalpoint             on a func: this is the WAL append point
+//	nojournal -- <reason>    on a func: exempt from the journal rule
+//	allow <analyzer> -- <reason>
+//	                         on a func doc or trailing a statement:
+//	                         suppress that analyzer here
+//	strict <analyzer>        anywhere in a file: opt the whole
+//	                         package into a package-scoped analyzer
+//	                         (currently errsync)
+//
+// A comment that starts with the prefix but does not parse is itself a
+// diagnostic (the directive analyzer): a misspelled invariant must fail
+// the build, not silently stop being checked.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Prefix is the comment marker introducing a directive.
+const Prefix = "dtdvet:"
+
+// analyzer names valid in allow/strict arguments.
+var analyzerNames = map[string]bool{
+	"locks":     true,
+	"journal":   true,
+	"noalloc":   true,
+	"errsync":   true,
+	"directive": true,
+}
+
+// Directive is one parsed dtdvet comment.
+type Directive struct {
+	Pos    token.Pos
+	Verb   string
+	Args   []string
+	Reason string // text after " -- "
+	Err    string // non-empty when malformed
+	// attached records whether the facts builder bound the directive to a
+	// declaration; floating directives of positional verbs are malformed.
+	attached bool
+}
+
+var lockRefPat = regexp.MustCompile(`^([A-Za-z_]\w*\.)?[A-Za-z_]\w*(:r)?$`)
+var identPat = regexp.MustCompile(`^[A-Za-z_]\w*$`)
+
+// parseDirective parses one comment's text (without the // or /* markers),
+// returning nil when the comment is not a directive at all.
+func parseDirective(pos token.Pos, text string) *Directive {
+	trimmed := strings.TrimLeft(text, " \t")
+	if !strings.HasPrefix(trimmed, Prefix) {
+		return nil
+	}
+	d := &Directive{Pos: pos}
+	body := strings.TrimPrefix(trimmed, Prefix)
+	// A nested "//" starts an inline note (and, in fixtures, a "// want"
+	// expectation); everything after it is not part of the directive.
+	if head, _, ok := strings.Cut(body, " //"); ok {
+		body = head
+	}
+	if head, reason, ok := strings.Cut(body, " -- "); ok {
+		body = head
+		d.Reason = strings.TrimSpace(reason)
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		d.Err = "missing verb"
+		return d
+	}
+	d.Verb = fields[0]
+	d.Args = fields[1:]
+	switch d.Verb {
+	case "requires":
+		if len(d.Args) != 1 || !lockRefPat.MatchString(d.Args[0]) {
+			d.Err = "want a single lock reference: dtdvet:requires [Type.]field[:r]"
+		}
+	case "guarded_by":
+		if len(d.Args) != 1 || !identPat.MatchString(d.Args[0]) {
+			d.Err = "want a single mutex field name: dtdvet:guarded_by field"
+		}
+	case "noalloc", "journaled", "journalpoint":
+		if len(d.Args) != 0 {
+			d.Err = "directive takes no arguments"
+		}
+	case "nojournal":
+		if len(d.Args) != 0 {
+			d.Err = "directive takes no arguments"
+		} else if d.Reason == "" {
+			d.Err = "missing reason: dtdvet:nojournal -- <why this mutation is not journaled>"
+		}
+	case "allow":
+		if len(d.Args) != 1 || !analyzerNames[d.Args[0]] {
+			d.Err = "want a single analyzer name: dtdvet:allow locks|journal|noalloc|errsync"
+		} else if d.Reason == "" {
+			d.Err = "missing reason: dtdvet:allow " + strings.Join(d.Args, " ") + " -- <why>"
+		}
+	case "strict":
+		if len(d.Args) != 1 || !analyzerNames[d.Args[0]] {
+			d.Err = "want a single analyzer name: dtdvet:strict errsync"
+		}
+	default:
+		d.Err = "unknown directive verb " + strconvQuote(d.Verb)
+	}
+	return d
+}
+
+// strconvQuote avoids importing strconv just for %q semantics here.
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// directivesInGroup parses every directive in a comment group.
+func directivesInGroup(g *ast.CommentGroup) []*Directive {
+	if g == nil {
+		return nil
+	}
+	var out []*Directive
+	for _, c := range g.List {
+		text := c.Text
+		switch {
+		case strings.HasPrefix(text, "//"):
+			if d := parseDirective(c.Pos(), strings.TrimPrefix(strings.TrimPrefix(text, "//"), " ")); d != nil {
+				out = append(out, d)
+			}
+		case strings.HasPrefix(text, "/*"):
+			body := strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+			for _, line := range strings.Split(body, "\n") {
+				if d := parseDirective(c.Pos(), strings.TrimSpace(line)); d != nil {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		verb    string
+		args    []string
+		reason  string
+		wantErr string // substring of the malformed-directive error, "" = valid
+	}{
+		{text: "plain prose comment"},
+		{text: "dtdvetish: not ours"},
+		{text: "dtdvet:requires mu", verb: "requires", args: []string{"mu"}},
+		{text: "dtdvet:requires Source.mu:r", verb: "requires", args: []string{"Source.mu:r"}},
+		{text: "  dtdvet:requires mu", verb: "requires", args: []string{"mu"}},
+		{text: "dtdvet:requires mu // trailing note ignored", verb: "requires", args: []string{"mu"}},
+		{text: "dtdvet:requires", wantErr: "want a single lock reference"},
+		{text: "dtdvet:requires a b", wantErr: "want a single lock reference"},
+		{text: "dtdvet:requires 1mu", wantErr: "want a single lock reference"},
+		{text: "dtdvet:requires a.b.c", wantErr: "want a single lock reference"},
+		{text: "dtdvet:guarded_by mu", verb: "guarded_by", args: []string{"mu"}},
+		{text: "dtdvet:guarded_by", wantErr: "want a single mutex field name"},
+		{text: "dtdvet:guarded_by a.b", wantErr: "want a single mutex field name"},
+		{text: "dtdvet:noalloc", verb: "noalloc"},
+		{text: "dtdvet:noalloc please", wantErr: "takes no arguments"},
+		{text: "dtdvet:journaled", verb: "journaled"},
+		{text: "dtdvet:journalpoint", verb: "journalpoint"},
+		{text: "dtdvet:nojournal -- rebuilt on recovery", verb: "nojournal", reason: "rebuilt on recovery"},
+		{text: "dtdvet:nojournal", wantErr: "missing reason"},
+		{text: "dtdvet:nojournal because", wantErr: "takes no arguments"},
+		{text: "dtdvet:allow locks -- init path", verb: "allow", args: []string{"locks"}, reason: "init path"},
+		{text: "dtdvet:allow locks", wantErr: "missing reason"},
+		{text: "dtdvet:allow everything -- x", wantErr: "want a single analyzer name"},
+		{text: "dtdvet:allow locks journal -- x", wantErr: "want a single analyzer name"},
+		{text: "dtdvet:strict errsync", verb: "strict", args: []string{"errsync"}},
+		{text: "dtdvet:strict", wantErr: "want a single analyzer name"},
+		{text: "dtdvet:", wantErr: "missing verb"},
+		{text: "dtdvet:frobnicate", wantErr: `unknown directive verb "frobnicate"`},
+	}
+	for _, tc := range cases {
+		d := parseDirective(0, tc.text)
+		if tc.verb == "" && tc.wantErr == "" {
+			if d != nil {
+				t.Errorf("parseDirective(%q) = %+v, want nil (not a directive)", tc.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Errorf("parseDirective(%q) = nil, want a directive", tc.text)
+			continue
+		}
+		if tc.wantErr != "" {
+			if !strings.Contains(d.Err, tc.wantErr) {
+				t.Errorf("parseDirective(%q).Err = %q, want substring %q", tc.text, d.Err, tc.wantErr)
+			}
+			continue
+		}
+		if d.Err != "" {
+			t.Errorf("parseDirective(%q).Err = %q, want valid", tc.text, d.Err)
+			continue
+		}
+		if d.Verb != tc.verb {
+			t.Errorf("parseDirective(%q).Verb = %q, want %q", tc.text, d.Verb, tc.verb)
+		}
+		if len(d.Args) != len(tc.args) {
+			t.Errorf("parseDirective(%q).Args = %v, want %v", tc.text, d.Args, tc.args)
+		} else {
+			for i := range tc.args {
+				if d.Args[i] != tc.args[i] {
+					t.Errorf("parseDirective(%q).Args = %v, want %v", tc.text, d.Args, tc.args)
+					break
+				}
+			}
+		}
+		if d.Reason != tc.reason {
+			t.Errorf("parseDirective(%q).Reason = %q, want %q", tc.text, d.Reason, tc.reason)
+		}
+	}
+}

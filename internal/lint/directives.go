@@ -1,0 +1,34 @@
+package lint
+
+import "dtdevolve/internal/lint/analysis"
+
+// DirectiveAnalyzer rejects malformed or misattached directive comments.
+// A typo in an invariant annotation must be a build failure: a comment
+// that silently stops parsing is an invariant that silently stops being
+// checked.
+var DirectiveAnalyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "report malformed or misplaced dtdvet: directive comments",
+	Run:  runDirective,
+}
+
+func runDirective(pass *analysis.Pass) error {
+	fx := build(pass)
+	for _, d := range fx.bad {
+		pass.Reportf(d.Pos, "malformed dtdvet directive: %s", d.Err)
+	}
+	// Directives in test files are not bound by build (test files are not
+	// analyzed), but a directive comment sitting in one is almost
+	// certainly a mistake: it looks load-bearing and does nothing.
+	for _, f := range pass.Files {
+		if !fx.isTestFile(f) {
+			continue
+		}
+		for _, g := range f.Comments {
+			for _, d := range directivesInGroup(g) {
+				pass.Reportf(d.Pos, "dtdvet directive in a test file has no effect (test files are not analyzed)")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// ErrsyncAnalyzer is a scoped errcheck for the durability layer: in
+// packages opted in with "dtdvet:strict errsync", the error results of
+// Sync, Close, Write, WriteString, Flush and Truncate must not be
+// discarded — not in an expression statement, not assigned to blank, and
+// not hidden behind a bare "defer f.Close()". A dropped fsync error is
+// the classic silent-corruption bug: the write-ahead log reports the
+// record durable when the kernel has already told us it is not
+// (DESIGN.md §10). Call sites where discarding is genuinely correct
+// (closing a read-only file, teardown after a successful Sync) carry
+// "dtdvet:allow errsync -- <why>" with the reason in the source.
+var ErrsyncAnalyzer = &analysis.Analyzer{
+	Name: "errsync",
+	Doc:  "forbid discarded Sync/Close/Write errors in packages marked dtdvet:strict errsync",
+	Run:  runErrsync,
+}
+
+// watchedMethods are the durability-critical method names.
+var watchedMethods = map[string]bool{
+	"Sync":        true,
+	"Close":       true,
+	"Write":       true,
+	"WriteString": true,
+	"Flush":       true,
+	"Truncate":    true,
+}
+
+func runErrsync(pass *analysis.Pass) error {
+	fx := build(pass)
+	if !fx.strict["errsync"] {
+		return nil
+	}
+	for _, decl := range fx.funcs {
+		es := &errsyncScanner{fx: fx, fn: fx.funcObj(decl)}
+		ast.Inspect(decl.Body, es.visit)
+	}
+	return nil
+}
+
+type errsyncScanner struct {
+	fx *facts
+	fn *types.Func
+}
+
+func (es *errsyncScanner) report(pos token.Pos, format string, args ...any) {
+	if es.fx.allowed("errsync", es.fn, pos) {
+		return
+	}
+	es.fx.pass.Reportf(pos, format, args...)
+}
+
+// watched resolves a call to a durability-critical method returning an
+// error, and describes it for the diagnostic.
+func (es *errsyncScanner) watched(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !watchedMethods[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := es.fx.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	desc := sel.Sel.Name
+	if recv := sig.Recv(); recv != nil {
+		desc = types.TypeString(recv.Type(), types.RelativeTo(es.fx.pass.Pkg)) + "." + desc
+	}
+	return desc, true
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// errIndices returns which results of sig have type error.
+func errIndices(sig *types.Signature) []int {
+	var out []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (es *errsyncScanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if desc, ok := es.watched(call); ok {
+				es.report(call.Pos(), "error from %s is discarded (dtdvet:strict errsync); handle it or annotate dtdvet:allow errsync", desc)
+			}
+		}
+	case *ast.DeferStmt:
+		if desc, ok := es.watched(n.Call); ok {
+			es.report(n.Pos(), "deferred %s discards its error (dtdvet:strict errsync); capture it into a named return or annotate dtdvet:allow errsync", desc)
+		}
+	case *ast.GoStmt:
+		if desc, ok := es.watched(n.Call); ok {
+			es.report(n.Pos(), "error from %s is discarded by the go statement (dtdvet:strict errsync)", desc)
+		}
+	case *ast.AssignStmt:
+		es.assign(n)
+	}
+	return true
+}
+
+// assign flags "_ = f.Sync()" and "n, _ := f.Write(b)": a watched call
+// whose error result lands in the blank identifier.
+func (es *errsyncScanner) assign(st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		// a, b = x.Close(), y — each RHS maps 1:1 to an LHS
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if desc, ok := es.watched(call); ok && isBlank(st.Lhs[i]) {
+				es.report(call.Pos(), "error from %s is assigned to _ (dtdvet:strict errsync)", desc)
+			}
+		}
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	desc, ok := es.watched(call)
+	if !ok {
+		return
+	}
+	sig, ok := es.fx.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if len(st.Lhs) == 1 {
+		if isBlank(st.Lhs[0]) {
+			es.report(call.Pos(), "error from %s is assigned to _ (dtdvet:strict errsync)", desc)
+		}
+		return
+	}
+	for _, i := range errIndices(sig) {
+		if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+			es.report(call.Pos(), "error result of %s is assigned to _ (dtdvet:strict errsync)", desc)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

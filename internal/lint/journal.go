@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// JournalAnalyzer enforces write-ahead journaling on types marked with
+// the journaled directive: every exported method that (transitively,
+// through same-package calls) writes a guarded field must reach a
+// journalpoint-annotated call before the first such write, or carry an
+// explicit "dtdvet:nojournal -- reason" exemption. This is the invariant
+// WAL recovery rests on — replay reproduces exactly the state mutations
+// that were journaled, so a mutation that skips the journal silently
+// diverges the recovered state (DESIGN.md §10) — and it is precisely the
+// kind of invariant a reviewer forgets: adding one exported setter to
+// Source without a journalLocked call compiles, passes unit tests, and
+// loses data on the first crash.
+//
+// The check is a source-order first-event analysis: scanning the method's
+// statements (descending into same-package callees, memoized), the first
+// event found is either a journal append — the method is compliant — or a
+// guarded write, which is the finding. Closure and goroutine bodies are
+// included conservatively.
+var JournalAnalyzer = &analysis.Analyzer{
+	Name: "journal",
+	Doc:  "check that exported methods of journaled types append a WAL record before mutating guarded state",
+	Run:  runJournal,
+}
+
+// jsum is a function's first-event summary.
+type jsum int
+
+const (
+	jNeither  jsum = iota // no journal append, no guarded write
+	jJournals             // appends a journal record before any guarded write
+	jWrites               // writes guarded state before any journal append
+)
+
+func runJournal(pass *analysis.Pass) error {
+	fx := build(pass)
+	if len(fx.journaled) == 0 {
+		return nil
+	}
+	js := &jscanner{
+		fx:       fx,
+		memo:     make(map[*types.Func]jsum),
+		active:   make(map[*types.Func]bool),
+		writePos: make(map[*types.Func]token.Pos),
+		writeVia: make(map[*types.Func]string),
+	}
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+		if fn == nil || !fn.Exported() || fx.nojournal[fn] || fx.journalpoint[fn] {
+			continue
+		}
+		recv := receiverType(fn)
+		if recv == nil || !fx.journaled[recv] {
+			continue
+		}
+		if js.summary(fn) == jWrites {
+			if fx.allowed("journal", fn, decl.Pos()) {
+				continue
+			}
+			pass.Reportf(js.writePos[fn],
+				"exported method %s.%s mutates journaled state (%s) before any journal append (dtdvet:journal); append the WAL record first or annotate dtdvet:nojournal",
+				recv.Name(), fn.Name(), js.writeVia[fn])
+		}
+	}
+	return nil
+}
+
+// receiverType returns the named type a method's receiver is declared on.
+func receiverType(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+type jscanner struct {
+	fx       *facts
+	memo     map[*types.Func]jsum
+	active   map[*types.Func]bool
+	writePos map[*types.Func]token.Pos
+	writeVia map[*types.Func]string // what the first write was, for the message
+}
+
+// summary computes fn's first-event class, memoized.
+func (j *jscanner) summary(fn *types.Func) jsum {
+	if j.fx.journalpoint[fn] {
+		return jJournals
+	}
+	if j.fx.nojournal[fn] {
+		// Its writes are vouched for by its own directive; callers are
+		// neither journaled nor blamed by calling it.
+		return jNeither
+	}
+	if s, ok := j.memo[fn]; ok {
+		return s
+	}
+	if j.active[fn] {
+		return jNeither // recursion: stay conservative
+	}
+	decl := j.fx.decls[fn]
+	if decl == nil {
+		return jNeither // other package, or no body
+	}
+	j.active[fn] = true
+	s := j.scanStmts(decl.Body.List, fn)
+	delete(j.active, fn)
+	j.memo[fn] = s
+	return s
+}
+
+func (j *jscanner) scanStmts(list []ast.Stmt, fn *types.Func) jsum {
+	for _, st := range list {
+		if s := j.scanNode(st, fn); s != jNeither {
+			return s
+		}
+	}
+	return jNeither
+}
+
+// scanNode walks one statement (or expression subtree) in source order
+// and returns the first journal/write event found.
+func (j *jscanner) scanNode(n ast.Node, fn *types.Func) jsum {
+	var found jsum
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != jNeither {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Argument expressions evaluate before the call; Inspect's
+			// preorder visit handles Fun first, which only matters for
+			// method values on guarded fields — reads, not events.
+			if callee := j.fx.calleeOf(n); callee != nil {
+				switch j.summary(callee) {
+				case jJournals:
+					found = jJournals
+					return false
+				case jWrites:
+					found = jWrites
+					j.writePos[fn] = n.Pos()
+					j.writeVia[fn] = "via " + callee.Name()
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// RHS evaluates before the LHS store.
+			for _, rhs := range n.Rhs {
+				if s := j.scanNode(rhs, fn); s != jNeither {
+					found = s
+					return false
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if sel := j.guardedTarget(lhs); sel != nil {
+					found = jWrites
+					j.writePos[fn] = sel.Pos()
+					j.writeVia[fn] = "write to " + sel.Sel.Name
+					return false
+				}
+				if s := j.scanNode(lhs, fn); s != jNeither {
+					found = s
+					return false
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			if sel := j.guardedTarget(n.X); sel != nil {
+				found = jWrites
+				j.writePos[fn] = sel.Pos()
+				j.writeVia[fn] = "write to " + sel.Sel.Name
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel := j.guardedTarget(n.X); sel != nil {
+					found = jWrites
+					j.writePos[fn] = sel.Pos()
+					j.writeVia[fn] = "address of " + sel.Sel.Name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// guardedTarget resolves a store target down to a guarded field selector:
+// s.f, s.f[k], *s.f, with parens. Returns nil when the target is not
+// guarded state.
+func (j *jscanner) guardedTarget(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			if fieldObj := j.fx.selectedField(t); fieldObj != nil {
+				if _, ok := j.fx.guards[fieldObj]; ok {
+					return t
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package lint implements dtdvet, the repository's static-analysis suite:
+// custom analyzers that machine-check the invariants the engine's
+// correctness rests on — lock discipline around the Source state,
+// journal-before-mutate in the durability layer, allocation-free hot
+// paths, and never-dropped fsync errors. The analyzers run over one
+// type-checked package at a time (see the analysis subpackage) and are
+// driven by cmd/dtdvet through the standard `go vet -vettool` contract.
+//
+// Invariants are declared in the code as structured comments (see
+// directive.go for the grammar); this file binds those comments to the
+// declarations they annotate and resolves them against the type
+// information, producing the per-package fact tables every analyzer
+// consumes.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// Analyzers returns the dtdvet suite in its fixed execution order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DirectiveAnalyzer,
+		LocksAnalyzer,
+		JournalAnalyzer,
+		NoallocAnalyzer,
+		ErrsyncAnalyzer,
+	}
+}
+
+// lockKey identifies a mutex: the struct type owning it and the field
+// name. Lock state is tracked per key, not per instance — locking one
+// *Source and touching another is beyond a syntactic checker, and does
+// not occur in this codebase.
+type lockKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+func (k lockKey) String() string {
+	if k.typ == nil {
+		return k.field
+	}
+	return k.typ.Name() + "." + k.field
+}
+
+// lockReq is one requires-directive obligation: the lock, and whether the
+// write side is needed (false: the read side of an RWMutex suffices).
+type lockReq struct {
+	key   lockKey
+	write bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// facts is everything the analyzers need to know about one package's
+// directives, resolved against its type information.
+type facts struct {
+	pass *analysis.Pass
+
+	// guards maps a struct field to the mutex that must be held to touch
+	// it (dtdvet:guarded_by).
+	guards map[*types.Var]lockKey
+	// mutexes maps every sync.Mutex/RWMutex field declared in this
+	// package to its key, and records whether it is an RWMutex.
+	mutexes map[*types.Var]lockKey
+	rw      map[lockKey]bool
+	// requires maps a function to the locks its callers must hold.
+	requires map[*types.Func][]lockReq
+	// noalloc, journalpoint, nojournal, journaled mark annotated decls.
+	noalloc      map[*types.Func]bool
+	journalpoint map[*types.Func]bool
+	nojournal    map[*types.Func]bool
+	journaled    map[*types.TypeName]bool
+	// allowFn and allowLine are suppressions: per function body, or per
+	// source line (trailing comment).
+	allowFn   map[*types.Func]map[string]bool
+	allowLine map[lineKey]map[string]bool
+	// strict holds package-wide opt-ins (dtdvet:strict).
+	strict map[string]bool
+
+	// funcs lists every function declaration with a body in non-test
+	// files, with decls as the reverse index.
+	funcs []*ast.FuncDecl
+	decls map[*types.Func]*ast.FuncDecl
+
+	// bad collects malformed, misattached or unresolvable directives.
+	bad []*Directive
+}
+
+// build resolves the package's directives. Test files contribute no
+// directives and are not analyzed (the invariants guard production code;
+// white-box tests legitimately reach into unexported state).
+func build(pass *analysis.Pass) *facts {
+	fx := &facts{
+		pass:         pass,
+		guards:       make(map[*types.Var]lockKey),
+		mutexes:      make(map[*types.Var]lockKey),
+		rw:           make(map[lockKey]bool),
+		requires:     make(map[*types.Func][]lockReq),
+		noalloc:      make(map[*types.Func]bool),
+		journalpoint: make(map[*types.Func]bool),
+		nojournal:    make(map[*types.Func]bool),
+		journaled:    make(map[*types.TypeName]bool),
+		allowFn:      make(map[*types.Func]map[string]bool),
+		allowLine:    make(map[lineKey]map[string]bool),
+		strict:       make(map[string]bool),
+		decls:        make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pass.Files {
+		if fx.isTestFile(f) {
+			continue
+		}
+		fx.indexMutexes(f)
+	}
+	for _, f := range pass.Files {
+		if fx.isTestFile(f) {
+			continue
+		}
+		fx.bindFile(f)
+	}
+	return fx
+}
+
+func (fx *facts) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(fx.pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// mutexKind reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func mutexKind(t types.Type) (rw, ok bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// indexMutexes records every mutex field of every struct declared in f.
+func (fx *facts) indexMutexes(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		tn, ok := fx.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				obj, ok := fx.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if rw, isMu := mutexKind(obj.Type()); isMu {
+					key := lockKey{typ: tn, field: name.Name}
+					fx.mutexes[obj] = key
+					fx.rw[key] = rw
+				}
+			}
+		}
+		return true
+	})
+}
+
+// bindFile walks one file's declarations, attaching directives found in
+// doc and trailing comments, then sweeps the remaining comment groups for
+// floating directives (line-level allow, package-level strict).
+func (fx *facts) bindFile(f *ast.File) {
+	attached := make(map[*ast.CommentGroup]bool)
+
+	var bindType func(ts *ast.TypeSpec, doc *ast.CommentGroup)
+	bindType = func(ts *ast.TypeSpec, doc *ast.CommentGroup) {
+		for _, g := range []*ast.CommentGroup{doc, ts.Comment} {
+			if g == nil {
+				continue
+			}
+			attached[g] = true
+			for _, d := range directivesInGroup(g) {
+				fx.bindTypeDirective(d, ts)
+			}
+		}
+		if st, ok := ts.Type.(*ast.StructType); ok {
+			for _, field := range st.Fields.List {
+				for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if g == nil {
+						continue
+					}
+					attached[g] = true
+					for _, d := range directivesInGroup(g) {
+						fx.bindFieldDirective(d, ts, field)
+					}
+				}
+			}
+		}
+	}
+
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			if decl.Body != nil {
+				fx.funcs = append(fx.funcs, decl)
+				if fn, ok := fx.pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+					fx.decls[fn] = decl
+				}
+			}
+			if decl.Doc == nil {
+				continue
+			}
+			attached[decl.Doc] = true
+			for _, d := range directivesInGroup(decl.Doc) {
+				fx.bindFuncDirective(d, decl)
+			}
+		case *ast.GenDecl:
+			soleType := len(decl.Specs) == 1
+			for _, spec := range decl.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					doc := ts.Doc
+					if doc == nil && soleType {
+						doc = decl.Doc
+					}
+					bindType(ts, doc)
+				}
+			}
+		}
+	}
+
+	// Everything not claimed above is a floating comment: valid for
+	// strict (package scope) and allow (scoped to its own source line).
+	for _, g := range f.Comments {
+		if attached[g] {
+			continue
+		}
+		for _, d := range directivesInGroup(g) {
+			fx.bindFloatingDirective(d)
+		}
+	}
+}
+
+func (fx *facts) bindFuncDirective(d *Directive, decl *ast.FuncDecl) {
+	d.attached = true
+	if d.Err != "" {
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	fn, ok := fx.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	switch d.Verb {
+	case "requires":
+		req, errText := fx.resolveLockRef(d.Args[0], fn)
+		if errText != "" {
+			d.Err = errText
+			fx.bad = append(fx.bad, d)
+			return
+		}
+		fx.requires[fn] = append(fx.requires[fn], req)
+	case "noalloc":
+		fx.noalloc[fn] = true
+	case "journalpoint":
+		fx.journalpoint[fn] = true
+	case "nojournal":
+		fx.nojournal[fn] = true
+	case "allow":
+		m := fx.allowFn[fn]
+		if m == nil {
+			m = make(map[string]bool)
+			fx.allowFn[fn] = m
+		}
+		m[d.Args[0]] = true
+	case "strict":
+		fx.strict[d.Args[0]] = true
+	default:
+		d.Err = fmt.Sprintf("directive %s%s cannot annotate a function", Prefix, d.Verb)
+		fx.bad = append(fx.bad, d)
+	}
+}
+
+func (fx *facts) bindTypeDirective(d *Directive, ts *ast.TypeSpec) {
+	d.attached = true
+	if d.Err != "" {
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	switch d.Verb {
+	case "journaled":
+		if tn, ok := fx.pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			fx.journaled[tn] = true
+		}
+	case "strict":
+		fx.strict[d.Args[0]] = true
+	default:
+		d.Err = fmt.Sprintf("directive %s%s cannot annotate a type", Prefix, d.Verb)
+		fx.bad = append(fx.bad, d)
+	}
+}
+
+func (fx *facts) bindFieldDirective(d *Directive, ts *ast.TypeSpec, field *ast.Field) {
+	d.attached = true
+	if d.Err != "" {
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	if d.Verb != "guarded_by" {
+		d.Err = fmt.Sprintf("directive %s%s cannot annotate a struct field", Prefix, d.Verb)
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	tn, ok := fx.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	key := lockKey{typ: tn, field: d.Args[0]}
+	if _, isMu := fx.rw[key]; !isMu {
+		d.Err = fmt.Sprintf("guarded_by names %s, which is not a sync.Mutex or sync.RWMutex field of %s", d.Args[0], tn.Name())
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	for _, name := range field.Names {
+		if obj, ok := fx.pass.TypesInfo.Defs[name].(*types.Var); ok {
+			fx.guards[obj] = key
+		}
+	}
+}
+
+func (fx *facts) bindFloatingDirective(d *Directive) {
+	if d.Err != "" {
+		fx.bad = append(fx.bad, d)
+		return
+	}
+	switch d.Verb {
+	case "strict":
+		fx.strict[d.Args[0]] = true
+	case "allow":
+		pos := fx.pass.Fset.Position(d.Pos)
+		lk := lineKey{file: pos.Filename, line: pos.Line}
+		m := fx.allowLine[lk]
+		if m == nil {
+			m = make(map[string]bool)
+			fx.allowLine[lk] = m
+		}
+		m[d.Args[0]] = true
+	default:
+		d.Err = fmt.Sprintf("directive %s%s must be attached to a declaration (put it in the doc comment)", Prefix, d.Verb)
+		fx.bad = append(fx.bad, d)
+	}
+}
+
+// resolveLockRef resolves a requires argument ("mu", "mu:r", "Type.mu",
+// "Type.mu:r") against fn's receiver and the package scope.
+func (fx *facts) resolveLockRef(ref string, fn *types.Func) (lockReq, string) {
+	req := lockReq{write: true}
+	if rest, ok := strings.CutSuffix(ref, ":r"); ok {
+		req.write = false
+		ref = rest
+	}
+	var tn *types.TypeName
+	field := ref
+	if typeName, fieldName, qualified := strings.Cut(ref, "."); qualified {
+		obj, ok := fx.pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return req, fmt.Sprintf("requires references unknown type %s", typeName)
+		}
+		tn, field = obj, fieldName
+	} else {
+		sig := fn.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			return req, "unqualified requires on a non-method; use dtdvet:requires Type.field"
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return req, "receiver is not a named type"
+		}
+		tn = named.Obj()
+	}
+	req.key = lockKey{typ: tn, field: field}
+	if _, isMu := fx.rw[req.key]; !isMu {
+		return req, fmt.Sprintf("requires names %s, which is not a sync.Mutex or sync.RWMutex field", req.key)
+	}
+	return req, ""
+}
+
+// allowed reports whether a finding of the named analyzer is suppressed
+// at pos — by an allow directive in the enclosing function's doc comment
+// (fn may be nil) or trailing the offending line.
+func (fx *facts) allowed(analyzer string, fn *types.Func, pos token.Pos) bool {
+	if fn != nil && fx.allowFn[fn][analyzer] {
+		return true
+	}
+	p := fx.pass.Fset.Position(pos)
+	return fx.allowLine[lineKey{file: p.Filename, line: p.Line}][analyzer]
+}
+
+// funcObj returns the *types.Func for a declaration, or nil.
+func (fx *facts) funcObj(decl *ast.FuncDecl) *types.Func {
+	fn, _ := fx.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	return fn
+}
+
+// selectedField resolves a selector expression to the field object it
+// reads or writes, or nil when it is not a field selection.
+func (fx *facts) selectedField(sel *ast.SelectorExpr) *types.Var {
+	if obj, ok := fx.pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+		return obj
+	}
+	return nil
+}
+
+// calleeOf resolves the function or method a call invokes, or nil for
+// builtins, conversions and indirect calls through function values.
+func (fx *facts) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := fx.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := fx.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// mutexOp describes a recognized x.<mu>.Lock/Unlock/RLock/RUnlock call.
+type mutexOp struct {
+	key   lockKey
+	op    string // "Lock", "Unlock", "RLock", "RUnlock"
+	valid bool
+}
+
+// asMutexOp recognizes a call as a mutex operation on a mutex field
+// indexed in this package.
+func (fx *facts) asMutexOp(call *ast.CallExpr) mutexOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return mutexOp{}
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}
+	}
+	fieldObj := fx.selectedField(inner)
+	if fieldObj == nil {
+		return mutexOp{}
+	}
+	key, ok := fx.mutexes[fieldObj]
+	if !ok {
+		return mutexOp{}
+	}
+	return mutexOp{key: key, op: sel.Sel.Name, valid: true}
+}

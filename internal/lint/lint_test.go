@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dtdevolve/internal/lint"
+	"dtdevolve/internal/lint/linttest"
+)
+
+func TestLocks(t *testing.T) {
+	linttest.Run(t, "testdata", "locksfix", lint.LocksAnalyzer)
+}
+
+func TestJournal(t *testing.T) {
+	linttest.Run(t, "testdata", "journalfix", lint.JournalAnalyzer)
+}
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata", "noallocfix", lint.NoallocAnalyzer)
+}
+
+func TestErrsync(t *testing.T) {
+	linttest.Run(t, "testdata", "errsyncfix", lint.ErrsyncAnalyzer)
+}
+
+func TestErrsyncWithoutOptIn(t *testing.T) {
+	linttest.Run(t, "testdata", "errsyncoff", lint.ErrsyncAnalyzer)
+}
+
+func TestDirective(t *testing.T) {
+	linttest.Run(t, "testdata", "directivefix", lint.DirectiveAnalyzer)
+}
+
+// TestSuiteOnCleanFixture runs every analyzer at once over the package
+// that uses the directives correctly end to end: the suite must agree
+// with the fixture's want set exactly (locksfix wants are all locks
+// findings, and no other analyzer adds noise).
+func TestSuiteOnCleanFixture(t *testing.T) {
+	linttest.Run(t, "testdata", "locksfix", lint.Analyzers()...)
+}

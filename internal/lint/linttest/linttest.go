@@ -1,0 +1,112 @@
+// Package linttest runs dtdvet analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	s.gen++ // want `gen is written without`
+//
+// asserts that some diagnostic is reported on that line whose message
+// matches the (Go-quoted or backquoted) regular expression. Every
+// diagnostic must be matched by an expectation and every expectation by a
+// diagnostic. The marker may also sit inside another comment (a
+// directive comment followed by "// want ..."), which is how fixtures pin
+// diagnostics that the directive analyzer reports at the directive
+// comment itself.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/lint/analysis"
+
+	"go/token"
+)
+
+// wantPat finds the expectation marker inside a comment's raw text.
+var wantPat = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedPat matches one Go-quoted ("...") or backquoted (` + "`...`" + `) string.
+var quotedPat = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkgpath> as one package, runs the analyzers,
+// and diffs diagnostics against the fixture's want comments.
+func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	files, pkg, info, err := analysis.LoadDir(fset, dir, pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := wantPat.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedPat.FindAllString(m[1], -1) {
+					pattern, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pattern,
+					})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !match(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func match(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

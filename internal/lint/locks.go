@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// LocksAnalyzer enforces the lock discipline declared by dtdvet:guarded_by
+// and dtdvet:requires directives:
+//
+//   - a field marked guarded_by may only be read with its mutex held (the
+//     read side of an RWMutex suffices) and only be written with the write
+//     side held;
+//   - a function marked requires may only be called while the named lock
+//     is held;
+//   - a function must not return while holding a lock it took without
+//     defer (the early-return leak), nor unlock a mutex it does not hold,
+//     nor lock a mutex it already holds;
+//   - a function following the *Locked naming convention must carry a
+//     requires directive, so the convention stays machine-checked.
+//
+// The checker is flow-approximate: statements are scanned in source
+// order, branch bodies see a copy of the lock state and their effects do
+// not escape (so a Lock inside an if-arm does not count as held after
+// it), and goroutine bodies start with no locks held. That is exactly
+// sharp enough for the lock dances this codebase uses (two-phase
+// read/write ingest, checkpoint rotate-then-snapshot) without a full CFG.
+var LocksAnalyzer = &analysis.Analyzer{
+	Name: "locks",
+	Doc:  "check guarded-field access, requires-annotated calls and Lock/Unlock pairing",
+	Run:  runLocks,
+}
+
+// lockMode is how strongly a lock is held.
+type lockMode uint8
+
+const (
+	lockNone lockMode = iota
+	lockRead
+	lockWrite
+)
+
+// lockState is one lock's standing in the current scan: how it is held
+// and whether a deferred unlock (or a caller, via requires) releases it.
+type lockState struct {
+	m        lockMode
+	deferred bool
+}
+
+type lockEnv map[lockKey]lockState
+
+func (e lockEnv) clone() lockEnv {
+	c := make(lockEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func runLocks(pass *analysis.Pass) error {
+	fx := build(pass)
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+		s := &lockScanner{fx: fx, fn: fn}
+		env := make(lockEnv)
+		for _, req := range fx.requires[fn] {
+			m := lockWrite
+			if !req.write {
+				m = lockRead
+			}
+			// deferred=true: the caller owns the release.
+			env[req.key] = lockState{m: m, deferred: true}
+		}
+		s.stmts(decl.Body.List, env)
+		s.checkReturn(env, decl.Body.Rbrace)
+
+		if fn != nil && fx.requires[fn] == nil &&
+			len(decl.Name.Name) > len("Locked") &&
+			decl.Name.Name[len(decl.Name.Name)-len("Locked"):] == "Locked" &&
+			!fx.allowed("locks", fn, decl.Pos()) {
+			pass.Reportf(decl.Pos(), "%s follows the *Locked naming convention but has no dtdvet:requires directive", decl.Name.Name)
+		}
+	}
+	return nil
+}
+
+type lockScanner struct {
+	fx *facts
+	fn *types.Func
+}
+
+func (s *lockScanner) report(pos token.Pos, format string, args ...any) {
+	if s.fx.allowed("locks", s.fn, pos) {
+		return
+	}
+	s.fx.pass.Reportf(pos, format, args...)
+}
+
+func (s *lockScanner) stmts(list []ast.Stmt, env lockEnv) {
+	for _, st := range list {
+		s.stmt(st, env)
+	}
+}
+
+func (s *lockScanner) stmt(st ast.Stmt, env lockEnv) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		s.expr(st.X, env, false)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.expr(rhs, env, false)
+		}
+		for _, lhs := range st.Lhs {
+			s.expr(lhs, env, true)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X, env, true)
+	case *ast.SendStmt:
+		s.expr(st.Chan, env, false)
+		s.expr(st.Value, env, false)
+	case *ast.DeferStmt:
+		s.deferStmt(st, env)
+	case *ast.GoStmt:
+		s.goStmt(st, env)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r, env, false)
+		}
+		s.checkReturn(env, st.Pos())
+	case *ast.IfStmt:
+		s.stmt(st.Init, env)
+		s.expr(st.Cond, env, false)
+		s.stmts(st.Body.List, env.clone())
+		if st.Else != nil {
+			s.stmt(st.Else, env.clone())
+		}
+	case *ast.ForStmt:
+		s.stmt(st.Init, env)
+		if st.Cond != nil {
+			s.expr(st.Cond, env, false)
+		}
+		body := env.clone()
+		s.stmts(st.Body.List, body)
+		s.stmt(st.Post, body)
+	case *ast.RangeStmt:
+		s.expr(st.X, env, false)
+		body := env.clone()
+		s.stmts(st.Body.List, body)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init, env)
+		if st.Tag != nil {
+			s.expr(st.Tag, env, false)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			branch := env.clone()
+			for _, e := range cc.List {
+				s.expr(e, branch, false)
+			}
+			s.stmts(cc.Body, branch)
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init, env)
+		s.stmt(st.Assign, env)
+		for _, c := range st.Body.List {
+			branch := env.clone()
+			s.stmts(c.(*ast.CaseClause).Body, branch)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := env.clone()
+			s.stmt(cc.Comm, branch)
+			s.stmts(cc.Body, branch)
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List, env)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, env)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, env, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// deferStmt handles "defer x.mu.Unlock()" (a deferred release keeps the
+// lock held for the rest of the function but satisfies the early-return
+// rule) and scans any other deferred call normally.
+func (s *lockScanner) deferStmt(st *ast.DeferStmt, env lockEnv) {
+	if op := s.fx.asMutexOp(st.Call); op.valid {
+		switch op.op {
+		case "Unlock", "RUnlock":
+			cur := env[op.key]
+			if cur.m == lockNone {
+				s.report(st.Pos(), "deferred %s.%s with the lock not held", op.key, op.op)
+				return
+			}
+			cur.deferred = true
+			env[op.key] = cur
+		default:
+			s.report(st.Pos(), "deferred %s.%s acquires a lock at function exit", op.key, op.op)
+		}
+		return
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		for _, arg := range st.Call.Args {
+			s.expr(arg, env, false)
+		}
+		s.stmts(lit.Body.List, make(lockEnv))
+		return
+	}
+	s.expr(st.Call, env, false)
+}
+
+// goStmt scans a goroutine launch: arguments are evaluated under the
+// caller's locks, but the body runs with none held.
+func (s *lockScanner) goStmt(st *ast.GoStmt, env lockEnv) {
+	for _, arg := range st.Call.Args {
+		s.expr(arg, env, false)
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		s.stmts(lit.Body.List, make(lockEnv))
+		return
+	}
+	if callee := s.fx.calleeOf(st.Call); callee != nil {
+		for _, req := range s.fx.requires[callee] {
+			s.report(st.Pos(), "%s requires %s, but a new goroutine starts with no locks held", callee.Name(), req.key)
+		}
+	}
+	s.expr(st.Call.Fun, env, false)
+}
+
+func (s *lockScanner) checkReturn(env lockEnv, pos token.Pos) {
+	for k, st := range env {
+		if st.m != lockNone && !st.deferred {
+			s.report(pos, "return while %s is held with no deferred unlock on this path", k)
+		}
+	}
+}
+
+// expr scans one expression. write reports whether the expression is a
+// store target (assignment LHS, ++/--, or address-taken).
+func (s *lockScanner) expr(e ast.Expr, env lockEnv, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.CallExpr:
+		s.call(e, env)
+	case *ast.SelectorExpr:
+		if fieldObj := s.fx.selectedField(e); fieldObj != nil {
+			if guard, ok := s.fx.guards[fieldObj]; ok {
+				s.checkAccess(env, guard, fieldObj, write, e.Sel.Pos())
+			}
+		}
+		s.expr(e.X, env, false)
+	case *ast.IndexExpr:
+		// A write through an index ("s.entries[k] = v") mutates what the
+		// base field points at: it needs the same write protection.
+		s.expr(e.X, env, write)
+		s.expr(e.Index, env, false)
+	case *ast.IndexListExpr:
+		s.expr(e.X, env, write)
+		for _, ix := range e.Indices {
+			s.expr(ix, env, false)
+		}
+	case *ast.StarExpr:
+		s.expr(e.X, env, write)
+	case *ast.ParenExpr:
+		s.expr(e.X, env, write)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Taking the address of guarded state lets it escape the
+			// critical section; treat as a write.
+			s.expr(e.X, env, true)
+		} else {
+			s.expr(e.X, env, false)
+		}
+	case *ast.BinaryExpr:
+		s.expr(e.X, env, false)
+		s.expr(e.Y, env, false)
+	case *ast.SliceExpr:
+		s.expr(e.X, env, write)
+		s.expr(e.Low, env, false)
+		s.expr(e.High, env, false)
+		s.expr(e.Max, env, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s.expr(el, env, false)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(e.Key, env, false)
+		s.expr(e.Value, env, false)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, env, false)
+	case *ast.FuncLit:
+		// A closure may run on any goroutine; its body starts with no
+		// locks assumed held.
+		s.stmts(e.Body.List, make(lockEnv))
+	}
+}
+
+func (s *lockScanner) call(call *ast.CallExpr, env lockEnv) {
+	if op := s.fx.asMutexOp(call); op.valid {
+		s.applyMutexOp(op, env, call.Pos())
+		return
+	}
+	if callee := s.fx.calleeOf(call); callee != nil {
+		for _, req := range s.fx.requires[callee] {
+			held := env[req.key]
+			switch {
+			case held.m == lockNone:
+				s.report(call.Pos(), "call to %s requires %s held", callee.Name(), req.key)
+			case req.write && held.m != lockWrite:
+				s.report(call.Pos(), "call to %s requires the write side of %s, but only the read lock is held", callee.Name(), req.key)
+			}
+		}
+	}
+	s.expr(call.Fun, env, false)
+	for _, arg := range call.Args {
+		s.expr(arg, env, false)
+	}
+}
+
+func (s *lockScanner) applyMutexOp(op mutexOp, env lockEnv, pos token.Pos) {
+	cur := env[op.key]
+	switch op.op {
+	case "Lock", "RLock":
+		if cur.m != lockNone {
+			s.report(pos, "%s.%s while %s is already held on this path (possible deadlock)", op.key, op.op, op.key)
+		}
+		m := lockWrite
+		if op.op == "RLock" {
+			m = lockRead
+		}
+		// Keep a deferred release sticky so a (already reported) double
+		// lock does not cascade into a bogus early-return finding.
+		env[op.key] = lockState{m: m, deferred: cur.deferred}
+	case "Unlock", "RUnlock":
+		if cur.m == lockNone {
+			s.report(pos, "%s.%s with the lock not held on this path", op.key, op.op)
+		}
+		env[op.key] = lockState{}
+	}
+}
+
+// checkAccess validates one guarded-field access against the lock state.
+func (s *lockScanner) checkAccess(env lockEnv, guard lockKey, field *types.Var, write bool, pos token.Pos) {
+	held := env[guard]
+	switch {
+	case held.m == lockNone:
+		verb := "read"
+		if write {
+			verb = "written"
+		}
+		s.report(pos, "%s.%s is %s without %s held (dtdvet:guarded_by)", guard.typ.Name(), field.Name(), verb, guard)
+	case write && held.m != lockWrite:
+		s.report(pos, "%s.%s is written while only the read side of %s is held", guard.typ.Name(), field.Name(), guard)
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// NoallocAnalyzer rejects obviously-allocating constructs in functions
+// marked dtdvet:noalloc. The repo's hot paths (wal.Append, record.Record,
+// similarity.Evaluate) are gated at 0 allocs/op by testing.AllocsPerRun;
+// this analyzer catches the regression at vet time instead of in a
+// benchmark gate, and names the offending construct instead of a bare
+// count.
+//
+// The check is syntactic and intentionally conservative in one direction
+// only: everything it flags allocates in the general case (make, new, map
+// and slice literals, &T{}, closures, go statements, fmt/errors calls,
+// string<->[]byte conversions, non-constant string concatenation, and
+// boxing a concrete value into an interface parameter). Escape-analysis
+// wins are possible but are exactly the fragile wins the annotation
+// exists to forbid relying on; a construct that is genuinely free on a
+// cold error path is suppressed line-by-line with
+// "dtdvet:allow noalloc -- <why>".
+var NoallocAnalyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject obviously-allocating constructs in functions marked dtdvet:noalloc",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *analysis.Pass) error {
+	fx := build(pass)
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+		if fn == nil || !fx.noalloc[fn] {
+			continue
+		}
+		na := &noallocScanner{fx: fx, fn: fn}
+		ast.Inspect(decl.Body, na.visit)
+	}
+	return nil
+}
+
+type noallocScanner struct {
+	fx *facts
+	fn *types.Func
+}
+
+func (na *noallocScanner) report(pos token.Pos, format string, args ...any) {
+	if na.fx.allowed("noalloc", na.fn, pos) {
+		return
+	}
+	na.fx.pass.Reportf(pos, format, args...)
+}
+
+func (na *noallocScanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		na.call(n)
+	case *ast.CompositeLit:
+		t := na.fx.pass.TypesInfo.TypeOf(n)
+		if t == nil {
+			break
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			na.report(n.Pos(), "map literal allocates in a dtdvet:noalloc function")
+		case *types.Slice:
+			na.report(n.Pos(), "slice literal allocates in a dtdvet:noalloc function")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+				na.report(n.Pos(), "&composite literal escapes to the heap in a dtdvet:noalloc function")
+			}
+		}
+	case *ast.FuncLit:
+		na.report(n.Pos(), "function literal allocates its closure in a dtdvet:noalloc function")
+		return true // still scan the body: it runs on the hot path too
+	case *ast.GoStmt:
+		na.report(n.Pos(), "go statement allocates a goroutine in a dtdvet:noalloc function")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			t := na.fx.pass.TypesInfo.TypeOf(n)
+			if t != nil && isString(t) && na.fx.pass.TypesInfo.Types[n].Value == nil {
+				na.report(n.Pos(), "non-constant string concatenation allocates in a dtdvet:noalloc function")
+			}
+		}
+	}
+	return true
+}
+
+func (na *noallocScanner) call(call *ast.CallExpr) {
+	info := na.fx.pass.TypesInfo
+
+	// Conversions: T(x). String <-> byte/rune slice conversions copy;
+	// conversions to an interface type box.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case src != nil && isString(dst) != isString(src) && (stringish(dst) && stringish(src)):
+			na.report(call.Pos(), "conversion from %s to %s allocates in a dtdvet:noalloc function", src, dst)
+		case isInterface(dst) && src != nil && !isInterface(src):
+			na.report(call.Pos(), "conversion to interface type %s boxes in a dtdvet:noalloc function", dst)
+		}
+		return
+	}
+
+	// Builtins: make and new always allocate; append is allowed (amortized
+	// zero against a pre-grown buffer, which is how the hot paths use it).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				na.report(call.Pos(), "%s allocates in a dtdvet:noalloc function", b.Name())
+			}
+			return
+		}
+	}
+
+	flaggedCall := false
+	if callee := na.fx.calleeOf(call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "errors":
+			na.report(call.Pos(), "%s.%s allocates in a dtdvet:noalloc function", callee.Pkg().Name(), callee.Name())
+			flaggedCall = true
+		}
+	}
+
+	// Boxing at the call boundary: passing a concrete value where the
+	// parameter is an interface allocates unless the value is pointer-shaped
+	// and escapes analysis cooperates — exactly the bet noalloc forbids.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || flaggedCall {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramAt(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		na.report(arg.Pos(), "passing %s as interface %s boxes in a dtdvet:noalloc function", at, pt)
+	}
+}
+
+// paramAt returns the effective type of parameter i, unrolling a variadic
+// tail unless the call spreads a slice with "...".
+func paramAt(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if ellipsis {
+			return last // the slice is passed whole; no per-element boxing
+		}
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringish reports whether t participates in the copying
+// string<->[]byte/[]rune conversion pairs.
+func stringish(t types.Type) bool {
+	if isString(t) {
+		return true
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

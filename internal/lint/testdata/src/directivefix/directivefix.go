@@ -1,0 +1,46 @@
+// Package directivefix exercises the directive analyzer: a dtdvet
+// comment that does not parse, resolve, or attach is itself a build
+// failure.
+package directivefix
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	data int // dtdvet:guarded_by speed // want `malformed dtdvet directive: guarded_by names speed, which is not a sync\.Mutex or sync\.RWMutex field of S`
+}
+
+// dtdvet:bogus x // want `malformed dtdvet directive: unknown directive verb "bogus"`
+func unknownVerb() {}
+
+// dtdvet:requires // want `malformed dtdvet directive: want a single lock reference`
+func missingArg() {}
+
+// dtdvet:requires T.mu // want `malformed dtdvet directive: requires references unknown type T`
+func unknownType() {}
+
+// dtdvet:requires speed // want `malformed dtdvet directive: requires names S\.speed, which is not a sync\.Mutex or sync\.RWMutex field`
+func (s *S) unknownField() {}
+
+// dtdvet:nojournal // want `malformed dtdvet directive: missing reason: dtdvet:nojournal`
+func noReason() {}
+
+// dtdvet:allow spellcheck -- because // want `malformed dtdvet directive: want a single analyzer name`
+func badAnalyzer() {}
+
+// dtdvet:guarded_by mu // want `malformed dtdvet directive: directive dtdvet:guarded_by cannot annotate a function`
+func wrongTarget() {}
+
+// dtdvet:noalloc // want `malformed dtdvet directive: directive dtdvet:noalloc cannot annotate a type`
+type T2 struct{}
+
+func floating() {
+	// dtdvet:requires mu // want `malformed dtdvet directive: directive dtdvet:requires must be attached to a declaration`
+	_ = 1
+}
+
+// Valid directives produce no diagnostics.
+// dtdvet:requires mu
+func (s *S) okLocked() { s.data++ }
+
+// dtdvet:strict errsync

@@ -1,0 +1,9 @@
+package directivefix
+
+// A directive in a test file looks load-bearing and does nothing; the
+// directive analyzer says so.
+
+// dtdvet:noalloc // want `dtdvet directive in a test file has no effect \(test files are not analyzed\)`
+func helper() {}
+
+var _ = helper

@@ -1,0 +1,48 @@
+// Package errsyncfix exercises the errsync analyzer in a package opted
+// in with the strict directive.
+package errsyncfix
+
+// dtdvet:strict errsync
+
+type file struct{}
+
+func (file) Sync() error                 { return nil }
+func (file) Close() error                { return nil }
+func (file) Write(p []byte) (int, error) { return len(p), nil }
+func (file) Flush()                      {} // no error result: not watched
+
+func discards(f file, p []byte) {
+	f.Sync()           // want `error from file\.Sync is discarded \(dtdvet:strict errsync\)`
+	_ = f.Close()      // want `error from file\.Close is assigned to _`
+	n, _ := f.Write(p) // want `error result of file\.Write is assigned to _`
+	_ = n
+	defer f.Close()               // want `deferred file\.Close discards its error`
+	go f.Sync()                   // want `error from file\.Sync is discarded by the go statement`
+	_, err := f.Close(), f.Sync() // want `error from file\.Close is assigned to _`
+	_ = err
+}
+
+func handled(f file, p []byte) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	n, err := f.Write(p)
+	_ = n
+	if err != nil {
+		return err
+	}
+	f.Flush() // returns nothing: fine
+	return f.Close()
+}
+
+// deferClose shows the sanctioned shapes: capture into a named return,
+// or annotate with the reason.
+func deferClose(f file) (err error) {
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	defer f.Sync() // dtdvet:allow errsync -- fixture: read-only handle, nothing buffered
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package journalfix exercises the journal analyzer: exported methods of
+// a journaled type must append to the journal before mutating guarded
+// state.
+package journalfix
+
+import "sync"
+
+// Store is the fixture's durable type.
+// dtdvet:journaled
+type Store struct {
+	mu sync.RWMutex
+
+	state map[string]string // dtdvet:guarded_by mu
+	gen   int               // dtdvet:guarded_by mu
+	log   []string          // dtdvet:guarded_by mu
+}
+
+// journal is the fixture's WAL append point.
+// dtdvet:requires mu
+// dtdvet:journalpoint
+func (s *Store) journal(rec string) {
+	s.log = append(s.log, rec)
+}
+
+// applyDirty mutates without journaling; only exported callers are held
+// to the journal-first rule, so the finding lands at their call site.
+// dtdvet:requires mu
+func (s *Store) applyDirty(k, v string) {
+	s.state[k] = v
+}
+
+// Set journals first: compliant.
+func (s *Store) Set(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal("set " + k)
+	s.state[k] = v
+}
+
+func (s *Store) SetDirty(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[k] = v // want `exported method Store\.SetDirty mutates journaled state \(write to state\) before any journal append`
+	s.journal("set " + k)
+}
+
+func (s *Store) Rename(from, to string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyDirty(to, s.state[from]) // want `exported method Store\.Rename mutates journaled state \(via applyDirty\) before any journal append`
+	s.journal("rename " + from)
+}
+
+func (s *Store) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++ // want `exported method Store\.Bump mutates journaled state \(write to gen\) before any journal append`
+	s.journal("bump")
+}
+
+// Get only reads; no journal record is owed.
+func (s *Store) Get(k string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.state[k]
+}
+
+// Reset is exempt, with the reason in the source.
+// dtdvet:nojournal -- fixture: state is rebuilt from the checkpoint on recovery
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = map[string]string{}
+}
+
+// dtdvet:allow journal -- fixture: migration shim, the caller journals
+func (s *Store) ForceSet(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[k] = v
+}

@@ -1,0 +1,162 @@
+// Package locksfix exercises the locks analyzer: guarded-field access,
+// requires-annotated calls, Lock/Unlock pairing, and the *Locked naming
+// convention. Lines marked want are findings; everything else is the
+// discipline done right.
+package locksfix
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+
+	data map[string]int // dtdvet:guarded_by mu
+	gen  int            // dtdvet:guarded_by mu
+}
+
+type plain struct {
+	mu sync.Mutex
+	n  int // dtdvet:guarded_by mu
+}
+
+// dtdvet:requires mu
+func (s *S) bumpLocked() {
+	s.gen++
+	s.data["x"] = s.gen
+}
+
+// dtdvet:requires mu:r
+func (s *S) sizeLocked() int {
+	return len(s.data)
+}
+
+// Correct two-phase use: read side for reads, write side for writes.
+func (s *S) Good() int {
+	s.mu.RLock()
+	n := s.sizeLocked()
+	g := s.gen
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+	s.data["y"] = n
+	return g + s.gen
+}
+
+func (s *S) ReadWithoutLock() int {
+	return s.gen // want `S\.gen is read without S\.mu held \(dtdvet:guarded_by\)`
+}
+
+func (s *S) WriteWithoutLock() {
+	s.gen = 1 // want `S\.gen is written without S\.mu held`
+}
+
+func (s *S) WriteUnderReadLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.data["k"] = 1 // want `S\.data is written while only the read side of S\.mu is held`
+}
+
+func (s *S) CallWithoutLock() {
+	s.bumpLocked() // want `call to bumpLocked requires S\.mu held`
+}
+
+func (s *S) CallNeedsWriteSide() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.bumpLocked() // want `call to bumpLocked requires the write side of S\.mu, but only the read lock is held`
+}
+
+func (s *S) EarlyReturnLeak(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return // want `return while S\.mu is held with no deferred unlock on this path`
+	}
+	s.mu.Unlock()
+}
+
+// Manual pairing with an early return inside the branch is fine when the
+// branch releases before returning (the checkpoint dance).
+func (s *S) ManualDance(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.gen++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) UnlockNotHeld() {
+	s.mu.Unlock() // want `S\.mu\.Unlock with the lock not held on this path`
+}
+
+func (s *S) DoubleLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `S\.mu\.Lock while S\.mu is already held on this path \(possible deadlock\)`
+}
+
+func (s *S) DeferUnlockNotHeld() {
+	defer s.mu.Unlock() // want `deferred S\.mu\.Unlock with the lock not held`
+}
+
+func (s *S) DeferAcquires() {
+	defer s.mu.Lock() // want `deferred S\.mu\.Lock acquires a lock at function exit`
+}
+
+func (s *S) GoNeedsLock() {
+	go s.bumpLocked() // want `bumpLocked requires S\.mu, but a new goroutine starts with no locks held`
+}
+
+// A closure body starts with no locks assumed held: taking them inside is
+// fine, relying on the caller's is not.
+func (s *S) ClosureDiscipline() func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return s.gen // want `S\.gen is read without S\.mu held`
+	}
+}
+
+// Branch lock state does not escape: the if-arm's Lock is not held after.
+func (s *S) BranchDoesNotEscape(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.gen++
+		s.mu.Unlock()
+	}
+	s.gen++ // want `S\.gen is written without S\.mu held`
+}
+
+func (s *S) AddressEscapes() *int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &s.gen // want `S\.gen is written while only the read side of S\.mu is held`
+}
+
+// naming convention: *Locked without a requires directive is a finding.
+func (s *S) renameLocked() { // want `renameLocked follows the \*Locked naming convention but has no dtdvet:requires directive`
+}
+
+// dtdvet:allow locks -- fixture: fresh value, not yet shared
+func (s *S) SuppressedWholeFunc() {
+	s.gen = 7
+}
+
+func (s *S) SuppressedLine() {
+	s.gen = 8 // dtdvet:allow locks -- fixture: benign by construction
+	s.gen = 9 // want `S\.gen is written without S\.mu held`
+}
+
+// Plain sync.Mutex: Lock is the only side; reads need it too.
+func (p *plain) Bad() int {
+	return p.n // want `plain\.n is read without plain\.mu held`
+}
+
+func (p *plain) Fine() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	return p.n
+}

@@ -1,0 +1,63 @@
+// Package noallocfix exercises the noalloc analyzer: functions marked
+// dtdvet:noalloc must contain no obviously-allocating construct.
+package noallocfix
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v interface{}) { _ = v }
+
+// hot is the discipline done right: append into a caller-owned buffer,
+// value structs, arrays, constant-folded strings.
+// dtdvet:noalloc
+func hot(buf []byte, n int) []byte {
+	p := pair{a: n, b: n}
+	var arr [4]int
+	arr[0] = p.b
+	const prefix = "rec:"
+	_ = prefix + "v1"
+	return append(buf, byte(p.a+arr[0]))
+}
+
+// dtdvet:noalloc
+func bad(n int, s string, b []byte) {
+	m := map[string]int{} // want `map literal allocates in a dtdvet:noalloc function`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	p := &pair{} // want `&composite literal escapes to the heap`
+	_ = p
+	f := func() {} // want `function literal allocates its closure`
+	f()
+	go f()                // want `go statement allocates a goroutine`
+	bb := make([]byte, n) // want `make allocates`
+	_ = bb
+	ip := new(int) // want `new allocates`
+	_ = ip
+	_ = string(b)            // want `conversion from \[\]byte to string allocates`
+	_ = []byte(s)            // want `conversion from string to \[\]byte allocates`
+	_ = interface{}(n)       // want `conversion to interface type`
+	_ = fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+	_ = s + "!"              // want `non-constant string concatenation allocates`
+	sink(n)                  // want `passing int as interface`
+}
+
+// coldPath shows the sanctioned escape hatch for error paths.
+// dtdvet:noalloc
+func coldPath(buf []byte, err error) error {
+	if err != nil {
+		return fmt.Errorf("append: %w", err) // dtdvet:allow noalloc -- fixture: cold error path
+	}
+	_ = buf
+	return nil
+}
+
+// unannotated functions may allocate freely.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}
+
+var _ = hot
+var _ = bad
+var _ = coldPath

@@ -210,6 +210,7 @@ func (e *Evaluator) Table() *intern.Table { return e.tab }
 // cached LabelID when it verifiably belongs to this evaluator's table
 // (documents are stamped by the source engine at recording time), else a
 // fresh intern — lock-free unless the tag has never been seen.
+// dtdvet:noalloc
 func (e *Evaluator) docID(n *xmltree.Node) int32 {
 	if id := n.LabelID(); id > 0 && e.tab.NameIs(id, n.Name) {
 		return id
@@ -219,7 +220,10 @@ func (e *Evaluator) docID(n *xmltree.Node) int32 {
 
 // Evaluate computes the global and local similarity of the document rooted
 // at root against the DTD. A root whose tag has no declaration has
-// similarity 0.
+// similarity 0. This is the classification hot path: evaluator state is
+// pooled and memoized precisely so that scoring allocates nothing in the
+// steady state.
+// dtdvet:noalloc
 func (e *Evaluator) Evaluate(root *xmltree.Node) Result {
 	defer clear(e.triMemo)
 	if root == nil || !root.IsElement() {
@@ -243,6 +247,7 @@ func (e *Evaluator) Evaluate(root *xmltree.Node) Result {
 }
 
 // GlobalSim is a convenience wrapper returning only the global degree.
+// dtdvet:noalloc
 func (e *Evaluator) GlobalSim(root *xmltree.Node) float64 {
 	return e.Evaluate(root).Global
 }
@@ -252,6 +257,7 @@ func (e *Evaluator) GlobalSim(root *xmltree.Node) float64 {
 // operators of the declaration, without considering declarations of the
 // subelements themselves. As in Evaluate, the element itself counts as a
 // common component.
+// dtdvet:noalloc
 func (e *Evaluator) LocalSim(n *xmltree.Node, model *dtd.Content) float64 {
 	t := Triple{Common: 1}.Add(e.localTriple(n, model).Scale(e.cfg.Decay))
 	return e.cfg.Eval(t)
@@ -285,6 +291,7 @@ func (e *Evaluator) globalTriple(n *xmltree.Node, model *dtd.Content, depth int)
 }
 
 // localTriple evaluates only the direct subelements of n against model.
+// dtdvet:noalloc
 func (e *Evaluator) localTriple(n *xmltree.Node, model *dtd.Content) Triple {
 	return e.elementTriple(n, model, 0, false)
 }

@@ -49,6 +49,8 @@ type walOp struct {
 // is about to produce stays consistent with what the client is told, but
 // the serving layer must stop accepting mutations (Degraded, HTTP 503)
 // because their durability can no longer be promised.
+// dtdvet:requires mu
+// dtdvet:journalpoint
 func (s *Source) journalLocked(op walOp) {
 	if s.wal == nil || s.replaying || s.walErr != nil {
 		return
@@ -71,6 +73,7 @@ func (s *Source) journalLocked(op walOp) {
 // log should be positioned after any replayed history (see Recover, which
 // wires this up); attaching a log that still holds unreplayed records of
 // another source would double-apply them on the next recovery.
+// dtdvet:nojournal -- attaching the log is itself not a replayable operation
 func (s *Source) AttachWAL(w *wal.Log) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -86,6 +89,7 @@ func (s *Source) WAL() *wal.Log {
 }
 
 // CloseWAL detaches and closes the write-ahead log (flushing its tail).
+// dtdvet:nojournal -- detaching the log is itself not a replayable operation
 func (s *Source) CloseWAL() error {
 	s.mu.Lock()
 	w := s.wal
@@ -238,6 +242,9 @@ func Recover(cfg Config, snapshotData []byte, walDir string, opts wal.Options) (
 // truncated segment, every operation after it is in a kept one — a crash at
 // any point between the two steps recovers correctly (ReplayFrom skips
 // segments the restored snapshot covers).
+//
+// dtdvet:nojournal -- checkpointing changes no logical state; its only
+// guarded write is the sticky walErr degraded marker
 func (s *Source) Checkpoint(path string) error {
 	s.mu.Lock()
 	var keep uint64
@@ -274,34 +281,47 @@ func (s *Source) Checkpoint(path string) error {
 
 // writeFileAtomic writes data to path via a temp file, fsync and rename, so
 // a crash leaves either the old or the new file — never a torn one.
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(path string, data []byte) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpPath := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+	closed := false
+	defer func() {
+		if !closed {
+			_ = tmp.Close() // dtdvet:allow errsync -- error path: Write/Sync already failed and is being returned
+		}
+		if err != nil {
+			os.Remove(tmpPath)
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+	if err = tmp.Sync(); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+	closed = true
+	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, path); err != nil {
-		os.Remove(tmpPath)
+	if err = os.Rename(tmpPath, path); err != nil {
 		return err
 	}
-	// Make the rename itself durable.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = dir.Sync()
-		dir.Close()
+	// Make the rename itself durable. A checkpoint whose directory entry
+	// could still vanish in a crash must not report success: recovery would
+	// then replay from a WAL position the on-disk snapshot does not cover.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("source: opening checkpoint directory: %w", err)
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("source: syncing checkpoint directory: %w", err)
 	}
 	return nil
 }

@@ -44,6 +44,9 @@ import (
 	"dtdevolve/internal/xmltree"
 )
 
+// The durability layer must never drop a Sync/Close/Write error.
+// dtdvet:strict errsync
+
 // Config holds the source parameters.
 type Config struct {
 	// Sigma is the classification threshold σ: documents below it against
@@ -96,29 +99,38 @@ type entry struct {
 // every DTD-set change — AddDTD and each evolution — and lets the
 // two-phase Add/AddBatch detect that a similarity computed under the read
 // lock is stale.
+//
+// The discipline below is machine-checked by dtdvet (DESIGN.md §11): the
+// guarded_by fields may only be touched with mu held, and every exported
+// mutator must journal before its first write (the journaled directive).
+// cfg, classifier, tab and metrics are deliberately unguarded: cfg is
+// immutable after New, and the other three synchronize internally
+// (classifier snapshots its pool, tab and metrics are atomics).
+//
+// dtdvet:journaled
 type Source struct {
 	mu         sync.RWMutex
 	cfg        Config
-	entries    map[string]*entry
+	entries    map[string]*entry // dtdvet:guarded_by mu
 	classifier *classify.Classifier
 	// tab is the per-source symbol table: every classifier pool and every
 	// recorder keys its label work by the same dense IDs, and recordLocked
 	// stamps classified documents with them (intern.InternDocument).
 	tab        *intern.Table
-	repository []*xmltree.Document
-	added      int
-	gen        uint64
-	triggers   []*trigger.Rule
-	store      *docstore.Store
+	repository []*xmltree.Document // dtdvet:guarded_by mu
+	added      int                 // dtdvet:guarded_by mu
+	gen        uint64              // dtdvet:guarded_by mu
+	triggers   []*trigger.Rule     // dtdvet:guarded_by mu
+	store      *docstore.Store     // dtdvet:guarded_by mu
 	metrics    *metrics.Ingest
 	// wal, when attached, journals every state-changing operation before
 	// (in commit order with) its in-memory effect; replaying marks WAL
 	// recovery, during which ops re-applied from the log must not be
 	// re-journaled. walErr is the sticky durability failure (degraded
 	// mode). See durability.go and DESIGN.md §10.
-	wal       *wal.Log
-	walErr    error
-	replaying bool
+	wal       *wal.Log // dtdvet:guarded_by mu
+	walErr    error    // dtdvet:guarded_by mu
+	replaying bool     // dtdvet:guarded_by mu
 }
 
 // New returns an empty Source.
@@ -163,6 +175,7 @@ func (s *Source) Names() []string {
 	return s.names()
 }
 
+// dtdvet:requires mu:r
 func (s *Source) names() []string {
 	out := make([]string, 0, len(s.entries))
 	for name := range s.entries {
@@ -295,6 +308,7 @@ func (s *Source) AddBatchContext(ctx context.Context, docs []*xmltree.Document) 
 
 // commitLocked records one scored document and runs the check phase.
 // Callers hold the write lock.
+// dtdvet:requires mu
 func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	// Write-ahead: the document is journaled before its effects. Replay
 	// re-runs the whole commit (classification included), which is
@@ -381,6 +395,7 @@ func (s *Source) TriggerRules() []string {
 // only be used while holding s.mu.
 type lockedState struct{ s *Source }
 
+// dtdvet:requires Source.mu:r
 func (l lockedState) CheckRatio(name string) float64 {
 	if e, ok := l.s.entries[name]; ok {
 		return e.rec.CheckRatio()
@@ -388,6 +403,7 @@ func (l lockedState) CheckRatio(name string) float64 {
 	return 0
 }
 
+// dtdvet:requires Source.mu:r
 func (l lockedState) Docs(name string) int {
 	if e, ok := l.s.entries[name]; ok {
 		return e.docs
@@ -395,8 +411,10 @@ func (l lockedState) Docs(name string) int {
 	return 0
 }
 
+// dtdvet:requires Source.mu:r
 func (l lockedState) Repository() int { return len(l.s.repository) }
 
+// dtdvet:requires Source.mu:r
 func (l lockedState) Invalidity(name, element string) float64 {
 	if e, ok := l.s.entries[name]; ok {
 		return e.rec.InvalidityRatio(element)
@@ -405,7 +423,9 @@ func (l lockedState) Invalidity(name, element string) float64 {
 }
 
 // fireTriggers evaluates every installed rule against every DTD and runs
-// the actions of those that hold. Callers hold s.mu.
+// the actions of those that hold. Callers hold s.mu (write side: trigger
+// actions evolve and re-classify).
+// dtdvet:requires mu
 func (s *Source) fireTriggers(res *AddResult) {
 	if len(s.triggers) == 0 {
 		return
@@ -436,6 +456,7 @@ func (s *Source) fireTriggers(res *AddResult) {
 // recordLocked runs the recording phase for one scored document: the
 // extended-DTD statistics for a classified document, the repository
 // otherwise. Callers hold the write lock.
+// dtdvet:requires mu
 func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	res := AddResult{DTDName: cls.DTDName, Similarity: cls.Similarity, Classified: cls.Classified}
 	s.metrics.ObserveDocument(cls.Classified)
@@ -466,6 +487,7 @@ func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddRes
 // document is kept in the store under its DTD's name (durably when dir is
 // non-empty, in memory otherwise), so that AdaptStored can rewrite the
 // stored population after an evolution — the paper's §6 open problem.
+// dtdvet:nojournal -- attaching a store changes no replayable state
 func (s *Source) EnableStore(dir string, opts ...docstore.Option) error {
 	store, err := docstore.Open(dir, opts...)
 	if err != nil {
@@ -478,6 +500,7 @@ func (s *Source) EnableStore(dir string, opts ...docstore.Option) error {
 }
 
 // CloseStore releases the attached store's files.
+// dtdvet:nojournal -- detaching a store changes no replayable state
 func (s *Source) CloseStore() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -566,6 +589,7 @@ func (s *Source) EvolveNow(name string) (evolve.Report, int, error) {
 
 // evolveLocked runs the evolution phase for one DTD and re-classifies the
 // repository against the updated DTD set. Callers hold s.mu.
+// dtdvet:requires mu
 func (s *Source) evolveLocked(name string) (evolve.Report, int) {
 	e := s.entries[name]
 	evolved, report := evolve.Evolve(e.rec, s.cfg.Evolve)
@@ -589,6 +613,7 @@ func (s *Source) ReclassifyRepository() int {
 	return s.reclassifyLocked()
 }
 
+// dtdvet:requires mu
 func (s *Source) reclassifyLocked() int {
 	var remaining []*xmltree.Document
 	recovered := 0
@@ -680,6 +705,7 @@ func (s *Source) Snapshot() ([]byte, error) {
 
 // snapshotLocked marshals the state with the given WAL position. Callers
 // hold s.mu (read side suffices).
+// dtdvet:requires mu:r
 func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 	snap := snapshot{
 		DTDs:       make(map[string]string),
@@ -707,6 +733,7 @@ func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 }
 
 // Restore rebuilds a Source from a Snapshot produced with the same Config.
+// dtdvet:allow locks -- builds a fresh Source not yet shared with any goroutine
 func Restore(cfg Config, data []byte) (*Source, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {

@@ -33,6 +33,7 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Checksum returns the CRC32C of the payload.
+// dtdvet:noalloc
 func Checksum(payload []byte) uint32 {
 	return crc32.Checksum(payload, castagnoli)
 }
@@ -40,6 +41,7 @@ func Checksum(payload []byte) uint32 {
 // EncodeFrame appends the framed payload (header + payload) to dst and
 // returns the extended slice. It allocates only when dst lacks capacity, so
 // a reused buffer makes steady-state framing allocation-free.
+// dtdvet:noalloc
 func EncodeFrame(dst, payload []byte) []byte {
 	var header [FrameHeaderSize]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))

@@ -87,7 +87,7 @@ func replaySegment(path string, res *ReplayResult, buf *[]byte, apply func(paylo
 	if err != nil {
 		return false, fmt.Errorf("wal: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() // dtdvet:allow errsync -- read-only replay handle; nothing to flush
 	r := bufio.NewReader(f)
 	var validEnd int64
 	for {
@@ -121,12 +121,18 @@ func replaySegment(path string, res *ReplayResult, buf *[]byte, apply func(paylo
 // quarantineTail copies the bytes of path beyond validEnd to a .quarantine
 // file and truncates the segment back to its last valid frame boundary, so
 // the invalid bytes are preserved for forensics but can never replay.
-func quarantineTail(path string, validEnd int64, res *ReplayResult) error {
+func quarantineTail(path string, validEnd int64, res *ReplayResult) (err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: quarantining %s: %w", path, err)
 	}
-	defer f.Close()
+	// The handle is read-write and the truncate must stick: a Close error
+	// here is a durability signal, not teardown noise.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("wal: closing %s after truncate: %w", path, cerr)
+		}
+	}()
 	info, err := f.Stat()
 	if err != nil {
 		return fmt.Errorf("wal: quarantining %s: %w", path, err)
