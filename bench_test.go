@@ -6,6 +6,7 @@ package dtdevolve_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -336,6 +337,69 @@ func BenchmarkSourceIngestBatch(b *testing.B) {
 		s.AddBatch(docs)
 	}
 	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkConcurrentAddSyncAlways is the workload synchronous durability
+// is hardest on: 16 writers committing concurrently over a SyncAlways WAL,
+// with group commit batching their journal appends so the group shares one
+// fsync — taken off the write lock entirely (wal.Flush), so scoring and
+// queue growth overlap the disk round-trip. The custom metrics report
+// sustained throughput and the amortized fsync cost; compare with
+// BenchmarkConcurrentAddSyncAlwaysSerial (the same writers, each paying
+// its own fsync) for the group-commit speedup. The ratio scales with
+// fsync latency over per-document CPU cost: on a single-core host with a
+// fast fsync (~180µs) classification is the bottleneck and the ratio sits
+// near 3–4×; with more cores, or the millisecond-class fsyncs of typical
+// cloud disks, the serial path stays pinned at 1/fsync-latency while the
+// group path does not, and the ratio widens accordingly.
+func BenchmarkConcurrentAddSyncAlways(b *testing.B) {
+	benchConcurrentSyncAlways(b, true)
+}
+
+// BenchmarkConcurrentAddSyncAlwaysSerial is the per-commit-fsync baseline
+// for BenchmarkConcurrentAddSyncAlways. It is not in the benchgate baseline:
+// its ns/op is the disk's fsync latency, not code under test.
+func BenchmarkConcurrentAddSyncAlwaysSerial(b *testing.B) {
+	benchConcurrentSyncAlways(b, false)
+}
+
+func benchConcurrentSyncAlways(b *testing.B, group bool) {
+	const writers = 16
+	docs := benchCorpus(200, 0.3)
+	cfg := source.DefaultConfig()
+	cfg.AutoEvolve = false
+	s := source.New(cfg)
+	s.AddDTD("doc", benchDTD)
+	l, err := dtdevolve.OpenWAL(b.TempDir(), dtdevolve.WALOptions{Sync: dtdevolve.SyncAlways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AttachWAL(l)
+	defer s.CloseWAL()
+	if group {
+		s.EnableGroupCommit(source.GroupCommitOptions{})
+	}
+	start := l.Stats().Syncs
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				s.Add(docs[i%len(docs)])
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	b.ReportMetric(float64(l.Stats().Syncs-start)/float64(b.N), "fsyncs/doc")
 }
 
 func BenchmarkApriori(b *testing.B) {

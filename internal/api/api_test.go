@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
 )
 
 func newServer(t *testing.T) (*httptest.Server, *source.Source) {
@@ -224,5 +225,57 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 	if _, ok := snap["dtds"]; !ok {
 		t.Errorf("snapshot missing dtds: %v", snap)
+	}
+}
+
+// TestMetricsGroupCommitFields pins the GET /metrics fields added with the
+// group-commit pipeline: the group-size distribution, the commit-queue
+// depth gauge, and the amortized fsync cost per document.
+func TestMetricsGroupCommitFields(t *testing.T) {
+	cfg := source.DefaultConfig()
+	src := source.New(cfg)
+	src.EnableGroupCommit(source.GroupCommitOptions{})
+	w, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AttachWAL(w)
+	t.Cleanup(func() { src.CloseWAL() })
+	srv := httptest.NewServer(New(src))
+	t.Cleanup(srv.Close)
+
+	do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD)
+	batch := `{"documents": [
+		"<article><title>t</title><body>b</body></article>",
+		"<article><title>u</title><body>c</body></article>",
+		"<article><title>v</title><body>d</body></article>",
+		"<article><title>w</title><body>e</body></article>"
+	]}`
+	if resp, out := do(t, "POST", srv.URL+"/documents/batch", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d (%v)", resp.StatusCode, out)
+	}
+
+	resp, m := do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	// The queue depth gauge is always present (0 when idle).
+	if _, ok := m["commit_queue_depth"]; !ok {
+		t.Errorf("metrics missing commit_queue_depth: %v", m)
+	}
+	// One four-document batch through the queue is one group of four.
+	for field, want := range map[string]float64{
+		"wal_groups":          1,
+		"wal_group_size_min":  4,
+		"wal_group_size_mean": 4,
+		"wal_group_size_max":  4,
+	} {
+		if got, ok := m[field].(float64); !ok || got != want {
+			t.Errorf("metrics[%q] = %v, want %v", field, m[field], want)
+		}
+	}
+	// Two fsyncs (dtd registration + the group) over four documents.
+	if got, ok := m["fsyncs_per_doc"].(float64); !ok || got >= 1 {
+		t.Errorf("metrics[fsyncs_per_doc] = %v, want < 1 (group amortization)", m["fsyncs_per_doc"])
 	}
 }

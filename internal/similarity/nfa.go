@@ -4,6 +4,7 @@ import (
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/intern"
 	"dtdevolve/internal/xmltree"
+	"sync"
 )
 
 // The alignment of a child-element sequence against an element-content
@@ -145,28 +146,31 @@ type cell struct {
 	ok bool
 }
 
-// alignScratch is one reusable set of alignment buffers. Evaluators keep a
-// free list of these (not a single instance): global alignment recurses —
-// matching a child recursively aligns the child's own children — so nested
-// align calls each need live buffers. The slices are grow-only; inWork
-// self-cleans (every pushed state is popped), so only cur needs zeroing on
-// reuse (next is wiped at the top of every child step).
+// alignScratch is one reusable set of alignment buffers. Alignment draws
+// them from a pool (not a single instance per evaluator): global alignment
+// recurses — matching a child recursively aligns the child's own children —
+// so nested align calls each need live buffers. The slices are grow-only;
+// inWork self-cleans (every pushed state is popped), so only cur needs
+// zeroing on reuse (next is wiped at the top of every child step).
 type alignScratch struct {
 	cur, next []cell
 	work      []int
 	inWork    []bool
 }
 
-// getScratch pops (or creates) a scratch sized for n automaton states, with
-// cur zeroed. At steady state this allocates nothing.
-func (e *Evaluator) getScratch(n int) *alignScratch {
-	var sc *alignScratch
-	if len(e.scratch) > 0 {
-		sc = e.scratch[len(e.scratch)-1]
-		e.scratch = e.scratch[:len(e.scratch)-1]
-	} else {
-		sc = &alignScratch{}
-	}
+// scratchPool shares alignment buffers across every evaluator in the
+// process. A package-level sync.Pool rather than a per-evaluator free list:
+// classification builds short-lived evaluators (one per DTD per pool miss),
+// and with a private free list each of them re-grows its buffers from
+// scratch — the dominant allocation cost of a cold evaluation. GC may
+// reclaim pooled buffers under pressure; the steady-state hot path (one
+// warm evaluator, no allocation, hence no GC) keeps its buffers.
+var scratchPool = sync.Pool{New: func() any { return new(alignScratch) }}
+
+// getScratch takes a pooled scratch sized for n automaton states, with cur
+// zeroed. At steady state this allocates nothing.
+func getScratch(n int) *alignScratch {
+	sc := scratchPool.Get().(*alignScratch)
 	if cap(sc.cur) < n {
 		sc.cur = make([]cell, n)
 		sc.next = make([]cell, n)
@@ -181,16 +185,16 @@ func (e *Evaluator) getScratch(n int) *alignScratch {
 	return sc
 }
 
-func (e *Evaluator) putScratch(sc *alignScratch) {
-	e.scratch = append(e.scratch, sc)
+func putScratch(sc *alignScratch) {
+	scratchPool.Put(sc)
 }
 
 // align runs the automaton over the element children of n, returning the
 // best triple that ends in the accept state after all children are
 // consumed.
 func (e *Evaluator) align(a *nfa, n *xmltree.Node, depth int, global bool) Triple {
-	sc := e.getScratch(len(a.eps))
-	defer e.putScratch(sc)
+	sc := getScratch(len(a.eps))
+	defer putScratch(sc)
 	cur, next := sc.cur, sc.next
 	cur[a.start] = cell{ok: true}
 	e.relaxEps(a, cur, sc)

@@ -157,9 +157,6 @@ type Evaluator struct {
 	// nil until the first thesaurus lookup. Degrees are config-stable, so
 	// the cache is never cleared.
 	simMemo map[simKey]float64
-	// scratch is a free list of alignment buffers. A stack (not a single
-	// buffer) because global alignment recurses into nested aligns.
-	scratch []*alignScratch
 }
 
 type triKey struct {

@@ -69,6 +69,46 @@ func (s *Source) journalLocked(op walOp) {
 	}
 }
 
+// journalBatchLocked appends a whole commit group's pre-serialized
+// payloads as one WAL batch, in queue order, which is commit order because
+// the caller holds the write lock across the append and every apply. The
+// fsync is NOT taken here: under SyncAlways the returned log is non-nil
+// and the caller must call its Flush after releasing the write lock (and
+// before acknowledging the group), so the disk round-trip overlaps the
+// next group's scoring and draining instead of stalling every reader
+// behind a writer-held lock. A write failure matches journalLocked: the
+// source turns degraded (sticky) and the group still applies in memory.
+// dtdvet:requires mu
+// dtdvet:journalpoint
+func (s *Source) journalBatchLocked(payloads [][]byte) (flush *wal.Log) {
+	if s.wal == nil || s.replaying || s.walErr != nil || len(payloads) == 0 {
+		return nil
+	}
+	if err := s.wal.AppendBatchNoSync(payloads); err != nil {
+		s.walErr = err
+		s.metrics.ObserveWALError()
+		return nil
+	}
+	if s.wal.Policy() == wal.SyncAlways {
+		return s.wal
+	}
+	return nil
+}
+
+// encodeOpLocked marshals an operation for journaling, marking the source
+// degraded on the (string-only ops: impossible) encode failure, exactly as
+// journalLocked would.
+// dtdvet:requires mu
+func (s *Source) encodeOpLocked(op walOp) []byte {
+	payload, err := json.Marshal(op)
+	if err != nil {
+		s.walErr = fmt.Errorf("source: encoding WAL record: %w", err)
+		s.metrics.ObserveWALError()
+		return nil
+	}
+	return payload
+}
+
 // AttachWAL journals every subsequent state-changing operation to w. The
 // log should be positioned after any replayed history (see Recover, which
 // wires this up); attaching a log that still holds unreplayed records of

@@ -100,6 +100,7 @@ func TestRecoverFromWALOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := New(testConfig())
+	maybeEnableGroupCommit(live)
 	live.AttachWAL(w)
 	runScript(t, live, durabilityScript)
 	if err := live.CloseWAL(); err != nil {
@@ -133,6 +134,7 @@ func TestCheckpointThenTailReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := New(testConfig())
+	maybeEnableGroupCommit(live)
 	live.AttachWAL(w)
 
 	cut := 7
@@ -237,6 +239,7 @@ func TestKillAtEveryOffsetSourceState(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := New(testConfig())
+	maybeEnableGroupCommit(live)
 	live.AttachWAL(w)
 	runScript(t, live, script)
 	if err := live.CloseWAL(); err != nil {
@@ -333,6 +336,7 @@ func TestDegradedModeOnWALFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(testConfig())
+	maybeEnableGroupCommit(s)
 	s.AttachWAL(w)
 	s.AddDTD("article", articleDTD())
 	if err := s.Degraded(); err != nil {
@@ -369,6 +373,7 @@ func TestCrashDuringConcurrentAddBatch(t *testing.T) {
 	cfg := testConfig()
 	cfg.Sigma = 0.6
 	s := New(cfg)
+	maybeEnableGroupCommit(s)
 	s.AttachWAL(w)
 	s.AddDTD("article", articleDTD())
 
@@ -466,6 +471,7 @@ func TestCheckpointerBackground(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(testConfig())
+	maybeEnableGroupCommit(s)
 	s.AttachWAL(w)
 	s.AddDTD("article", articleDTD())
 	stop := s.StartCheckpointer(ckpt, 5*time.Millisecond, func(err error) { t.Errorf("checkpoint: %v", err) })

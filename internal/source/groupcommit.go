@@ -1,0 +1,267 @@
+// Group commit for the ingest hot path (DESIGN.md §8, §10).
+//
+// PR 3 made every commit journal — and, under SyncAlways, fsync — while
+// holding the global write lock, so concurrent writers serialize behind
+// the disk: throughput caps at ~1/fsync-latency documents per second no
+// matter how many cores score documents in parallel. Group commit is the
+// classic database answer: while one fsync is in flight, every commit that
+// arrives queues up, and the next fsync covers them all.
+//
+// The scheme is leader/follower with no dedicated goroutine. A committing
+// caller pre-serializes its journal payload *before* any lock, then
+// enqueues a commitReq. The first enqueuer becomes the leader: it drains
+// up to maxGroup requests, journals all their payloads with one batched
+// WAL write (one mutex acquisition, one write) and applies every request's
+// state changes under a single write-lock section, then releases the lock,
+// runs the group's single fsync (wal.Flush) outside it — so readers score
+// the next group while the disk round-trip is in flight — and only then
+// closes the followers' done channels: acknowledgement strictly follows
+// durability. A leader that found its own requests in the drained
+// group hands leadership to the head of the remaining queue (promote
+// channel) instead of draining forever, so a leader's latency is bounded
+// by its own group, not by the arrival rate; the handoff happens after
+// the flush, so the successor's group keeps filling for the whole disk
+// round-trip and its size tracks fsync latency (see lead).
+//
+// Replay safety needs no group framing: the batched append leaves the
+// exact byte stream sequential Appends would, payloads are in queue order,
+// and groups serialize on the write lock, so WAL order is still commit
+// order. A crash inside a group truncates to a record boundary and
+// recovery replays exactly the journaled prefix; under SyncAlways none of
+// the torn group's documents were acknowledged, because the group's fsync
+// never returned.
+package source
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"dtdevolve/internal/classify"
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/xmltree"
+)
+
+// DefaultMaxGroup bounds how many documents one leader journals in a
+// single WAL batch when GroupCommitOptions.MaxGroup is zero.
+const DefaultMaxGroup = 64
+
+// GroupCommitOptions configures the group-commit coordinator.
+type GroupCommitOptions struct {
+	// MaxGroup bounds how many documents one leader commits (and journals
+	// as one WAL batch). 0 means DefaultMaxGroup.
+	MaxGroup int
+	// MaxWait is how long a fresh leader waits for its group to fill
+	// before draining. 0 drains immediately: the group is whatever queued
+	// while the previous group was being written (natural batching), which
+	// adds no latency and is the right default. A small positive value
+	// trades single-writer latency for larger groups.
+	MaxWait time.Duration
+}
+
+// EnableGroupCommit routes every subsequent Add/AddBatch commit through
+// the group-commit coordinator. Enable it once, before serving traffic;
+// it cannot be turned off. Recovery replay is unaffected: replayed
+// operations re-enter Add one at a time and journal nothing.
+func (s *Source) EnableGroupCommit(opts GroupCommitOptions) {
+	if opts.MaxGroup <= 0 {
+		opts.MaxGroup = DefaultMaxGroup
+	}
+	s.committer.Store(&groupCommitter{s: s, maxGroup: opts.MaxGroup, maxWait: opts.MaxWait})
+}
+
+// GroupCommitEnabled reports whether commits go through the group-commit
+// coordinator.
+func (s *Source) GroupCommitEnabled() bool { return s.committer.Load() != nil }
+
+// commitReq is one document waiting to be committed: its read-locked
+// classification, the generation it was scored at, and the pre-serialized
+// journal payload (nil when no WAL was attached at scoring time). The
+// leader fills res; done closes once the request is durable and applied;
+// promote closes to hand the request's waiter leadership of the queue.
+type commitReq struct {
+	doc     *xmltree.Document
+	cls     classify.Result
+	gen     uint64
+	payload []byte
+	res     AddResult
+	done    chan struct{}
+	promote chan struct{}
+}
+
+func newCommitReq(doc *xmltree.Document, cls classify.Result, gen uint64, hasWAL bool) *commitReq {
+	req := &commitReq{doc: doc, cls: cls, gen: gen, done: make(chan struct{}), promote: make(chan struct{})}
+	if hasWAL {
+		// Serialize off-lock: doc.String and the JSON encoding are the
+		// expensive part of journaling, and they no longer hold up the
+		// write lock. Marshalling a walOp (strings only) cannot fail; a
+		// nil payload falls back to in-lock journaling, which reports the
+		// failure through the degraded path.
+		req.payload, _ = json.Marshal(walOp{Op: "doc", Text: doc.String()})
+	}
+	return req
+}
+
+// groupCommitter coordinates leader/follower commits for one Source. Its
+// own mutex guards only the staging queue; committed state stays guarded
+// by Source.mu exactly as before.
+type groupCommitter struct {
+	s        *Source
+	maxGroup int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	queue   []*commitReq // dtdvet:guarded_by mu
+	leading bool         // dtdvet:guarded_by mu
+}
+
+// submit enqueues reqs in FIFO order. If no leader is active the caller
+// becomes it and returns only after all of reqs are durable and applied;
+// otherwise submit returns immediately and the caller waits on each req.
+// dtdvet:nojournal -- commit-queue staging: every queued document is journaled by commitGroup before its state changes apply
+func (gc *groupCommitter) submit(reqs []*commitReq) {
+	gc.mu.Lock()
+	gc.queue = append(gc.queue, reqs...)
+	gc.s.metrics.SetCommitQueueDepth(len(gc.queue))
+	if gc.leading {
+		gc.mu.Unlock()
+		return
+	}
+	gc.leading = true
+	gc.mu.Unlock()
+	gc.lead(reqs[len(reqs)-1])
+}
+
+// wait blocks until req is committed, taking over as leader if the
+// departing one hands this request the queue.
+func (gc *groupCommitter) wait(req *commitReq) {
+	// The cases are mutually exclusive: a promoted request is still queued,
+	// stays queued until its own waiter leads (there is no other leader),
+	// and a committed request is never promoted.
+	select {
+	case <-req.done:
+	case <-req.promote:
+		gc.lead(req)
+		<-req.done
+	}
+}
+
+// lead drains and commits groups until last (one of the caller's own
+// requests, guaranteed to be queued) has been committed, then either
+// clears leadership or hands it to the head of the remaining queue.
+//
+// The write lock is taken before draining, so nothing enqueued after the
+// drain can sneak ahead of the group, and the write-lock section holds
+// only the batched WAL write and the state applies — the group's fsync
+// runs after the unlock, where it blocks neither readers (scoring the
+// next group) nor writers (growing the queue). Leadership hands off only
+// after that fsync: the full commit cycle of group k overlaps the filling
+// of group k+1, which pushes the group size toward arrival-rate ×
+// fsync-latency — the disk's actual capacity — instead of whatever raced
+// in during a handoff gap.
+// dtdvet:nojournal -- commit-queue staging: drained documents are journaled by commitGroupLocked before their state changes apply
+func (gc *groupCommitter) lead(last *commitReq) {
+	s := gc.s
+	for {
+		if gc.maxWait > 0 {
+			time.Sleep(gc.maxWait) // let the group fill
+		}
+		commit := time.Now()
+		s.mu.Lock()
+		gc.mu.Lock()
+		n := len(gc.queue)
+		if n > gc.maxGroup {
+			n = gc.maxGroup
+		}
+		group := make([]*commitReq, n)
+		copy(group, gc.queue)
+		gc.queue = append(gc.queue[:0], gc.queue[n:]...)
+		s.metrics.SetCommitQueueDepth(len(gc.queue))
+		owned := false
+		for _, r := range group {
+			if r == last {
+				owned = true
+			}
+		}
+		gc.mu.Unlock()
+
+		flush := gc.commitGroupLocked(group)
+		s.mu.Unlock()
+		if flush != nil {
+			// The group's fsync, after the write lock is released: readers
+			// score the next group while the disk round-trip is in flight.
+			// Acknowledgement still waits for it — done closes only after
+			// Flush returns — so no document is acked before its record is
+			// durable. On failure the source degrades exactly as an in-lock
+			// sync failure would: the group stays applied in memory and the
+			// serving layer stops accepting mutations.
+			if err := flush.Flush(); err != nil {
+				s.mu.Lock()
+				if s.walErr == nil {
+					s.walErr = err
+					s.metrics.ObserveWALError()
+				}
+				s.mu.Unlock()
+			}
+		}
+		if owned {
+			// Hand off after the fsync, not at drain time: a successor
+			// promoted any earlier would drain the moment the write lock
+			// frees (before the disk round-trip) and commit a near-empty
+			// group. Held until here, the queue keeps filling for the whole
+			// flush, so group size tracks fsync latency — the disk's actual
+			// capacity — instead of the write lock's occupancy. The promoted
+			// request is still queued (this drain did not take it), so its
+			// group is never empty.
+			gc.mu.Lock()
+			if len(gc.queue) > 0 {
+				close(gc.queue[0].promote)
+			} else {
+				gc.leading = false
+			}
+			gc.mu.Unlock()
+		}
+		s.metrics.ObserveCommitPhase(time.Since(commit))
+		for _, r := range group {
+			close(r.done)
+		}
+		if owned {
+			return
+		}
+	}
+}
+
+// commitGroupLocked journals and applies one drained group inside the
+// leader's write-lock section: one batched WAL write covers every
+// document, then each document's state changes apply in queue order,
+// re-scored first when the DTD set changed after its read-locked scoring
+// (exactly as the serial path re-scores). The group's fsync is deliberately
+// NOT in here: when one is owed (SyncAlways), the attached log is returned
+// and the leader flushes it after releasing the write lock, before closing
+// any done channel.
+// dtdvet:requires Source.mu
+func (gc *groupCommitter) commitGroupLocked(group []*commitReq) (flush *wal.Log) {
+	s := gc.s
+	payloads := make([][]byte, 0, len(group))
+	for _, r := range group {
+		p := r.payload
+		if p == nil && s.wal != nil && !s.replaying && s.walErr == nil {
+			// The WAL was attached after this document was scored; encode
+			// under the lock like the serial path would have.
+			p = s.encodeOpLocked(walOp{Op: "doc", Text: r.doc.String()})
+		}
+		if p != nil {
+			payloads = append(payloads, p)
+		}
+	}
+	flush = s.journalBatchLocked(payloads)
+	for _, r := range group {
+		if s.gen != r.gen {
+			r.cls = s.classifier.Classify(r.doc)
+		}
+		r.res = s.applyCommitLocked(r.doc, r.cls)
+		s.fireTriggers(&r.res)
+	}
+	s.metrics.ObserveGroup(len(group))
+	return flush
+}

@@ -1,0 +1,350 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/xmltree"
+)
+
+// maybeEnableGroupCommit turns group commit on when the environment asks
+// for it — CI runs the fault-injection suite with DTDEVOLVE_GROUP_COMMIT
+// both unset and set, so every durability test exercises both commit
+// pipelines.
+func maybeEnableGroupCommit(s *Source) {
+	if os.Getenv("DTDEVOLVE_GROUP_COMMIT") != "" {
+		s.EnableGroupCommit(GroupCommitOptions{})
+	}
+}
+
+// TestGroupCommitMatchesSerialAdds checks a group-committed source is
+// observably identical to the plain write-lock path over the same
+// document sequence, evolutions included.
+func TestGroupCommitMatchesSerialAdds(t *testing.T) {
+	shapes := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<article><title>t</title><author>a</author><body>b</body></article>`,
+		`<invoice><total>3</total></invoice>`,
+		`<article><title>u</title><author>a</author><body>c</body></article>`,
+	}
+	var srcs []string
+	for i := 0; i < 20; i++ {
+		srcs = append(srcs, shapes[i%len(shapes)])
+	}
+	serial, grouped := New(testConfig()), New(testConfig())
+	grouped.EnableGroupCommit(GroupCommitOptions{})
+	serial.AddDTD("article", articleDTD())
+	grouped.AddDTD("article", articleDTD())
+
+	for i, src := range srcs {
+		a := serial.Add(parseDoc(t, src))
+		b := grouped.Add(parseDoc(t, src))
+		if a.Classified != b.Classified || a.DTDName != b.DTDName ||
+			a.Similarity != b.Similarity || a.Evolved != b.Evolved {
+			t.Errorf("doc %d: serial %+v, grouped %+v", i, a, b)
+		}
+	}
+	if got, want := snapshotOf(t, grouped), snapshotOf(t, serial); !reflect.DeepEqual(got, want) {
+		t.Errorf("group-committed state diverges:\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestGroupCommitBatchSingleFsync pins the whole point of the feature: a
+// batch committed through the group queue journals as one WAL batch and
+// costs one fsync under SyncAlways, not one per document.
+func TestGroupCommitBatchSingleFsync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(testConfig())
+	s.EnableGroupCommit(GroupCommitOptions{})
+	s.AttachWAL(w)
+	s.AddDTD("article", articleDTD())
+
+	const n = 10
+	srcs := make([]string, n)
+	for i := range srcs {
+		srcs[i] = `<article><title>t</title><body>b</body></article>`
+	}
+	syncs0 := w.Stats().Syncs
+	s.AddBatch(parseDocs(t, srcs))
+	if got := w.Stats().Syncs - syncs0; got != 1 {
+		t.Errorf("syncs for a %d-document group = %d, want 1", n, got)
+	}
+	m := s.Metrics()
+	if m.WALGroups != 1 || m.WALGroupSizeMin != n || m.WALGroupSizeMax != n || m.WALGroupSizeMean != n {
+		t.Errorf("group metrics = groups %d min %d mean %v max %d, want one group of %d",
+			m.WALGroups, m.WALGroupSizeMin, m.WALGroupSizeMean, m.WALGroupSizeMax, n)
+	}
+	if m.FsyncsPerDoc >= 0.25 {
+		t.Errorf("fsyncs_per_doc = %v, want < 0.25", m.FsyncsPerDoc)
+	}
+	if err := s.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journaled group replays like any serial history.
+	recovered, info, err := Recover(testConfig(), nil, dir, wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.CloseWAL()
+	if info.Replayed != n+1 { // dtd + documents
+		t.Errorf("replayed %d records, want %d", info.Replayed, n+1)
+	}
+	if got, want := snapshotOf(t, recovered), snapshotOf(t, s); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered state diverges:\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestGroupCommitMaxGroupSplitsBatches checks the leader honors MaxGroup:
+// an oversized batch commits as multiple bounded WAL groups.
+func TestGroupCommitMaxGroupSplitsBatches(t *testing.T) {
+	s := New(testConfig())
+	s.EnableGroupCommit(GroupCommitOptions{MaxGroup: 4})
+	s.AddDTD("article", articleDTD())
+	srcs := make([]string, 10)
+	for i := range srcs {
+		srcs[i] = `<article><title>t</title><body>b</body></article>`
+	}
+	res := s.AddBatch(parseDocs(t, srcs))
+	if len(res) != len(srcs) {
+		t.Fatalf("got %d results, want %d", len(res), len(srcs))
+	}
+	m := s.Metrics()
+	if m.WALGroups != 3 || m.WALGroupSizeMax != 4 || m.WALGroupSizeMin != 2 {
+		t.Errorf("groups = %d (min %d max %d), want 3 groups of 4+4+2",
+			m.WALGroups, m.WALGroupSizeMin, m.WALGroupSizeMax)
+	}
+}
+
+// TestKillAtEveryOffsetGroupCommit is the crash-mid-group durability
+// property: cut the byte stream a group-committed source produced at every
+// record boundary (and densely in between), recover, and check the state
+// equals a serial reference run of exactly the journaled prefix — a torn
+// group never applies partially-recovered state beyond its durable records.
+func TestKillAtEveryOffsetGroupCommit(t *testing.T) {
+	shapes := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<article><title>t</title><author>a</author><body>b</body></article>`,
+		`<invoice><total>3</total></invoice>`,
+		`<article><title>u</title><author>a</author><body>c</body></article>`,
+	}
+	var srcs []string
+	for i := 0; i < 14; i++ {
+		srcs = append(srcs, shapes[i%len(shapes)])
+	}
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := New(testConfig())
+	live.EnableGroupCommit(GroupCommitOptions{})
+	live.AttachWAL(w)
+	live.AddDTD("article", articleDTD())
+	// Two batches → two multi-record AppendBatch groups (and a segment
+	// rotation between them), journaled in batch order.
+	live.AddBatch(parseDocs(t, srcs[:8]))
+	live.AddBatch(parseDocs(t, srcs[8:]))
+	if err := live.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference snapshots after each journaled prefix: the dtd op, then the
+	// documents in enqueue (= batch) order, applied serially.
+	refs := make([]map[string]any, 0, len(srcs)+2)
+	ref := New(testConfig())
+	refs = append(refs, snapshotOf(t, ref))
+	ref.AddDTD("article", articleDTD())
+	refs = append(refs, snapshotOf(t, ref))
+	for _, src := range srcs {
+		ref.Add(parseDoc(t, src))
+		refs = append(refs, snapshotOf(t, ref))
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	var stream []byte
+	for _, p := range segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, data...)
+	}
+
+	stride := 7
+	if testing.Short() {
+		stride = 97
+	}
+	offsets := map[int]bool{0: true, len(stream): true}
+	for cut := 1; cut < len(stream); cut += stride {
+		offsets[cut] = true
+	}
+	boundary := 0
+	if _, err := wal.Replay(dir, func(p []byte) error {
+		boundary += 8 + len(p)
+		offsets[boundary] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := range offsets {
+		sub := t.TempDir()
+		remaining := cut
+		for _, p := range segs {
+			if remaining <= 0 {
+				break
+			}
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) > remaining {
+				data = data[:remaining]
+			}
+			remaining -= len(data)
+			if err := os.WriteFile(filepath.Join(sub, filepath.Base(p)), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recovered, info, err := Recover(testConfig(), nil, sub, wal.Options{Sync: wal.SyncOff})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		got := snapshotOf(t, recovered)
+		recovered.CloseWAL()
+		if info.Replayed >= len(refs) {
+			t.Fatalf("cut %d: replayed %d > %d journaled ops", cut, info.Replayed, len(refs)-1)
+		}
+		if want := refs[info.Replayed]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d (replayed %d): crash inside a group diverged from the journaled prefix\n got: %v\nwant: %v",
+				cut, info.Replayed, got, want)
+		}
+	}
+}
+
+// TestGroupCommitConcurrentAddSyncAlways is the -race stress of the
+// leader/follower protocol: 16 writers under SyncAlways, every Add a
+// separate transaction, concurrent readers and DTD churn. Afterwards the
+// counters must balance and the journal must replay deterministically.
+func TestGroupCommitConcurrentAddSyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Sigma = 0.6
+	s := New(cfg)
+	s.EnableGroupCommit(GroupCommitOptions{})
+	s.AttachWAL(w)
+	s.AddDTD("article", articleDTD())
+
+	const (
+		writers   = 16
+		perWriter = 8
+	)
+	shapes := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<article><title>t</title><author>a</author><body>b</body></article>`,
+		`<article><title>t</title><ref/><ref/><body>b</body></article>`,
+		`<alien><x/><y/></alien>`,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add(parseDoc(t, shapes[(g+i)%len(shapes)]))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // readers race the leader hand-offs
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			s.Metrics()
+			s.Status()
+			s.RepositorySize()
+		}
+	}()
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Added != writers*perWriter {
+		t.Errorf("metrics.Added = %d, want %d", m.Added, writers*perWriter)
+	}
+	if m.Classified+m.Repository != m.Added {
+		t.Errorf("counters unbalanced: %d + %d != %d", m.Classified, m.Repository, m.Added)
+	}
+	if m.WALGroups == 0 || m.WALGroupSizeMax < 1 {
+		t.Errorf("no groups observed: %+v", m)
+	}
+	if s.Degraded() != nil {
+		t.Fatalf("degraded: %v", s.Degraded())
+	}
+	if err := s.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL order is commit order: replay must reproduce the final state.
+	recovered, info, err := Recover(cfg, nil, dir, wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.CloseWAL()
+	if info.Replayed != writers*perWriter+1 {
+		t.Errorf("replayed %d, want %d", info.Replayed, writers*perWriter+1)
+	}
+	if got, want := snapshotOf(t, recovered), snapshotOf(t, s); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered state diverges from group-committed run:\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestAddBatchScoringBounded asserts the batch scoring fan-out uses a
+// bounded worker pool: a 512-document batch must not spawn hundreds of
+// goroutines.
+func TestAddBatchScoringBounded(t *testing.T) {
+	s := New(DefaultConfig())
+	s.AddDTD("article", articleDTD())
+	docs := make([]*xmltree.Document, 512)
+	for i := range docs {
+		docs[i] = parseDoc(t, `<article><title>t</title><author>a</author><ref/><ref/><body>b</body></article>`)
+	}
+	before := runtime.NumGoroutine()
+	resCh := make(chan []AddResult, 1)
+	go func() { resCh <- s.AddBatch(docs) }()
+	peak := before
+	for {
+		select {
+		case res := <-resCh:
+			if len(res) != len(docs) {
+				t.Fatalf("got %d results, want %d", len(res), len(docs))
+			}
+			// One DTD registered, so classification spawns no per-DTD
+			// goroutines: the pool itself is the only fan-out.
+			if limit := before + runtime.GOMAXPROCS(0) + 8; peak > limit {
+				t.Errorf("peak goroutines %d (baseline %d), want <= %d: batch fan-out is unbounded", peak, before, limit)
+			}
+			return
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			runtime.Gosched()
+		}
+	}
+}

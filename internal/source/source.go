@@ -26,8 +26,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dtdevolve/internal/adapt"
@@ -131,6 +133,10 @@ type Source struct {
 	wal       *wal.Log // dtdvet:guarded_by mu
 	walErr    error    // dtdvet:guarded_by mu
 	replaying bool     // dtdvet:guarded_by mu
+	// committer, when set, routes commits through the group-commit
+	// coordinator (groupcommit.go). Unguarded: an atomic pointer, like
+	// metrics, set once by EnableGroupCommit before traffic.
+	committer atomic.Pointer[groupCommitter]
 }
 
 // New returns an empty Source.
@@ -219,9 +225,17 @@ func (s *Source) Add(doc *xmltree.Document) AddResult {
 	start := time.Now()
 	s.mu.RLock()
 	gen := s.gen
+	hasWAL := s.wal != nil && !s.replaying && s.walErr == nil
 	cls := s.classifier.Classify(doc)
 	s.mu.RUnlock()
 	s.metrics.ObserveClassifyPhase(time.Since(start))
+
+	if gc := s.committer.Load(); gc != nil {
+		req := newCommitReq(doc, cls, gen, hasWAL)
+		gc.submit([]*commitReq{req})
+		gc.wait(req)
+		return req.res
+	}
 
 	commit := time.Now()
 	s.mu.Lock()
@@ -269,23 +283,54 @@ func (s *Source) AddBatchContext(ctx context.Context, docs []*xmltree.Document) 
 	start := time.Now()
 	s.mu.RLock()
 	gen := s.gen
+	hasWAL := s.wal != nil && !s.replaying && s.walErr == nil
 	cls := make([]classify.Result, len(docs))
+	// A worker pool sized to the core count, not one goroutine per
+	// document: a large batch must not spawn thousands of goroutines that
+	// all contend for the same cores (each classification already fans out
+	// per DTD underneath).
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
-	for i, doc := range docs {
-		if ctx.Err() != nil {
-			break
-		}
-		wg.Add(1)
-		go func(i int, doc *xmltree.Document) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			cls[i] = s.classifier.Classify(doc)
-		}(i, doc)
+			for {
+				i := int(next.Add(1))
+				if i >= len(docs) || ctx.Err() != nil {
+					return
+				}
+				cls[i] = s.classifier.Classify(docs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	s.mu.RUnlock()
 	s.metrics.ObserveClassifyPhase(time.Since(start))
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	if gc := s.committer.Load(); gc != nil {
+		// The batch rides the same commit queue as single Adds: its
+		// requests enqueue in input order (so the batch stays equivalent to
+		// a serial Add sequence) and interleave with concurrent writers at
+		// group granularity.
+		reqs := make([]*commitReq, len(docs))
+		for i, doc := range docs {
+			reqs[i] = newCommitReq(doc, cls[i], gen, hasWAL)
+		}
+		gc.submit(reqs)
+		for i, req := range reqs {
+			gc.wait(req)
+			results[i] = req.res
+		}
+		return results, nil
 	}
 
 	commit := time.Now()
@@ -315,6 +360,15 @@ func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddRes
 	// deterministic given the journaled commit order, so auto-evolutions
 	// and trigger firings need no records of their own.
 	s.journalLocked(walOp{Op: "doc", Text: doc.String()})
+	return s.applyCommitLocked(doc, cls)
+}
+
+// applyCommitLocked is the in-memory half of a commit: record the document
+// and run the check phase. Callers hold the write lock and must already
+// have journaled the document (commitLocked, or the group committer's
+// journalBatchLocked).
+// dtdvet:requires mu
+func (s *Source) applyCommitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	s.added++
 	res := s.recordLocked(doc, cls)
 	if res.Classified && s.cfg.AutoEvolve {
@@ -343,6 +397,11 @@ func (s *Source) Metrics() metrics.IngestSnapshot {
 		snap.WALBytes = st.Bytes
 		snap.WALSyncs = st.Syncs
 		snap.WALRotations = st.Rotations
+		if snap.Added > 0 {
+			// The amortized durability cost: well below 1 when group commit
+			// folds concurrent writers into shared fsyncs.
+			snap.FsyncsPerDoc = float64(st.Syncs) / float64(snap.Added)
+		}
 	}
 	return snap
 }

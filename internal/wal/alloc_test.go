@@ -47,3 +47,32 @@ func TestEncodeFrameAllocs(t *testing.T) {
 		t.Errorf("EncodeFrame allocates %.1f objects, want 0", allocs)
 	}
 }
+
+// TestAppendBatchAllocs extends the budget to group commit: journaling a
+// whole group must stay allocation-free once the frame buffer has grown,
+// or batching would trade fsyncs for GC pressure.
+func TestAppendBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff, SegmentSize: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := make([][]byte, 16)
+	for i := range batch {
+		batch[i] = bytes.Repeat([]byte("x"), 256)
+	}
+	if err := l.AppendBatch(batch); err != nil { // warm: grows buf, opens segment
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBatch allocates %.1f objects per batch, want 0", allocs)
+	}
+}

@@ -108,6 +108,10 @@ type Log struct {
 	dir  string
 	opts Options
 
+	// syncMu serializes the out-of-lock fsync in Flush. It is always
+	// acquired before mu and never while holding it.
+	syncMu sync.Mutex
+
 	mu         sync.Mutex
 	active     File   // dtdvet:guarded_by mu
 	activeSeq  uint64 // dtdvet:guarded_by mu
@@ -116,7 +120,12 @@ type Log struct {
 	// buf is the reusable frame buffer behind zero-alloc appends.
 	buf   []byte // dtdvet:guarded_by mu
 	err   error  // dtdvet:guarded_by mu -- sticky first write/sync failure
-	dirty bool   // dtdvet:guarded_by mu -- unsynced appends under SyncInterval
+	dirty bool   // dtdvet:guarded_by mu -- unsynced appends awaiting a flush
+	// flushed is how many of the appended bytes a completed fsync (or a
+	// segment seal, which syncs before closing) has made durable. Flush
+	// skips the disk entirely when a concurrent flusher already covered the
+	// caller's records.
+	flushed int64 // dtdvet:guarded_by mu
 
 	appends   atomic.Int64
 	bytes     atomic.Int64
@@ -233,7 +242,99 @@ func (l *Log) Append(payload []byte) error {
 			return l.err
 		}
 		l.syncs.Add(1)
+		l.flushed = l.bytes.Load()
 	case SyncInterval:
+		l.dirty = true
+	}
+	return nil
+}
+
+// AppendBatch journals a group of records as one disk operation: a single
+// mutex acquisition, every frame encoded into one reused buffer, one Write
+// of the concatenated frames, and — under SyncAlways — one fsync for the
+// whole group. This is the primitive behind the source's group commit
+// (DESIGN.md §10): the per-record durability cost collapses from one disk
+// round-trip per commit to one per group, without weakening the contract —
+// AppendBatch returns only after the group is as durable as the policy
+// promises for a single Append.
+//
+// The frames are byte-identical to len(payloads) sequential Appends, so
+// recovery needs no group framing: a crash mid-batch tears the stream
+// inside some frame, Replay truncates to the last whole record, and the
+// recovered state is exactly the journaled prefix of the group.
+//
+// All payloads are validated before anything is written; a size rejection
+// fails the whole batch with no partial append and no sticky failure. An
+// I/O failure is sticky exactly as for Append. Like Append, AppendBatch is
+// zero-allocation in steady state (the frame buffer is reused and grows to
+// the largest group seen).
+// dtdvet:noalloc
+func (l *Log) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendBatchLocked(payloads, true)
+}
+
+// AppendBatchNoSync journals a group of records exactly like AppendBatch
+// but never fsyncs inline, whatever the policy: the records are durable
+// only after a later Flush (or the interval flusher, a segment seal, or
+// Close). It exists for the group-commit leader, which writes the batch
+// while holding the source's state lock but moves the disk round-trip
+// after the release — AppendBatchNoSync under the lock, Flush outside it,
+// acknowledge after Flush returns (DESIGN.md §10).
+// dtdvet:noalloc
+func (l *Log) AppendBatchNoSync(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendBatchLocked(payloads, false)
+}
+
+// appendBatchLocked frames and writes one batch; syncNow selects whether a
+// SyncAlways policy fsyncs before returning or leaves the bytes for Flush.
+// dtdvet:requires mu
+// dtdvet:noalloc
+func (l *Log) appendBatchLocked(payloads [][]byte, syncNow bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	var batchLen int64
+	for _, p := range payloads {
+		if len(p) == 0 || len(p) > MaxRecordSize {
+			return fmt.Errorf("wal: record payload size %d out of range", len(p)) // dtdvet:allow noalloc -- cold rejection path
+		}
+		batchLen += int64(FrameHeaderSize + len(p))
+	}
+	if l.active == nil || (l.activeSize > 0 && l.activeSize+batchLen > l.opts.SegmentSize) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	l.buf = l.buf[:0]
+	for _, p := range payloads {
+		l.buf = EncodeFrame(l.buf, p)
+	}
+	if _, err := l.active.Write(l.buf); err != nil {
+		l.fail(fmt.Errorf("wal: appending %d-record batch to segment %d: %w", len(payloads), l.activeSeq, err)) // dtdvet:allow noalloc -- cold error path, log is dead after
+		return l.err
+	}
+	l.activeSize += batchLen
+	l.appends.Add(int64(len(payloads)))
+	l.bytes.Add(batchLen)
+	switch {
+	case l.opts.Sync == SyncAlways && syncNow:
+		if err := l.active.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: syncing segment %d: %w", l.activeSeq, err)) // dtdvet:allow noalloc -- cold error path, log is dead after
+			return l.err
+		}
+		l.syncs.Add(1)
+		l.flushed = l.bytes.Load()
+	case l.opts.Sync != SyncOff:
 		l.dirty = true
 	}
 	return nil
@@ -249,6 +350,7 @@ func (l *Log) rotateLocked() error {
 			return l.err
 		}
 		l.syncs.Add(1)
+		l.flushed = l.bytes.Load()
 		if err := l.active.Close(); err != nil {
 			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
 			return l.err
@@ -286,6 +388,7 @@ func (l *Log) Rotate() (uint64, error) {
 			return 0, l.err
 		}
 		l.syncs.Add(1)
+		l.flushed = l.bytes.Load()
 		if err := l.active.Close(); err != nil {
 			l.fail(fmt.Errorf("wal: sealing segment %d: %w", l.activeSeq, err))
 			return 0, l.err
@@ -354,8 +457,58 @@ func (l *Log) syncLocked() error {
 		return l.err
 	}
 	l.syncs.Add(1)
+	l.flushed = l.bytes.Load()
 	l.dirty = false
 	return nil
+}
+
+// Flush makes every record appended before the call durable, without
+// holding the log's mutex across the disk round-trip: concurrent appends
+// to the same segment proceed while the fsync is in flight. This is the
+// second half of the group-commit protocol — the leader journals with
+// AppendBatchNoSync under the source's state lock, releases it, then
+// acknowledges after Flush returns.
+//
+// Only the active segment needs syncing (sealing a segment syncs it before
+// closing), and if a concurrent Flush or policy fsync already covered the
+// caller's records the disk is not touched at all. If the active segment is
+// sealed while the fsync is in flight, the seal's own sync made the records
+// durable, so the racing fsync's error (typically "file already closed") is
+// ignored; a sync failure on the still-active segment is sticky, exactly as
+// for Append.
+func (l *Log) Flush() error {
+	target := l.bytes.Load()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.err != nil || l.active == nil || l.flushed >= target {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	f, seq := l.active, l.activeSeq
+	// Every byte counted so far sits in a sealed (already durable) segment
+	// or in f; the fsync below covers them all.
+	covered := l.bytes.Load()
+	l.mu.Unlock()
+	syncErr := f.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if syncErr != nil {
+		if l.activeSeq == seq && l.active != nil {
+			l.fail(fmt.Errorf("wal: syncing segment %d: %w", seq, syncErr))
+			return l.err
+		}
+	} else {
+		l.syncs.Add(1)
+	}
+	if covered > l.flushed {
+		l.flushed = covered
+	}
+	if l.activeSeq == seq && l.bytes.Load() == covered {
+		l.dirty = false
+	}
+	return l.err
 }
 
 // syncLoop is the SyncInterval background flusher.
@@ -405,6 +558,9 @@ func (l *Log) Stats() Stats {
 
 // Dir returns the segment directory.
 func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the fsync policy the log was opened with.
+func (l *Log) Policy() SyncPolicy { return l.opts.Sync }
 
 // Close flushes and closes the active segment and stops the background
 // flusher. The log must not be used afterwards. Close is idempotent and

@@ -233,3 +233,231 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// batchAll journals the payloads as a single AppendBatch and closes the log.
+func batchAll(t *testing.T, dir string, opts Options, payloads [][]byte) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(payloads); err != nil {
+		t.Fatalf("append batch: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := payloads(25)
+	batchAll(t, dir, Options{Sync: SyncOff}, want)
+	got, res := collect(t, dir)
+	if res.Truncated || res.Corrupted || res.Records != len(want) {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAppendBatchMatchesSequentialAppends pins the framing invariant the
+// recovery path relies on: a batch leaves the exact byte stream sequential
+// Appends would, so crash recovery needs no group-aware decoding — a torn
+// batch truncates to a record boundary like any torn tail.
+func TestAppendBatchMatchesSequentialAppends(t *testing.T) {
+	recs := payloads(9)
+	seqDir, batchDir := t.TempDir(), t.TempDir()
+	appendAll(t, seqDir, Options{Sync: SyncOff}, recs)
+	batchAll(t, batchDir, Options{Sync: SyncOff}, recs)
+	seqs, err := listSegments(seqDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range seqs {
+		a, err := os.ReadFile(filepath.Join(seqDir, segmentName(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(batchDir, segmentName(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("segment %d differs between sequential and batched appends", seq)
+		}
+	}
+}
+
+func TestAppendBatchRotatesBetweenBatches(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.AppendBatch(payloads(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Rotations == 0 {
+		t.Error("no rotations despite batches exceeding the segment size")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir); len(got) != 12 {
+		t.Errorf("replayed %d records, want 12", len(got))
+	}
+}
+
+func TestAppendBatchRejectsBadPayloadAtomically(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendBatch([][]byte{[]byte("ok-1"), nil, []byte("ok-2")}); err == nil {
+		t.Error("batch containing an empty payload accepted")
+	}
+	if err := l.Err(); err != nil {
+		t.Errorf("size rejection must not poison the log: %v", err)
+	}
+	if err := l.AppendBatch(nil); err != nil {
+		t.Errorf("empty batch must be a no-op, got %v", err)
+	}
+	if err := l.AppendBatch([][]byte{[]byte("after")}); err != nil {
+		t.Fatal(err)
+	}
+	// The rejected batch must leave no partial frames behind.
+	got, res := collect(t, dir)
+	if res.Corrupted || len(got) != 1 || string(got[0]) != "after" {
+		t.Errorf("replay after rejected batch = %q (%+v), want just [after]", got, res)
+	}
+}
+
+func TestAppendBatchStats(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	syncs0 := l.Stats().Syncs
+	if err := l.AppendBatch(payloads(6)); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 6 {
+		t.Errorf("appends = %d, want 6 (one per record)", st.Appends)
+	}
+	if got := st.Syncs - syncs0; got != 1 {
+		t.Errorf("syncs = %d for one batch, want exactly 1", got)
+	}
+}
+
+// TestAppendBatchNoSyncFlush pins the split-commit contract the group
+// committer relies on: AppendBatchNoSync leaves the records unsynced even
+// under SyncAlways, one Flush makes them durable with exactly one fsync,
+// a redundant Flush does not touch the disk, and the replayed stream is
+// identical to a plain AppendBatch.
+func TestAppendBatchNoSyncFlush(t *testing.T) {
+	dir := t.TempDir()
+	want := payloads(6)
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatchNoSync(want); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 0 {
+		t.Errorf("syncs = %d after AppendBatchNoSync, want 0 (the fsync is the caller's Flush)", got)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Errorf("syncs = %d after Flush, want exactly 1 for the whole batch", got)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Errorf("syncs = %d after a redundant Flush, want still 1 (already durable)", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := collect(t, dir)
+	if res.Truncated || res.Corrupted || res.Records != len(want) {
+		t.Fatalf("result = %+v", res)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// syncFaultFS is a minimal in-package fault filesystem (the full one,
+// package faultfs, imports this package and cannot be used here): Sync on
+// every created file fails once armed.
+type syncFaultFS struct{ failSync bool }
+
+func (fs *syncFaultFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &syncFaultFile{fs: fs, f: f}, nil
+}
+
+func (fs *syncFaultFS) Remove(path string) error { return os.Remove(path) }
+
+type syncFaultFile struct {
+	fs *syncFaultFS
+	f  *os.File
+}
+
+func (w *syncFaultFile) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *syncFaultFile) Close() error                { return w.f.Close() }
+func (w *syncFaultFile) Sync() error {
+	if w.fs.failSync {
+		return fmt.Errorf("injected sync fault")
+	}
+	return w.f.Sync()
+}
+
+// TestFlushFailureIsSticky pins Flush's failure contract: a sync fault on
+// the still-active segment poisons the log exactly as an in-line sync
+// failure would, so a group leader that defers the fsync cannot ack a group
+// the disk never confirmed.
+func TestFlushFailureIsSticky(t *testing.T) {
+	fs := &syncFaultFS{}
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendBatchNoSync(payloads(3)); err != nil {
+		t.Fatal(err)
+	}
+	fs.failSync = true
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush succeeded despite an injected sync fault")
+	}
+	fs.failSync = false
+	if err := l.Append([]byte("more")); err == nil {
+		t.Error("Append succeeded after a Flush failure; want the sticky error")
+	}
+	if l.Err() == nil {
+		t.Error("Err() = nil after a Flush failure")
+	}
+}
