@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dtdevolve"
+	"dtdevolve/internal/classify"
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/evolve"
 	"dtdevolve/internal/experiments"
@@ -20,6 +21,7 @@ import (
 	"dtdevolve/internal/similarity"
 	"dtdevolve/internal/source"
 	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
 	"dtdevolve/internal/xtract"
 )
 
@@ -487,4 +489,68 @@ func BenchmarkE12AdaptationQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = experiments.E12AdaptationQuality(benchOptions())
 	}
+}
+
+// BenchmarkClassifyManyDTDs measures classification against a 1000-DTD
+// registry shaped like a real schema registry (DESIGN.md §12): 900 DTDs
+// with distinct roots (the root gate handles those), 94 unrelated
+// vocabularies that happen to share the generic root tag the documents use
+// (the inverted index must see through the shared root), and a family of 6
+// drifted versions of the documents' actual schema (genuine competitors
+// the upper bound cannot and must not prune). Pruned is the default exact
+// mode; Exhaustive bypasses the index and is the paper's score-everything
+// behavior. The alignments/doc metric is the mean number of DP alignments
+// per classification, from the classifier's own counters.
+func BenchmarkClassifyManyDTDs(b *testing.B) {
+	build := func() (*classify.Classifier, []*xmltree.Document) {
+		g := gen.New(gen.DefaultConfig(11))
+		c := classify.New(0.7, similarity.DefaultConfig())
+		for i := 0; i < 900; i++ {
+			c.Set(fmt.Sprintf("solo%03d", i), g.RandomDTD(fmt.Sprintf("s%03d", i), 6))
+		}
+		// Unrelated same-root DTDs: distinct element vocabularies under one
+		// generic root tag.
+		for i := 0; i < 94; i++ {
+			d := g.RandomDTD(fmt.Sprintf("h%02d", i), 6)
+			old := d.Name
+			d.Elements["hub"] = d.Elements[old]
+			delete(d.Elements, old)
+			for j, n := range d.Order {
+				if n == old {
+					d.Order[j] = "hub"
+				}
+			}
+			d.Name = "hub"
+			c.Set(fmt.Sprintf("hub%02d", i), d)
+		}
+		// A version family: the documents' schema and five drifted
+		// successors, all plausible matches.
+		family := g.RandomDTD("hub", 6)
+		c.Set("family00", family)
+		for i, d := 1, family; i < 6; i++ {
+			d = g.Drift(d, 2)
+			c.Set(fmt.Sprintf("family%02d", i), d)
+		}
+		return c, g.MutatedDocuments(family, 32, 2, 0.5)
+	}
+	b.Run("Pruned", func(b *testing.B) {
+		c, docs := build()
+		b.ResetTimer()
+		start := c.Stats()
+		for i := 0; i < b.N; i++ {
+			c.Classify(docs[i%len(docs)])
+		}
+		st := c.Stats()
+		b.ReportMetric(float64(st.Scored-start.Scored)/float64(b.N), "alignments/doc")
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		c, docs := build()
+		b.ResetTimer()
+		start := c.Stats()
+		for i := 0; i < b.N; i++ {
+			c.ClassifyExhaustive(docs[i%len(docs)])
+		}
+		st := c.Stats()
+		b.ReportMetric(float64(st.Scored-start.Scored)/float64(b.N), "alignments/doc")
+	})
 }

@@ -11,7 +11,17 @@
 //	          [-store dir] [-snapshot file] [-pprof] \
 //	          [-wal dir] [-fsync always|interval|off] [-fsync-interval 100ms] \
 //	          [-wal-segment 4194304] [-checkpoint 30s] \
-//	          [-group-commit] [-group-max 64] [-group-wait 0]
+//	          [-group-commit] [-group-max 64] [-group-wait 0] \
+//	          [-classify-exact] [-classify-topk 16]
+//
+// Classification consults a signature index that prunes the candidate DTD
+// set before any similarity alignment runs. The default (-classify-exact)
+// skips a DTD only when a similarity upper bound proves skipping cannot
+// change the winner or the classified/unclassified outcome; with
+// -classify-exact=false only the -classify-topk best-ranked candidates are
+// scored (faster on huge registries, may misclassify borderline documents).
+// GET /metrics reports candidate counts and the achieved prune ratio. See
+// DESIGN.md §12.
 //
 // With -group-commit, concurrent commits are batched by a leader/follower
 // scheme: the first committer drains every commit that queued behind it
@@ -60,6 +70,7 @@ import (
 
 	"dtdevolve"
 	"dtdevolve/internal/api"
+	"dtdevolve/internal/classify"
 	"dtdevolve/internal/docstore"
 	"dtdevolve/internal/source"
 )
@@ -79,6 +90,8 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "batch concurrent commits into shared WAL appends (one fsync per group)")
 	groupMax := flag.Int("group-max", source.DefaultMaxGroup, "maximum documents per commit group (with -group-commit)")
 	groupWait := flag.Duration("group-wait", 0, "how long a commit leader waits for its group to fill (with -group-commit; 0: natural batching)")
+	classifyExact := flag.Bool("classify-exact", true, "prune candidate DTDs only when the similarity upper bound proves the winner is unaffected")
+	classifyTopK := flag.Int("classify-topk", classify.DefaultTopK, "candidates scored per document when -classify-exact=false")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
@@ -86,6 +99,8 @@ func main() {
 	cfg.Sigma = *sigma
 	cfg.Tau = *tau
 	cfg.MinDocs = *minDocs
+	cfg.ClassifyApprox = !*classifyExact
+	cfg.ClassifyTopK = *classifyTopK
 
 	syncPolicy, err := dtdevolve.ParseSyncPolicy(*fsyncMode)
 	if err != nil {

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net/http"
 
+	"dtdevolve/internal/classify"
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/source"
 	"dtdevolve/internal/xmltree"
@@ -214,7 +215,15 @@ type addResponse struct {
 	Evolved      bool     `json:"evolved"`
 	Reclassified int      `json:"reclassified,omitempty"`
 	Triggered    []string `json:"triggered,omitempty"`
+	// Candidates echoes the runner-up scores for single-document adds,
+	// capped at maxEchoCandidates: the payload must stay O(1) in the size
+	// of the registry, whatever the classifier scored.
+	Candidates []classify.Candidate `json:"candidates,omitempty"`
 }
+
+// maxEchoCandidates caps how many scored candidates POST /documents echoes
+// back. Batch responses omit candidates entirely.
+const maxEchoCandidates = 5
 
 func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 	data, ok := readBody(w, r)
@@ -227,6 +236,10 @@ func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := h.src.Add(doc)
+	cands := res.Candidates
+	if len(cands) > maxEchoCandidates {
+		cands = cands[:maxEchoCandidates]
+	}
 	writeJSON(w, http.StatusOK, addResponse{
 		Classified:   res.Classified,
 		DTD:          res.DTDName,
@@ -234,6 +247,7 @@ func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 		Evolved:      res.Evolved,
 		Reclassified: res.Reclassified,
 		Triggered:    res.Triggered,
+		Candidates:   cands,
 	})
 }
 

@@ -66,8 +66,15 @@ func TestClassifyNearMiss(t *testing.T) {
 	if res.Similarity >= 1 {
 		t.Errorf("similarity = %v, want < 1", res.Similarity)
 	}
-	if res.All["article"] != 0 {
-		t.Errorf("similarity vs article = %v, want 0 (root mismatch)", res.All["article"])
+	if res.All != nil {
+		t.Errorf("Classify filled All (%v); exhaustive scores are opt-in", res.All)
+	}
+	all := c.ClassifyExhaustive(parseDoc(t, `<catalog><product><name>x</name></product></catalog>`))
+	if sim, ok := all.All["article"]; !ok || sim != 0 {
+		t.Errorf("similarity vs article = %v (present %v), want 0 (root mismatch)", sim, ok)
+	}
+	if all.DTDName != res.DTDName || all.Similarity != res.Similarity || all.Classified != res.Classified {
+		t.Errorf("exhaustive result %+v differs from pruned %+v", all, res)
 	}
 }
 

@@ -1,0 +1,356 @@
+// Structural signatures for candidate pruning (DESIGN.md §12).
+//
+// Classification at registry scale cannot afford one DP alignment per
+// registered DTD per document. Both sides get a cheap structural summary
+// over interned label IDs:
+//
+//   - a dtdSig is computed once per DTD at Set time: the declared root,
+//     the label alphabet as a bitset, per-element child alphabets, and a
+//     reachability depth — plus the similarity.Bound constants;
+//   - a docSig is extracted in one pass over the document tree: per-label
+//     and per-(parent,child)-pair decayed weights, a per-level weight
+//     profile, and the text bonus.
+//
+// Together they yield a conservative upper bound on the global similarity
+// the document can score against the DTD: the common components c are
+// capped by the document weight carried on labels the DTD knows (refined
+// by pair and depth eligibility), and — when every referenced label is
+// declared — the plus components p are at least the weight the DTD cannot
+// match. Feeding both into Bound.Max gives the skip test of the exact
+// mode; see DESIGN.md §12 for the soundness argument.
+package classify
+
+import (
+	"sort"
+	"strings"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/xmltree"
+)
+
+// labelBits is a dense bitset over interned label IDs.
+type labelBits []uint64
+
+// makeLabelBits returns a bitset containing the given IDs.
+func makeLabelBits(ids []int32) labelBits {
+	var max int32
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	b := make(labelBits, int(max)/64+1)
+	for _, id := range ids {
+		if id > 0 {
+			b[int(id)>>6] |= 1 << (uint(id) & 63)
+		}
+	}
+	return b
+}
+
+// has reports whether id is in the set; None and out-of-range IDs are not.
+func (b labelBits) has(id int32) bool {
+	if id <= 0 {
+		return false
+	}
+	w := int(id) >> 6
+	return w < len(b) && b[w]&(1<<(uint(id)&63)) != 0
+}
+
+// dtdSig is the structural signature of one registered DTD, built outside
+// the classifier lock at Set time. All fields are immutable afterwards;
+// the classifier's inverted index stores pointers to it.
+type dtdSig struct {
+	name  string
+	d     *dtd.DTD
+	pool  *similarity.Pool
+	bound similarity.Bound
+
+	// rootName is the declared root; "" matches any document root.
+	rootName string
+	// labels is the sorted distinct alphabet (declared element names plus
+	// every label referenced by a content model) — the posting keys.
+	labels []int32
+	// declared holds the declared element names; a document can only score
+	// non-zero when its root tag is in here (exact matching).
+	declared labelBits
+	// childAlpha maps a declared element's ID to the alphabet of labels its
+	// content model admits as direct children (the declared set for ANY and
+	// nil models). Elements with no admissible children (EMPTY, #PCDATA)
+	// map to an empty set.
+	childAlpha map[int32]labelBits
+	// reach is the deepest document level at which a common component can
+	// occur: matched nodes form childAlpha chains from the declared root.
+	reach int
+	// refsUndeclared is set when some content model references a label the
+	// DTD never declares. The aligner matches such an element without
+	// recursing, so its subtree contributes neither common nor plus weight
+	// and the plus lower bound must collapse to 0.
+	refsUndeclared bool
+}
+
+// buildSig computes the signature of d under the pool's configuration.
+// The pool has already interned every label of d, so the snapshot resolves
+// them all.
+func buildSig(name string, d *dtd.DTD, pool *similarity.Pool) *dtdSig {
+	g := &dtdSig{name: name, d: d, pool: pool, bound: pool.Bound(), rootName: d.Name}
+	v := pool.Table().View()
+	declaredIDs := make([]int32, 0, len(d.Elements))
+	labelSet := make(map[int32]bool, 2*len(d.Elements))
+	for el := range d.Elements {
+		id := v.ID(el)
+		declaredIDs = append(declaredIDs, id)
+		labelSet[id] = true
+	}
+	g.declared = makeLabelBits(declaredIDs)
+	g.childAlpha = make(map[int32]labelBits, len(d.Elements))
+	for el, model := range d.Elements {
+		id := v.ID(el)
+		if model == nil || model.Kind == dtd.Any {
+			g.childAlpha[id] = g.declared // ANY admits every declared element
+			continue
+		}
+		kids := model.Labels()
+		ids := make([]int32, 0, len(kids))
+		for _, k := range kids {
+			ids = append(ids, v.ID(k))
+			labelSet[v.ID(k)] = true
+			if _, ok := d.Elements[k]; !ok {
+				g.refsUndeclared = true
+			}
+		}
+		g.childAlpha[id] = makeLabelBits(ids)
+	}
+	g.labels = make([]int32, 0, len(labelSet))
+	for id := range labelSet {
+		if id > 0 {
+			g.labels = append(g.labels, id)
+		}
+	}
+	sort.Slice(g.labels, func(i, j int) bool { return g.labels[i] < g.labels[j] })
+	g.reach = computeReach(d, g.bound.DepthCap())
+	return g
+}
+
+// computeReach bounds the deepest document level at which a common
+// component can occur against d: matched document nodes form a connected
+// tree whose labels follow childAlpha edges from the declared root, so no
+// level beyond the longest such chain (capped at the recursion cap) can
+// hold a match. A DTD without a declared root matches any declared element
+// at level 0, so only the cap applies.
+func computeReach(d *dtd.DTD, depthCap int) int {
+	if d.Name == "" {
+		return depthCap
+	}
+	if _, ok := d.Elements[d.Name]; !ok {
+		return 0 // undeclared root: only the root itself could ever match
+	}
+	frontier := map[string]bool{d.Name: true}
+	reach := 0
+	for level := 0; level < depthCap; level++ {
+		next := make(map[string]bool)
+		for el := range frontier {
+			model, ok := d.Elements[el]
+			if !ok {
+				continue // undeclared reference: a leaf of the chain graph
+			}
+			if model == nil || model.Kind == dtd.Any {
+				for name := range d.Elements {
+					next[name] = true
+				}
+			} else {
+				for _, k := range model.Labels() {
+					next[k] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		reach = level + 1
+		if sameNameSet(frontier, next) {
+			return depthCap // a cycle sustains itself to the cap
+		}
+		frontier = next
+	}
+	return reach
+}
+
+func sameNameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// docSig is the structural signature of one document, extracted in a
+// single tree pass over cached label IDs. Weights mirror the measure's
+// level accounting: a node at level ℓ carries decay^ℓ, and levels beyond
+// the recursion cap (which the aligner never charges as common) are not
+// walked.
+type docSig struct {
+	rootID   int32
+	rootName string
+	// labels / labelW: distinct interned element labels and the total
+	// weight carried on each (sorted by ID, so accumulation over postings
+	// is deterministic).
+	labels []int32
+	labelW []float64
+	// pairs / pairW: distinct (parentID<<32 | ownID) label pairs of
+	// non-root elements whose tags are both interned, with total weight.
+	pairs []uint64
+	pairW []float64
+	// levels[ℓ] is the total element weight at level ℓ; total is their sum
+	// — the weight the aligner charges as plus for a fully unmatched
+	// document (restricted to walked levels, which only understates it).
+	levels []float64
+	total  float64
+	// textBonus caps the common weight attainable from character data:
+	// decay^(ℓ+1) for every element at level ℓ < cap with non-blank text.
+	textBonus float64
+}
+
+// sigID resolves a node's interned tag ID from the snapshot, trusting the
+// stamped LabelID only when it verifiably belongs to this table. Unknown
+// tags stay None — signature extraction never extends the table.
+func sigID(n *xmltree.Node, v intern.View) int32 {
+	if id := n.LabelID(); id > 0 && v.NameIs(id, n.Name) {
+		return id
+	}
+	return v.ID(n.Name)
+}
+
+// extractSig computes the signature of the subtree rooted at root against
+// the label alphabet in v, with the given decay and recursion cap.
+func extractSig(root *xmltree.Node, v intern.View, decay float64, depthCap int) *docSig {
+	s := &docSig{levels: make([]float64, depthCap+1)}
+	if root == nil || !root.IsElement() {
+		return s
+	}
+	s.rootName = root.Name
+	s.rootID = sigID(root, v)
+	pow := make([]float64, depthCap+2)
+	p := 1.0
+	for i := range pow {
+		pow[i] = p
+		p *= decay
+	}
+	lw := make(map[int32]float64)
+	pw := make(map[uint64]float64)
+	var walk func(n *xmltree.Node, parent int32, level int)
+	walk = func(n *xmltree.Node, parent int32, level int) {
+		id := sigID(n, v)
+		w := pow[level]
+		s.levels[level] += w
+		s.total += w
+		if id != intern.None {
+			lw[id] += w
+			if level > 0 && parent != intern.None {
+				pw[uint64(uint32(parent))<<32|uint64(uint32(id))] += w
+			}
+		}
+		if level >= depthCap {
+			return // deeper levels can never be common components
+		}
+		hasText := false
+		for _, c := range n.Children {
+			switch c.Kind {
+			case xmltree.Element:
+				walk(c, id, level+1)
+			case xmltree.Text:
+				if !hasText && strings.TrimSpace(c.Data) != "" {
+					hasText = true
+				}
+			}
+		}
+		if hasText {
+			s.textBonus += pow[level+1]
+		}
+	}
+	walk(root, intern.None, 0)
+	s.labels = make([]int32, 0, len(lw))
+	for id := range lw {
+		s.labels = append(s.labels, id)
+	}
+	sort.Slice(s.labels, func(i, j int) bool { return s.labels[i] < s.labels[j] })
+	s.labelW = make([]float64, len(s.labels))
+	for i, id := range s.labels {
+		s.labelW[i] = lw[id]
+	}
+	s.pairs = make([]uint64, 0, len(pw))
+	for k := range pw {
+		s.pairs = append(s.pairs, k)
+	}
+	sort.Slice(s.pairs, func(i, j int) bool { return s.pairs[i] < s.pairs[j] })
+	s.pairW = make([]float64, len(s.pairs))
+	for i, k := range s.pairs {
+		s.pairW[i] = pw[k]
+	}
+	return s
+}
+
+// pminFor is the plus lower bound given an upper bound cnodes on the
+// element-common weight: everything the DTD cannot match is charged as
+// plus — unless some model references an undeclared label, in which case
+// matched-but-unrecursed subtrees can evade both sides and nothing can be
+// promised.
+func (g *dtdSig) pminFor(s *docSig, cnodes float64) float64 {
+	if g.refsUndeclared {
+		return 0
+	}
+	p := s.total - cnodes
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// ubFlat is the discovery-stage upper bound: acc is the total document
+// weight on labels in the DTD's alphabet, accumulated from the inverted
+// index. Every matched element's label is in the alphabet, so the
+// element-common weight is at most acc; character data adds at most the
+// text bonus.
+func (g *dtdSig) ubFlat(s *docSig, acc float64) float64 {
+	return g.bound.Max(acc+s.textBonus, g.pminFor(s, acc))
+}
+
+// ubRefined tightens the element-common cap with two more signature
+// facts before paying for an alignment:
+//
+//   - every matched non-root element sits under a matched parent, so its
+//     (parent, child) label pair must be admitted by the parent's child
+//     alphabet — the root contributes its own weight 1;
+//   - every matched element sits at a level reachable from the declared
+//     root, so weight beyond the reach prefix cannot be common.
+//
+// Both are upper bounds on the same quantity; the minimum (with acc)
+// applies.
+func (g *dtdSig) ubRefined(s *docSig, acc float64) float64 {
+	pairSum := 1.0
+	for i, key := range s.pairs {
+		parent := int32(key >> 32)
+		child := int32(uint32(key))
+		if alpha, ok := g.childAlpha[parent]; ok && alpha.has(child) {
+			pairSum += s.pairW[i]
+		}
+	}
+	prefix := 0.0
+	for l := 0; l <= g.reach && l < len(s.levels); l++ {
+		prefix += s.levels[l]
+	}
+	cnodes := acc
+	if pairSum < cnodes {
+		cnodes = pairSum
+	}
+	if prefix < cnodes {
+		cnodes = prefix
+	}
+	return g.bound.Max(cnodes+s.textBonus, g.pminFor(s, cnodes))
+}

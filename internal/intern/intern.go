@@ -79,6 +79,37 @@ func (t *Table) NameIs(id int32, name string) bool {
 	return id > 0 && int(id) < len(s.names) && s.names[id] == name
 }
 
+// View is an immutable point-in-time snapshot of a Table. All its lookups
+// read the one state loaded when the view was taken, so a consumer that
+// resolves many IDs (e.g. extracting a document's structural signature)
+// sees a consistent alphabet and pays the atomic load once instead of per
+// lookup. Symbols interned after the view was taken resolve to None.
+type View struct {
+	s *tableState
+}
+
+// View returns a snapshot of the table's current state.
+func (t *Table) View() View { return View{s: t.state.Load()} }
+
+// ID returns the ID of name in the snapshot, or None.
+func (v View) ID(name string) int32 { return v.s.ids[name] }
+
+// Len returns the number of symbols in the snapshot (excluding None).
+func (v View) Len() int { return len(v.s.names) - 1 }
+
+// Name returns the symbol with the given ID in the snapshot, or "".
+func (v View) Name(id int32) string {
+	if id <= 0 || int(id) >= len(v.s.names) {
+		return ""
+	}
+	return v.s.names[id]
+}
+
+// NameIs reports whether id is a valid snapshot ID naming exactly name.
+func (v View) NameIs(id int32, name string) bool {
+	return id > 0 && int(id) < len(v.s.names) && v.s.names[id] == name
+}
+
 // Intern returns the ID of name, assigning the next dense ID when the name
 // is new. The read path is lock-free; only the first interning of a name
 // takes the write lock and republishes a copied snapshot. Interning "" is
@@ -189,14 +220,44 @@ func collectContent(names []string, c *dtd.Content) []string {
 // concurrent interning, but stamping writes to the nodes: callers must be
 // the only writer of the tree (the source engine stamps documents under
 // its write lock, just before recording).
+//
+// Unknown tags are collected in one pass and interned with a single
+// batched table extension: a document full of fresh tags costs one
+// copy-on-write instead of one per tag, which matters because per-symbol
+// Intern is O(table) and a stream of novel-tag documents would otherwise
+// grow the table in O(n²).
 func InternDocument(t *Table, root *xmltree.Node) {
 	if root == nil {
 		return
 	}
-	if root.Kind == xmltree.Element {
-		root.SetLabelID(t.Intern(root.Name))
+	v := t.View()
+	var fresh []string
+	collectFresh(v, root, &fresh)
+	if len(fresh) > 0 {
+		t.InternAll(fresh)
+		v = t.View()
 	}
-	for _, c := range root.Children {
-		InternDocument(t, c)
+	stampLabels(v, root)
+}
+
+// collectFresh appends the tags under root missing from the snapshot.
+// Repetitions are fine: InternAll deduplicates.
+func collectFresh(v View, n *xmltree.Node, fresh *[]string) {
+	if n.Kind == xmltree.Element && n.Name != "" && v.ID(n.Name) == None {
+		*fresh = append(*fresh, n.Name)
+	}
+	for _, c := range n.Children {
+		collectFresh(v, c, fresh)
+	}
+}
+
+// stampLabels writes the snapshot ID of every element tag under root into
+// the node's LabelID cache.
+func stampLabels(v View, n *xmltree.Node) {
+	if n.Kind == xmltree.Element {
+		n.SetLabelID(v.ID(n.Name))
+	}
+	for _, c := range n.Children {
+		stampLabels(v, c)
 	}
 }

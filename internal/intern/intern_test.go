@@ -175,6 +175,66 @@ func TestInternDocumentStampsEveryElement(t *testing.T) {
 	check(doc.Root)
 }
 
+// TestViewSnapshot pins the semantics candidate pruning relies on: a View
+// resolves exactly the symbols present when it was taken, and later
+// interning neither extends nor invalidates it.
+func TestViewSnapshot(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("a")
+	v := tab.View()
+	if v.Len() != 1 || v.ID("a") != a || !v.NameIs(a, "a") || v.Name(a) != "a" {
+		t.Fatalf("view does not reflect the table at snapshot time")
+	}
+	b := tab.Intern("b")
+	if v.ID("b") != None {
+		t.Errorf("stale view resolves a later symbol")
+	}
+	if v.NameIs(b, "b") || v.Name(b) != "" {
+		t.Errorf("stale view accepts a later ID")
+	}
+	if got := tab.View().ID("b"); got != b {
+		t.Errorf("fresh view misses b: %d", got)
+	}
+	if v.ID("") != None || v.NameIs(None, "") {
+		t.Errorf("view mishandles the empty name or None")
+	}
+}
+
+// TestInternDocumentBatchesFreshTags checks that a document of entirely
+// novel tags grows the table through one batched extension: the assigned
+// IDs are dense and in document order, exactly what a single InternAll of
+// the collected tags yields.
+func TestInternDocumentBatchesFreshTags(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><x1/><x2><x3/></x2><x1/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable()
+	base := int32(tab.Intern("pre"))
+	InternDocument(tab, doc.Root)
+	// Document order of first sight: r, x1, x2, x3.
+	for i, name := range []string{"r", "x1", "x2", "x3"} {
+		if got := tab.ID(name); got != base+1+int32(i) {
+			t.Errorf("ID(%s) = %d, want %d (dense, document order)", name, got, base+1+int32(i))
+		}
+	}
+	if tab.Len() != 5 {
+		t.Errorf("Len = %d, want 5", tab.Len())
+	}
+	// Every element is stamped with its snapshot ID.
+	doc.Root.Walk(func(n *xmltree.Node, _ int) bool {
+		if n.Kind == xmltree.Element && !tab.NameIs(n.LabelID(), n.Name) {
+			t.Errorf("<%s> stamped %d", n.Name, n.LabelID())
+		}
+		return true
+	})
+	// A second pass finds nothing fresh and restamps identically.
+	InternDocument(tab, doc.Root)
+	if tab.Len() != 5 {
+		t.Errorf("second InternDocument grew the table to %d", tab.Len())
+	}
+}
+
 // TestInternDocumentRestampsAfterForeignStamp models a document migrating
 // between sources: IDs from the old table must be replaced, not trusted.
 func TestInternDocumentRestampsAfterForeignStamp(t *testing.T) {

@@ -185,6 +185,20 @@ type IngestSnapshot struct {
 	WALErrors    int64 `json:"wal_errors,omitempty"`
 	Checkpoints  int64 `json:"checkpoints,omitempty"`
 
+	// Candidate-index shape (DESIGN.md §12): ClassifyPossible is the
+	// alignments exhaustive scoring would have run (classifications ×
+	// registered DTDs), ClassifyCandidates how many DTDs survived the
+	// signature prefilter, ClassifyScored how many DP alignments actually
+	// ran, ClassifyPruned how many surviving candidates the upper bound
+	// skipped. ClassifyPruneRatio is 1 − Scored/Possible.
+	ClassifyPossible   int64   `json:"classify_possible,omitempty"`
+	ClassifyCandidates int64   `json:"classify_candidates,omitempty"`
+	ClassifyScored     int64   `json:"classify_scored,omitempty"`
+	ClassifyPruned     int64   `json:"classify_pruned,omitempty"`
+	ClassifyPruneRatio float64 `json:"classify_prune_ratio,omitempty"`
+	// InternedSymbols is the size of the source's label symbol table.
+	InternedSymbols int64 `json:"interned_symbols,omitempty"`
+
 	// Group-commit shape: size statistics of the WAL batches written by the
 	// leader/follower commit pipeline, the current commit-queue depth, and
 	// the amortized fsync cost per document (WALSyncs/Added; well under 1

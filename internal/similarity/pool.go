@@ -34,6 +34,7 @@ type sharedTables struct {
 type Pool struct {
 	d      *dtd.DTD
 	shared *sharedTables
+	bound  Bound
 	pool   sync.Pool
 }
 
@@ -65,7 +66,7 @@ func NewPoolWithTable(d *dtd.DTD, cfg Config, tab *intern.Table) *Pool {
 		nfas:  seed.nfaMemo,
 		mixed: seed.mixedMemo,
 	}
-	p := &Pool{d: d, shared: shared}
+	p := &Pool{d: d, shared: shared, bound: computeBound(d, cfg, seed)}
 	p.pool.New = func() any {
 		e := newEvaluator(d, cfg, tab)
 		e.shared = shared

@@ -187,9 +187,7 @@ func NewEvaluator(d *dtd.DTD, cfg Config) *Evaluator {
 // newEvaluator builds a bare evaluator on an existing table; the caller is
 // responsible for having interned d into tab.
 func newEvaluator(d *dtd.DTD, cfg Config, tab *intern.Table) *Evaluator {
-	if cfg.MaxDepth <= 0 {
-		cfg.MaxDepth = 64
-	}
+	cfg.MaxDepth = cfg.DepthCap()
 	return &Evaluator{
 		cfg:       cfg,
 		d:         d,

@@ -68,6 +68,14 @@ type Config struct {
 	Similarity similarity.Config
 	// Evolve configures the evolution phase.
 	Evolve evolve.Config
+	// ClassifyApprox switches classification to the approximate candidate
+	// mode: only the ClassifyTopK candidates with the best similarity upper
+	// bounds are scored. The default (false) is the exact mode, whose
+	// pruned results are provably identical to exhaustive scoring.
+	ClassifyApprox bool
+	// ClassifyTopK is the approximate-mode candidate budget; 0 means
+	// classify.DefaultTopK. Ignored in exact mode.
+	ClassifyTopK int
 }
 
 // DefaultConfig returns the thresholds used by the evaluation harness:
@@ -142,10 +150,12 @@ type Source struct {
 // New returns an empty Source.
 func New(cfg Config) *Source {
 	tab := intern.NewTable()
+	classifier := classify.NewWithTable(cfg.Sigma, cfg.Similarity, tab)
+	classifier.Configure(classify.Options{Approx: cfg.ClassifyApprox, TopK: cfg.ClassifyTopK})
 	return &Source{
 		cfg:        cfg,
 		entries:    make(map[string]*entry),
-		classifier: classify.NewWithTable(cfg.Sigma, cfg.Similarity, tab),
+		classifier: classifier,
 		tab:        tab,
 		metrics:    new(metrics.Ingest),
 	}
@@ -210,6 +220,10 @@ type AddResult struct {
 	// Triggered lists the trigger rules (source text) fired by this
 	// addition.
 	Triggered []string
+	// Candidates are the DTDs the classifier actually scored for this
+	// document, best first — a handful under the candidate index, never
+	// one per registered DTD.
+	Candidates []classify.Candidate
 }
 
 // Add classifies a document against the DTD set, records it (or stores it
@@ -385,9 +399,17 @@ func (s *Source) applyCommitLocked(doc *xmltree.Document, cls classify.Result) A
 
 // Metrics returns a snapshot of the ingest counters (documents classified
 // or sent to the repository, evolutions, per-phase latencies), folding in
-// the attached WAL's durability counters.
+// the attached WAL's durability counters, the classifier's candidate-index
+// counters and the symbol-table size.
 func (s *Source) Metrics() metrics.IngestSnapshot {
 	snap := s.metrics.Snapshot()
+	cs := s.classifier.Stats()
+	snap.ClassifyPossible = cs.Possible
+	snap.ClassifyCandidates = cs.Candidates
+	snap.ClassifyScored = cs.Scored
+	snap.ClassifyPruned = cs.Pruned
+	snap.ClassifyPruneRatio = cs.PruneRatio()
+	snap.InternedSymbols = int64(s.tab.Len())
 	s.mu.RLock()
 	w := s.wal
 	s.mu.RUnlock()
@@ -517,7 +539,7 @@ func (s *Source) fireTriggers(res *AddResult) {
 // otherwise. Callers hold the write lock.
 // dtdvet:requires mu
 func (s *Source) recordLocked(doc *xmltree.Document, cls classify.Result) AddResult {
-	res := AddResult{DTDName: cls.DTDName, Similarity: cls.Similarity, Classified: cls.Classified}
+	res := AddResult{DTDName: cls.DTDName, Similarity: cls.Similarity, Classified: cls.Classified, Candidates: cls.Candidates}
 	s.metrics.ObserveDocument(cls.Classified)
 	if !cls.Classified {
 		res.DTDName = ""
