@@ -5,6 +5,7 @@ package dtdevolve_test
 // corresponding tables are regenerated with cmd/evolvebench.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -402,6 +403,77 @@ func benchConcurrentSyncAlways(b *testing.B, group bool) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 	b.ReportMetric(float64(l.Stats().Syncs-start)/float64(b.N), "fsyncs/doc")
+}
+
+// BenchmarkShardedConcurrentAdd is the scaling curve for DESIGN.md §13:
+// the same 16-writer SyncAlways workload as BenchmarkConcurrentAddSyncAlways,
+// but spread over N independent shards, each with its own lock, WAL and
+// group-commit queue. With one shard this is (modulo routing overhead) the
+// unsharded group-commit number; with N shards the commit sections and the
+// fsyncs proceed in parallel, so on an M-core host with M ≥ N the curve
+// should approach N× until the disk saturates. On a single-core runner the
+// shards time-slice one CPU and the curve is flat — the per-shard
+// fsyncs/doc metric still shows the queues batching independently.
+func BenchmarkShardedConcurrentAdd(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchShardedConcurrentAdd(b, n)
+		})
+	}
+}
+
+func benchShardedConcurrentAdd(b *testing.B, shards int) {
+	const writers = 16
+	docs := benchCorpus(200, 0.3)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%d", i)
+	}
+	cfg := source.DefaultConfig()
+	cfg.AutoEvolve = false
+	r, _, err := dtdevolve.RecoverShardRouter(cfg, b.TempDir(),
+		dtdevolve.WALOptions{Sync: dtdevolve.SyncAlways},
+		dtdevolve.ShardOptions{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.AddDTD("doc", benchDTD); err != nil {
+		b.Fatal(err)
+	}
+	r.EnableGroupCommit(dtdevolve.GroupCommitOptions{})
+	syncs := func() int64 {
+		var total int64
+		for i := 0; i < r.Shards(); i++ {
+			total += r.Shard(i).WAL().Stats().Syncs
+		}
+		return total
+	}
+	start := syncs()
+	ctx := context.Background()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				if _, err := r.AddDocument(ctx, keys[i%len(keys)], docs[i%len(docs)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	b.ReportMetric(float64(syncs()-start)/float64(b.N), "fsyncs/doc")
 }
 
 func BenchmarkApriori(b *testing.B) {

@@ -12,7 +12,8 @@
 //	          [-wal dir] [-fsync always|interval|off] [-fsync-interval 100ms] \
 //	          [-wal-segment 4194304] [-checkpoint 30s] \
 //	          [-group-commit] [-group-max 64] [-group-wait 0] \
-//	          [-classify-exact] [-classify-topk 16]
+//	          [-classify-exact] [-classify-topk 16] \
+//	          [-shards 1] [-shard-key X-Doc-Key]
 //
 // Classification consults a signature index that prunes the candidate DTD
 // set before any similarity alignment runs. The default (-classify-exact)
@@ -43,6 +44,20 @@
 //
 // Without -wal, -snapshot alone keeps the old behavior: restore at startup,
 // checkpoint once at shutdown — durable only across clean exits.
+//
+// With -shards N (N > 1) the document stream is partitioned across N fully
+// independent sources, each with its own write lock, WAL subdirectory
+// (shard-000, …), group-commit queue and staggered background checkpointer,
+// routed by rendezvous hashing on a stable document key: the -shard-key
+// request header of POST /documents, the per-item "keys" array of
+// POST /documents/batch, falling back to a content hash. DTD registrations,
+// triggers, forced evolutions and re-classifications broadcast to every
+// shard. The shard count and hash seed are recorded in <wal>/manifest.json;
+// restarting with a different -shards value is a refused configuration
+// error (resharding requires migration). One degraded shard leaves the
+// others writable: only requests touching it answer 503, and GET /status
+// reports per-shard health. -snapshot is ignored sharded — checkpoints live
+// at <wal>/checkpoint-NNN.json. See DESIGN.md §13.
 //
 // With -pprof the server also exposes the net/http/pprof profiling handlers
 // under /debug/pprof/, for live CPU and allocation profiling of the ingest
@@ -92,6 +107,9 @@ func main() {
 	groupWait := flag.Duration("group-wait", 0, "how long a commit leader waits for its group to fill (with -group-commit; 0: natural batching)")
 	classifyExact := flag.Bool("classify-exact", true, "prune candidate DTDs only when the similarity upper bound proves the winner is unaffected")
 	classifyTopK := flag.Int("classify-topk", classify.DefaultTopK, "candidates scored per document when -classify-exact=false")
+	shards := flag.Int("shards", 1, "number of independent ingest shards (1: unsharded; omit to adopt an existing -wal directory's manifest)")
+	shardKey := flag.String("shard-key", api.DefaultKeyHeader, "request header carrying the document routing key (with -shards)")
+	shardSeed := flag.Uint64("shard-seed", 0, "rendezvous hash seed for a NEW sharded deployment (0: default; existing manifests keep their seed)")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
@@ -111,6 +129,42 @@ func main() {
 		Sync:        syncPolicy,
 		SyncEvery:   *fsyncEvery,
 	}
+	// A WAL directory with a shard manifest was created by a sharded
+	// deployment; recovering it through the single-source path would
+	// silently start empty (and write a conflicting legacy layout on top).
+	// Restarting without -shards adopts the manifest's count; an explicit
+	// -shards 1 against a sharded directory is the same config error a
+	// wrong count would be, so let shard.Recover report it.
+	sharded := *shards > 1
+	if !sharded && *walDir != "" {
+		if _, err := os.Stat(filepath.Join(*walDir, "manifest.json")); err == nil {
+			sharded = true
+			explicit := false
+			flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "shards" })
+			if !explicit {
+				*shards = 0 // adopt the manifest's shard count
+			}
+		}
+	}
+	if sharded {
+		runSharded(cfg, walOpts, shardedParams{
+			addr:            *addr,
+			shards:          *shards,
+			seed:            *shardSeed,
+			keyHeader:       *shardKey,
+			storeDir:        *storeDir,
+			snapshotPath:    *snapshotPath,
+			walDir:          *walDir,
+			syncPolicy:      syncPolicy,
+			checkpointEvery: *checkpointEvery,
+			groupCommit:     *groupCommit,
+			groupMax:        *groupMax,
+			groupWait:       *groupWait,
+			pprof:           *pprofFlag,
+		})
+		return
+	}
+
 	checkpointPath := *snapshotPath
 	if checkpointPath == "" && *walDir != "" {
 		checkpointPath = filepath.Join(*walDir, "checkpoint.json")
@@ -145,10 +199,127 @@ func main() {
 			*walDir, *fsyncMode, checkpointPath, *checkpointEvery)
 	}
 
+	serveAndWait(*addr, api.New(src), *pprofFlag, func() {
+		m := src.Metrics()
+		log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified)",
+			m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified)
+	})
+	if stopCheckpointer != nil {
+		stopCheckpointer() // runs one final checkpoint
+		log.Printf("dtdserved: final checkpoint written to %s", checkpointPath)
+	} else if checkpointPath != "" {
+		if err := writeSnapshot(src, checkpointPath); err != nil {
+			log.Printf("dtdserved: checkpoint failed: %v", err)
+		} else {
+			log.Printf("dtdserved: checkpoint written to %s", checkpointPath)
+		}
+	}
+	if err := src.CloseWAL(); err != nil {
+		log.Printf("dtdserved: closing WAL: %v", err)
+	}
+}
+
+// shardedParams carries the flag values of a -shards > 1 deployment.
+type shardedParams struct {
+	addr            string
+	shards          int
+	seed            uint64
+	keyHeader       string
+	storeDir        string
+	snapshotPath    string
+	walDir          string
+	syncPolicy      dtdevolve.SyncPolicy
+	checkpointEvery time.Duration
+	groupCommit     bool
+	groupMax        int
+	groupWait       time.Duration
+	pprof           bool
+}
+
+// runSharded is main's -shards > 1 path: a router over N independent
+// shards, each with its own WAL subdirectory, group-commit queue and
+// staggered checkpointer, served through the same HTTP handler.
+func runSharded(cfg dtdevolve.Config, walOpts dtdevolve.WALOptions, p shardedParams) {
+	if p.snapshotPath != "" {
+		log.Printf("dtdserved: -snapshot is ignored with -shards > 1 (checkpoints live at <wal>/checkpoint-NNN.json)")
+	}
+	opts := dtdevolve.ShardOptions{Shards: p.shards, Seed: p.seed}
+	var router *dtdevolve.ShardRouter
+	if p.walDir == "" {
+		router = dtdevolve.NewShardRouter(cfg, opts)
+	} else {
+		var infos []dtdevolve.RecoveryInfo
+		var err error
+		router, infos, err = dtdevolve.RecoverShardRouter(cfg, p.walDir, walOpts, opts)
+		if err != nil {
+			log.Fatalf("dtdserved: %v", err)
+		}
+		replayed := 0
+		restored := 0
+		for i, info := range infos {
+			replayed += info.Replayed
+			if info.SnapshotRestored {
+				restored++
+			}
+			if info.Truncated {
+				log.Printf("dtdserved: shard %d: torn final WAL record truncated (crash mid-append)", i)
+			}
+			if info.Corrupted {
+				log.Printf("dtdserved: shard %d: corrupt WAL suffix quarantined, NOT applied: %v", i, info.Quarantined)
+			}
+		}
+		log.Printf("dtdserved: recovered %d shards (seed %d; %d checkpoints restored, %d WAL records replayed)",
+			router.Shards(), router.Seed(), restored, replayed)
+	}
+	if p.groupCommit {
+		router.EnableGroupCommit(source.GroupCommitOptions{MaxGroup: p.groupMax, MaxWait: p.groupWait})
+		log.Printf("dtdserved: group commit enabled on every shard (max %d documents/group, wait %s)", p.groupMax, p.groupWait)
+	}
+	if p.storeDir != "" {
+		if err := router.EnableStore(p.storeDir, docstore.WithSync(p.syncPolicy)); err != nil {
+			log.Fatalf("dtdserved: %v", err)
+		}
+		defer router.CloseStores()
+	}
+	if p.walDir != "" {
+		if _, err := router.StartCheckpointers(p.checkpointEvery, func(shard int, err error) {
+			log.Printf("dtdserved: shard %d: background checkpoint failed: %v", shard, err)
+		}); err != nil {
+			log.Fatalf("dtdserved: %v", err)
+		}
+		log.Printf("dtdserved: journaling %d shards under %s (staggered checkpoints every %s)",
+			router.Shards(), p.walDir, p.checkpointEvery)
+	}
+
+	handler := api.NewEngine(router, api.Options{KeyHeader: p.keyHeader})
+	serveAndWait(p.addr, handler, p.pprof, func() {
+		m, _ := router.Metrics()
+		degraded := 0
+		for _, st := range router.ShardStatuses() {
+			if st.Degraded {
+				degraded++
+			}
+		}
+		log.Printf("dtdserved: shutting down %d shards (added %d: %d classified, %d to repository; %d evolutions, %d reclassified; %d shards degraded)",
+			router.Shards(), m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified, degraded)
+	})
+	// Close stops every checkpointer (each writes a final per-shard
+	// checkpoint) and closes every shard WAL.
+	if err := router.Close(); err != nil {
+		log.Printf("dtdserved: closing shards: %v", err)
+	} else if p.walDir != "" {
+		log.Printf("dtdserved: final per-shard checkpoints written under %s", p.walDir)
+	}
+}
+
+// serveAndWait runs the HTTP server until the first SIGINT/SIGTERM, drains
+// in-flight requests (bounded at 5s; a second signal exits immediately),
+// and returns so the caller can finalize durability state. logState runs
+// after the first signal, before the drain.
+func serveAndWait(addr string, handler http.Handler, pprofOn bool, logState func()) {
 	var inflight atomic.Int64
-	var handler http.Handler = api.New(src)
 	handler = countInflight(&inflight, handler)
-	if *pprofFlag {
+	if pprofOn {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -160,7 +331,7 @@ func main() {
 		log.Printf("dtdserved: profiling enabled at /debug/pprof/")
 	}
 	server := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -168,7 +339,7 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
-		log.Printf("dtdserved: listening on %s", *addr)
+		log.Printf("dtdserved: listening on %s", addr)
 		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("dtdserved: %v", err)
 		}
@@ -183,9 +354,9 @@ func main() {
 		log.Printf("dtdserved: second signal, exiting immediately")
 		os.Exit(1)
 	}()
-	m := src.Metrics()
-	log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified; %d in flight)",
-		m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified, inflight.Load())
+	if logState != nil {
+		logState()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
@@ -194,19 +365,6 @@ func main() {
 		_ = server.Close()
 	} else {
 		log.Printf("dtdserved: in-flight requests drained")
-	}
-	if stopCheckpointer != nil {
-		stopCheckpointer() // runs one final checkpoint
-		log.Printf("dtdserved: final checkpoint written to %s", checkpointPath)
-	} else if checkpointPath != "" {
-		if err := writeSnapshot(src, checkpointPath); err != nil {
-			log.Printf("dtdserved: checkpoint failed: %v", err)
-		} else {
-			log.Printf("dtdserved: checkpoint written to %s", checkpointPath)
-		}
-	}
-	if err := src.CloseWAL(); err != nil {
-		log.Printf("dtdserved: closing WAL: %v", err)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"dtdevolve/internal/dtd"
 	"dtdevolve/internal/evolve"
 	"dtdevolve/internal/record"
+	"dtdevolve/internal/shard"
 	"dtdevolve/internal/similarity"
 	"dtdevolve/internal/source"
 	"dtdevolve/internal/thesaurus"
@@ -152,6 +153,35 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(
 // is immediately durable again.
 func RecoverSource(cfg Config, snapshot []byte, walDir string, opts WALOptions) (*Source, RecoveryInfo, error) {
 	return source.Recover(cfg, snapshot, walDir, opts)
+}
+
+// Sharded ingest (DESIGN.md §13): partition the document stream across N
+// fully independent Sources, each with its own lock, WAL directory,
+// group-commit queue and checkpointer, routed by rendezvous hashing on a
+// stable document key.
+type (
+	// ShardRouter routes documents across N independent Source shards.
+	ShardRouter = shard.Router
+	// ShardOptions sets the shard count and the rendezvous hash seed.
+	ShardOptions = shard.Options
+	// ShardStatus is one shard's health and volume summary.
+	ShardStatus = shard.ShardStatus
+	// ShardDegradedError reports an operation refused because a specific
+	// shard is in the sticky degraded (read-only) state.
+	ShardDegradedError = shard.DegradedError
+)
+
+// NewShardRouter returns a router over opts.Shards fresh in-memory shards.
+func NewShardRouter(cfg Config, opts ShardOptions) *ShardRouter {
+	return shard.New(cfg, opts)
+}
+
+// RecoverShardRouter rebuilds a durable router from dir: the manifest fixes
+// the shard count and hash seed (a changed count is a configuration error —
+// resharding requires migration), and each shard recovers in parallel from
+// its own checkpoint plus WAL tail, then reattaches its log.
+func RecoverShardRouter(cfg Config, dir string, walOpts WALOptions, opts ShardOptions) (*ShardRouter, []RecoveryInfo, error) {
+	return shard.Recover(cfg, dir, walOpts, opts)
 }
 
 // ParseDocument reads an XML document from r.

@@ -5,22 +5,29 @@
 //
 // Routes (all JSON unless noted):
 //
-//	GET  /status                  per-DTD status + durability health
+//	GET  /status                  per-DTD status + durability health (+ per-shard health)
 //	GET  /dtds                    registered DTD names
 //	PUT  /dtds/{name}?root=r      register/replace a DTD (body: DTD text)
 //	GET  /dtds/{name}             current DTD (text/plain)
 //	POST /dtds/{name}/evolve      force the evolution phase
 //	POST /documents               classify+record one document (body: XML)
-//	POST /documents/batch         batch ingest (body: {"documents": [xml, …]})
+//	POST /documents/batch         batch ingest (body: {"documents": [xml, …], "keys": [k, …]})
 //	GET  /repository              repository size
 //	POST /repository/reclassify   re-classify the repository
 //	PUT  /triggers                install trigger rules (body: rule list)
 //	GET  /triggers                installed rules
-//	GET  /metrics                 ingest counters and per-phase latencies
+//	GET  /metrics                 ingest counters and per-phase latencies (+ per-shard)
 //	GET  /snapshot                JSON checkpoint of the whole source
 //
-// Documents in a batch are scored concurrently (one read-lock section, one
-// goroutine per document, each fanning out per DTD) and committed in a
+// The handler serves any Engine: a single *source.Source (New) or a
+// *shard.Router (NewEngine) that partitions documents across N independent
+// shards by a routing key — the X-Doc-Key request header on
+// POST /documents (configurable via Options.KeyHeader), the per-item
+// "keys" array on POST /documents/batch, falling back to a content hash.
+// Unsharded deployments ignore keys, so clients can always send them.
+//
+// Documents in a batch are scored concurrently (one read-lock section per
+// shard, each document fanning out per DTD) and committed per shard in a
 // single write-lock section, so a batch is both faster than and equivalent
 // to the same documents POSTed one by one. A client that disconnects
 // mid-batch cancels the remaining scoring work before anything commits.
@@ -28,11 +35,15 @@
 // When the source's write-ahead log fails (disk full, dying device), the
 // service degrades to read-only: every mutating route answers 503 with the
 // sticky durability error, while reads — including GET /snapshot, the
-// operator's escape hatch for saving state — keep working. GET /status
-// reports the degraded flag. See DESIGN.md §10.
+// operator's escape hatch for saving state — keep working. Sharded, the
+// blanket read-only gate engages only when EVERY shard is degraded; while
+// some shards are healthy, requests touching a degraded shard answer 503
+// individually (broadcast mutations like PUT /dtds need all shards), and
+// GET /status reports the per-shard failures. See DESIGN.md §10 and §13.
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +52,9 @@ import (
 
 	"dtdevolve/internal/classify"
 	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/evolve"
+	"dtdevolve/internal/metrics"
+	"dtdevolve/internal/shard"
 	"dtdevolve/internal/source"
 	"dtdevolve/internal/xmltree"
 )
@@ -49,15 +63,95 @@ import (
 // variable so handler tests can exercise the limit without 16 MiB bodies.
 var maxBodyBytes int64 = 16 << 20
 
-// Handler serves the lifecycle API for one Source.
-type Handler struct {
-	src *source.Source
-	mux *http.ServeMux
+// DefaultKeyHeader is the request header carrying the routing key of
+// POST /documents when Options.KeyHeader is unset.
+const DefaultKeyHeader = "X-Doc-Key"
+
+// Engine is the lifecycle surface the handler serves: implemented by
+// *shard.Router, and by sourceEngine for a single unsharded Source. The
+// key parameters and per-shard results are no-ops on the single source.
+type Engine interface {
+	AddDTD(name string, d *dtd.DTD) error
+	DTD(name string) *dtd.DTD
+	Names() []string
+	AddDocument(ctx context.Context, key string, doc *xmltree.Document) (source.AddResult, error)
+	AddBatchKeyed(ctx context.Context, keys []string, docs []*xmltree.Document) ([]source.AddResult, error)
+	EvolveNow(name string) (evolve.Report, int, error)
+	Reclassify() (int, error)
+	RepositorySize() int
+	SetTriggerRules(src string) error
+	TriggerRules() []string
+	Snapshot() ([]byte, error)
+	Degraded() error
+	DTDStatus() []source.DTDStatus
+	// ShardStatuses returns per-shard health, nil for unsharded engines.
+	ShardStatuses() []shard.ShardStatus
+	// Metrics returns the rolled-up counters plus per-shard snapshots (nil
+	// for unsharded engines, keeping the single-source JSON unchanged).
+	Metrics() (metrics.IngestSnapshot, []metrics.IngestSnapshot)
 }
 
-// New returns an http.Handler managing src.
+// sourceEngine adapts one *source.Source to the Engine interface. Routing
+// keys are ignored: there is nothing to route between.
+type sourceEngine struct{ src *source.Source }
+
+// SourceEngine wraps a single Source as an Engine, for callers composing
+// their own handler options.
+func SourceEngine(src *source.Source) Engine { return sourceEngine{src} }
+
+func (e sourceEngine) AddDTD(name string, d *dtd.DTD) error {
+	e.src.AddDTD(name, d)
+	return nil
+}
+func (e sourceEngine) DTD(name string) *dtd.DTD { return e.src.DTD(name) }
+func (e sourceEngine) Names() []string          { return e.src.Names() }
+func (e sourceEngine) AddDocument(_ context.Context, _ string, doc *xmltree.Document) (source.AddResult, error) {
+	return e.src.Add(doc), nil
+}
+func (e sourceEngine) AddBatchKeyed(ctx context.Context, _ []string, docs []*xmltree.Document) ([]source.AddResult, error) {
+	return e.src.AddBatchContext(ctx, docs)
+}
+func (e sourceEngine) EvolveNow(name string) (evolve.Report, int, error) {
+	return e.src.EvolveNow(name)
+}
+func (e sourceEngine) Reclassify() (int, error)           { return e.src.ReclassifyRepository(), nil }
+func (e sourceEngine) RepositorySize() int                { return e.src.RepositorySize() }
+func (e sourceEngine) SetTriggerRules(src string) error   { return e.src.SetTriggerRules(src) }
+func (e sourceEngine) TriggerRules() []string             { return e.src.TriggerRules() }
+func (e sourceEngine) Snapshot() ([]byte, error)          { return e.src.Snapshot() }
+func (e sourceEngine) Degraded() error                    { return e.src.Degraded() }
+func (e sourceEngine) DTDStatus() []source.DTDStatus      { return e.src.Status() }
+func (e sourceEngine) ShardStatuses() []shard.ShardStatus { return nil }
+func (e sourceEngine) Metrics() (metrics.IngestSnapshot, []metrics.IngestSnapshot) {
+	return e.src.Metrics(), nil
+}
+
+// Options tunes the handler.
+type Options struct {
+	// KeyHeader is the request header read as the routing key of
+	// POST /documents; empty means DefaultKeyHeader.
+	KeyHeader string
+}
+
+// Handler serves the lifecycle API for one Engine.
+type Handler struct {
+	eng       Engine
+	keyHeader string
+	mux       *http.ServeMux
+}
+
+// New returns an http.Handler managing a single unsharded Source.
 func New(src *source.Source) *Handler {
-	h := &Handler{src: src, mux: http.NewServeMux()}
+	return NewEngine(SourceEngine(src), Options{})
+}
+
+// NewEngine returns an http.Handler managing any Engine — pass a
+// *shard.Router for the sharded service.
+func NewEngine(eng Engine, opts Options) *Handler {
+	if opts.KeyHeader == "" {
+		opts.KeyHeader = DefaultKeyHeader
+	}
+	h := &Handler{eng: eng, keyHeader: opts.KeyHeader, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /status", h.status)
 	h.mux.HandleFunc("GET /dtds", h.listDTDs)
 	h.mux.HandleFunc("PUT /dtds/{name}", h.putDTD)
@@ -79,13 +173,15 @@ func New(src *source.Source) *Handler {
 const statusClientClosedRequest = 499
 
 // ServeHTTP implements http.Handler. Mutating requests are refused with 503
-// while the source is degraded (its write-ahead log stopped accepting
-// records): the in-memory state could still change, but its durability can
-// no longer be promised, and a lost-on-restart mutation acknowledged with
-// 200 would be a silent lie. All routes mutate iff their method is not GET.
+// while the engine is degraded (a single source's write-ahead log stopped
+// accepting records — or, sharded, every shard's did): the in-memory state
+// could still change, but its durability can no longer be promised, and a
+// lost-on-restart mutation acknowledged with 200 would be a silent lie.
+// All routes mutate iff their method is not GET. Partially-degraded shard
+// failures are mapped per request by writeEngineError.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		if err := h.src.Degraded(); err != nil {
+		if err := h.eng.Degraded(); err != nil {
 			writeError(w, http.StatusServiceUnavailable, "source degraded (read-only): %v", err)
 			return
 		}
@@ -107,6 +203,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeEngineError maps an engine failure: a degraded shard answers 503
+// (the mutation's durability cannot be promised there), anything else gets
+// the caller's fallback status.
+func writeEngineError(w http.ResponseWriter, err error, fallback int, context string) {
+	var de *shard.DegradedError
+	if errors.As(err, &de) {
+		writeError(w, http.StatusServiceUnavailable, "%s: shard degraded (read-only): %v", context, err)
+		return
+	}
+	writeError(w, fallback, "%s: %v", context, err)
+}
+
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
@@ -124,24 +232,36 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 }
 
 // statusResponse is the JSON shape of GET /status: per-DTD state plus the
-// service's durability health.
+// service's durability health. Sharded, the DTD states are rolled up by
+// name, degraded means "no shard left writable", and shards / a degraded
+// shard count carry the per-shard detail.
 type statusResponse struct {
 	Degraded bool               `json:"degraded"`
 	Error    string             `json:"error,omitempty"`
 	DTDs     []source.DTDStatus `json:"dtds"`
+	// DegradedShards counts shards currently read-only (omitted unsharded
+	// and when all healthy).
+	DegradedShards int `json:"degraded_shards,omitempty"`
+	// Shards is the per-shard health and volume detail (sharded only).
+	Shards []shard.ShardStatus `json:"shards,omitempty"`
 }
 
 func (h *Handler) status(w http.ResponseWriter, _ *http.Request) {
-	resp := statusResponse{DTDs: h.src.Status()}
-	if err := h.src.Degraded(); err != nil {
+	resp := statusResponse{DTDs: h.eng.DTDStatus(), Shards: h.eng.ShardStatuses()}
+	if err := h.eng.Degraded(); err != nil {
 		resp.Degraded = true
 		resp.Error = err.Error()
+	}
+	for _, st := range resp.Shards {
+		if st.Degraded {
+			resp.DegradedShards++
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) listDTDs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"dtds": h.src.Names()})
+	writeJSON(w, http.StatusOK, map[string]any{"dtds": h.eng.Names()})
 }
 
 func (h *Handler) putDTD(w http.ResponseWriter, r *http.Request) {
@@ -158,13 +278,16 @@ func (h *Handler) putDTD(w http.ResponseWriter, r *http.Request) {
 	if root := r.URL.Query().Get("root"); root != "" {
 		d.Name = root
 	}
-	h.src.AddDTD(name, d)
+	if err := h.eng.AddDTD(name, d); err != nil {
+		writeEngineError(w, err, http.StatusInternalServerError, "registering DTD")
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{"registered": name, "elements": len(d.Elements)})
 }
 
 func (h *Handler) getDTD(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d := h.src.DTD(name)
+	d := h.eng.DTD(name)
 	if d == nil {
 		writeError(w, http.StatusNotFound, "no DTD named %q", name)
 		return
@@ -189,9 +312,9 @@ type elementChange struct {
 
 func (h *Handler) evolve(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	report, reclassified, err := h.src.EvolveNow(name)
+	report, reclassified, err := h.eng.EvolveNow(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeEngineError(w, err, http.StatusNotFound, "evolving")
 		return
 	}
 	resp := evolveResponse{Reclassified: reclassified}
@@ -235,7 +358,11 @@ func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing document: %v", err)
 		return
 	}
-	res := h.src.Add(doc)
+	res, err := h.eng.AddDocument(r.Context(), r.Header.Get(h.keyHeader), doc)
+	if err != nil {
+		writeEngineError(w, err, http.StatusInternalServerError, "adding document")
+		return
+	}
 	cands := res.Candidates
 	if len(cands) > maxEchoCandidates {
 		cands = cands[:maxEchoCandidates]
@@ -251,9 +378,13 @@ func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// batchRequest is the JSON body of POST /documents/batch.
+// batchRequest is the JSON body of POST /documents/batch. Keys, when
+// present, must parallel Documents: keys[i] routes documents[i] to its
+// shard (ignored by unsharded deployments, content-hash fallback when
+// empty).
 type batchRequest struct {
 	Documents []string `json:"documents"`
+	Keys      []string `json:"keys,omitempty"`
 }
 
 // batchResponse is the JSON shape of a batch ingest.
@@ -277,6 +408,10 @@ func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch request has no documents")
 		return
 	}
+	if len(req.Keys) != 0 && len(req.Keys) != len(req.Documents) {
+		writeError(w, http.StatusBadRequest, "batch request has %d keys for %d documents", len(req.Keys), len(req.Documents))
+		return
+	}
 	docs := make([]*xmltree.Document, len(req.Documents))
 	for i, src := range req.Documents {
 		doc, err := parseDocument([]byte(src))
@@ -286,12 +421,13 @@ func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		docs[i] = doc
 	}
-	results, err := h.src.AddBatchContext(r.Context(), docs)
+	results, err := h.eng.AddBatchKeyed(r.Context(), req.Keys, docs)
 	if err != nil {
-		// The client went away mid-batch; scoring was cancelled and nothing
-		// committed. Nobody reads this response, but access logs should not
-		// record the abort as a server fault.
-		writeError(w, statusClientClosedRequest, "batch cancelled: %v", err)
+		// Either a shard refused the batch (degraded → 503) or the client
+		// went away mid-batch; in the latter case scoring was cancelled and
+		// nothing committed — nobody reads this response, but access logs
+		// should not record the abort as a server fault.
+		writeEngineError(w, err, statusClientClosedRequest, "batch cancelled")
 		return
 	}
 	resp := batchResponse{Results: make([]addResponse, len(results))}
@@ -313,16 +449,35 @@ func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// shardedMetrics is the GET /metrics shape of a sharded engine: the
+// rolled-up counters at the top level — field-compatible with the
+// single-source shape, so dashboards keep working — plus the per-shard
+// snapshots.
+type shardedMetrics struct {
+	metrics.IngestSnapshot
+	Shards []metrics.IngestSnapshot `json:"shards"`
+}
+
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.src.Metrics())
+	total, per := h.eng.Metrics()
+	if per == nil {
+		writeJSON(w, http.StatusOK, total)
+		return
+	}
+	writeJSON(w, http.StatusOK, shardedMetrics{IngestSnapshot: total, Shards: per})
 }
 
 func (h *Handler) repository(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"size": h.src.RepositorySize()})
+	writeJSON(w, http.StatusOK, map[string]any{"size": h.eng.RepositorySize()})
 }
 
 func (h *Handler) reclassify(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"recovered": h.src.ReclassifyRepository()})
+	recovered, err := h.eng.Reclassify()
+	if err != nil {
+		writeEngineError(w, err, http.StatusInternalServerError, "reclassifying")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"recovered": recovered})
 }
 
 func (h *Handler) putTriggers(w http.ResponseWriter, r *http.Request) {
@@ -330,19 +485,19 @@ func (h *Handler) putTriggers(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := h.src.SetTriggerRules(string(data)); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err := h.eng.SetTriggerRules(string(data)); err != nil {
+		writeEngineError(w, err, http.StatusBadRequest, "installing triggers")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rules": h.src.TriggerRules()})
+	writeJSON(w, http.StatusOK, map[string]any{"rules": h.eng.TriggerRules()})
 }
 
 func (h *Handler) getTriggers(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"rules": h.src.TriggerRules()})
+	writeJSON(w, http.StatusOK, map[string]any{"rules": h.eng.TriggerRules()})
 }
 
 func (h *Handler) snapshot(w http.ResponseWriter, _ *http.Request) {
-	data, err := h.src.Snapshot()
+	data, err := h.eng.Snapshot()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return

@@ -1,0 +1,256 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/shard"
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/wal/faultfs"
+)
+
+func newShardedServer(t *testing.T, shards int) (*httptest.Server, *shard.Router) {
+	t.Helper()
+	cfg := source.DefaultConfig()
+	cfg.MinDocs = 5
+	r := shard.New(cfg, shard.Options{Shards: shards})
+	srv := httptest.NewServer(NewEngine(r, Options{}))
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+// shardKey returns a key the router routes to the wanted shard.
+func shardKey(t *testing.T, r *shard.Router, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r.ShardFor(key) == want {
+			return key
+		}
+	}
+	t.Fatalf("no key found for shard %d", want)
+	return ""
+}
+
+func TestShardedDocumentRoutingByHeader(t *testing.T) {
+	srv, r := newShardedServer(t, 4)
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dtd: %d (%v)", resp.StatusCode, out)
+	}
+	target := 3
+	// do() has no header hook; send by hand.
+	req, err := http.NewRequest("POST", srv.URL+"/documents",
+		strings.NewReader(`<article><title>t</title><body>b</body></article>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DefaultKeyHeader, shardKey(t, r, target))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post document: %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["classified"] != true {
+		t.Errorf("classified = %v", out["classified"])
+	}
+	if got := r.Shard(target).Metrics().Added; got != 1 {
+		t.Errorf("target shard Added = %d, want 1 (header key must route)", got)
+	}
+}
+
+func TestShardedStatusReportsShards(t *testing.T) {
+	srv, _ := newShardedServer(t, 3)
+	if resp, _ := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatal("put dtd failed")
+	}
+	resp, out := do(t, "GET", srv.URL+"/status", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out["degraded"] != false {
+		t.Errorf("degraded = %v", out["degraded"])
+	}
+	shardsAny, ok := out["shards"].([]any)
+	if !ok || len(shardsAny) != 3 {
+		t.Fatalf("shards = %v, want 3 entries", out["shards"])
+	}
+	if _, present := out["degraded_shards"]; present {
+		t.Errorf("degraded_shards present with all shards healthy: %v", out["degraded_shards"])
+	}
+}
+
+func TestShardedMetricsEmbedTotalsAndShards(t *testing.T) {
+	srv, r := newShardedServer(t, 2)
+	if resp, _ := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatal("put dtd failed")
+	}
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest("POST", srv.URL+"/documents",
+			strings.NewReader(`<article><title>t</title><body>b</body></article>`))
+		req.Header.Set(DefaultKeyHeader, shardKey(t, r, i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, out := do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if out["added"].(float64) != 2 {
+		t.Errorf("aggregate added = %v, want 2", out["added"])
+	}
+	per, ok := out["shards"].([]any)
+	if !ok || len(per) != 2 {
+		t.Fatalf("metrics shards = %v, want 2 entries", out["shards"])
+	}
+	for i, s := range per {
+		if s.(map[string]any)["added"].(float64) != 1 {
+			t.Errorf("shard %d added = %v, want 1", i, s.(map[string]any)["added"])
+		}
+	}
+}
+
+func TestShardedBatchKeys(t *testing.T) {
+	srv, r := newShardedServer(t, 2)
+	if resp, _ := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatal("put dtd failed")
+	}
+	body := fmt.Sprintf(`{"documents": [%q, %q], "keys": [%q, %q]}`,
+		`<article><title>a</title><body>b</body></article>`,
+		`<alien><x/></alien>`,
+		shardKey(t, r, 0), shardKey(t, r, 1))
+	resp, out := do(t, "POST", srv.URL+"/documents/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d (%v)", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	// Input order survives the shard fan-out.
+	if results[0].(map[string]any)["classified"] != true || results[1].(map[string]any)["classified"] != false {
+		t.Errorf("result order wrong: %v", results)
+	}
+	if r.Shard(0).Metrics().Added != 1 || r.Shard(1).Metrics().Added != 1 {
+		t.Errorf("keys did not route: shard adds = %d, %d",
+			r.Shard(0).Metrics().Added, r.Shard(1).Metrics().Added)
+	}
+
+	// Mismatched key count is the client's error.
+	bad := `{"documents": ["<a/>", "<b/>"], "keys": ["only-one"]}`
+	if resp, out := do(t, "POST", srv.URL+"/documents/batch", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched keys = %d (%v)", resp.StatusCode, out)
+	}
+}
+
+// TestShardedDegradedShard503 checks the HTTP-level blast radius: requests
+// touching a degraded shard answer 503, everything else keeps working, and
+// GET /status reports the shard-level failure while the service as a whole
+// stays writable.
+func TestShardedDegradedShard503(t *testing.T) {
+	cfg := source.DefaultConfig()
+	cfg.MinDocs = 5
+	r := shard.New(cfg, shard.Options{Shards: 2})
+	const target = 1
+	fs := faultfs.New()
+	for i := 0; i < r.Shards(); i++ {
+		opts := wal.Options{Sync: wal.SyncOff}
+		if i == target {
+			opts.FS = fs
+		}
+		w, err := wal.Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Shard(i).AttachWAL(w)
+		t.Cleanup(func() { r.Shard(i).CloseWAL() })
+	}
+	srv := httptest.NewServer(NewEngine(r, Options{}))
+	t.Cleanup(srv.Close)
+	if resp, _ := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatal("put dtd failed")
+	}
+
+	// Kill the target shard's disk and trip its degraded flag.
+	fs.FailWritesAfter(0)
+	req, _ := http.NewRequest("POST", srv.URL+"/documents",
+		strings.NewReader(`<article><title>t</title><body>b</body></article>`))
+	req.Header.Set(DefaultKeyHeader, shardKey(t, r, target))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if r.Shard(target).Degraded() == nil {
+		t.Fatal("target shard not degraded")
+	}
+
+	// A document for the dead shard: 503.
+	req, _ = http.NewRequest("POST", srv.URL+"/documents",
+		strings.NewReader(`<article><title>u</title><body>c</body></article>`))
+	req.Header.Set(DefaultKeyHeader, shardKey(t, r, target))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("document to degraded shard = %d, want 503", resp.StatusCode)
+	}
+
+	// A document for the healthy shard: 200.
+	req, _ = http.NewRequest("POST", srv.URL+"/documents",
+		strings.NewReader(`<article><title>v</title><body>d</body></article>`))
+	req.Header.Set(DefaultKeyHeader, shardKey(t, r, 0))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("document to healthy shard = %d, want 200", resp.StatusCode)
+	}
+
+	// A batch touching the dead shard: 503 whole.
+	body := fmt.Sprintf(`{"documents": [%q], "keys": [%q]}`,
+		`<article><title>w</title><body>e</body></article>`, shardKey(t, r, target))
+	if resp, out := do(t, "POST", srv.URL+"/documents/batch", body); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch to degraded shard = %d (%v), want 503", resp.StatusCode, out)
+	}
+
+	// Broadcast mutations need every shard: 503.
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/extra?root=article", articleDTD); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("broadcast put with degraded shard = %d (%v), want 503", resp.StatusCode, out)
+	}
+
+	// /status: service not degraded, one shard is.
+	resp2, out := do(t, "GET", srv.URL+"/status", "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+	if out["degraded"] != false {
+		t.Errorf("service degraded = %v with one healthy shard", out["degraded"])
+	}
+	if out["degraded_shards"].(float64) != 1 {
+		t.Errorf("degraded_shards = %v, want 1", out["degraded_shards"])
+	}
+	sts := out["shards"].([]any)
+	st := sts[target].(map[string]any)
+	if st["degraded"] != true || st["error"] == "" {
+		t.Errorf("shard %d status = %v, want degraded with error", target, st)
+	}
+}

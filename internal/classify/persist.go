@@ -1,0 +1,162 @@
+// Signature persistence (DESIGN.md §12): checkpoints carry the
+// candidate-pruning index so recovery does not recompute every DTD's
+// structural signature.
+//
+// A dtdSig is a pure function of (DTD, symbol table, depth cap), so it can
+// be serialized as interned label IDs and restored verbatim — provided the
+// restoring source first re-seeds its symbol table with the snapshot's
+// symbol list in the original ID order (source snapshot v2 does exactly
+// that). The evaluator pool still compiles at restore time — it holds
+// automata, not signature state — but the alphabet walks, child-alphabet
+// bitsets and the reachability fixpoint (the per-DTD cost that scales with
+// registry size) are skipped.
+//
+// Restoration is defensive: SetFromSnapshot validates the snapshot against
+// the live DTD and table and reports false on any mismatch, in which case
+// the caller falls back to a plain Set (full rebuild). Old snapshots
+// without signatures take the same fallback, so the codec change is
+// backward compatible.
+package classify
+
+import (
+	"math/bits"
+	"sort"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/similarity"
+)
+
+// SigSnapshot is the serialized form of one DTD's structural signature.
+// All label references are interned IDs, valid only together with the
+// symbol table (in ID order) of the snapshot that carried them.
+type SigSnapshot struct {
+	// Root is the declared root element ("" matches any document root).
+	Root string `json:"root,omitempty"`
+	// Labels is the sorted distinct alphabet — the posting keys.
+	Labels []int32 `json:"labels"`
+	// Declared holds the declared element IDs.
+	Declared []int32 `json:"declared"`
+	// Children maps a declared element ID to the child alphabet its content
+	// model admits (the full declared set for ANY and nil models).
+	Children map[int32][]int32 `json:"children"`
+	// Reach is the deepest level a common component can occur at, computed
+	// under DepthCap; a snapshot taken under a different cap is rejected
+	// (the bound would be unsound).
+	Reach    int `json:"reach"`
+	DepthCap int `json:"depth_cap"`
+	// RefsUndeclared marks content models referencing undeclared labels
+	// (collapses the plus lower bound; see signature.go).
+	RefsUndeclared bool `json:"refs_undeclared,omitempty"`
+}
+
+// ids expands a bitset to its sorted ID list.
+func (b labelBits) ids() []int32 {
+	var out []int32
+	for w, word := range b {
+		for word != 0 {
+			out = append(out, int32(w<<6)+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// SigSnapshot returns the serialized signature of the named DTD, or nil
+// when none is registered (or the configuration admits no pruning, in
+// which case there is nothing worth persisting).
+func (c *Classifier) SigSnapshot(name string) *SigSnapshot {
+	if !c.prunable {
+		return nil
+	}
+	c.mu.RLock()
+	g := c.sigs[name]
+	c.mu.RUnlock()
+	if g == nil {
+		return nil
+	}
+	snap := &SigSnapshot{
+		Root:           g.rootName,
+		Labels:         append([]int32(nil), g.labels...),
+		Declared:       g.declared.ids(),
+		Children:       make(map[int32][]int32, len(g.childAlpha)),
+		Reach:          g.reach,
+		DepthCap:       c.depthCap,
+		RefsUndeclared: g.refsUndeclared,
+	}
+	for id, alpha := range g.childAlpha {
+		snap.Children[id] = alpha.ids()
+	}
+	return snap
+}
+
+// SetFromSnapshot registers the DTD under name with a signature restored
+// from snap instead of rebuilding it, reporting whether the snapshot was
+// accepted. The evaluator pool still compiles (it is automata, not
+// signature state). False — nil snapshot, configuration mismatch, or a
+// snapshot inconsistent with d under the current symbol table — means the
+// caller must fall back to Set.
+func (c *Classifier) SetFromSnapshot(name string, d *dtd.DTD, snap *SigSnapshot) bool {
+	if snap == nil || !c.prunable || snap.DepthCap != c.depthCap || snap.Root != d.Name {
+		return false
+	}
+	if snap.Reach < 0 || snap.Reach > c.depthCap {
+		return false
+	}
+	pool := similarity.NewPoolWithTable(d, c.cfg, c.tab) // compiles outside the lock, interns d's labels
+	v := c.tab.View()
+	// The declared set must be exactly d's element names under the live
+	// table: it gates the root check, and a stale gate misclassifies.
+	if len(snap.Declared) != len(d.Elements) {
+		return false
+	}
+	declared := makeLabelBits(snap.Declared)
+	for el := range d.Elements {
+		id := v.ID(el)
+		if id <= 0 || !declared.has(id) {
+			return false
+		}
+	}
+	tabLen := int32(c.tab.Len())
+	inRange := func(ids []int32) bool {
+		for _, id := range ids {
+			if id <= 0 || id > tabLen {
+				return false
+			}
+		}
+		return true
+	}
+	if !inRange(snap.Labels) || !inRange(snap.Declared) {
+		return false
+	}
+	g := &dtdSig{
+		name:           name,
+		d:              d,
+		pool:           pool,
+		bound:          pool.Bound(),
+		rootName:       d.Name,
+		labels:         append([]int32(nil), snap.Labels...),
+		declared:       declared,
+		childAlpha:     make(map[int32]labelBits, len(snap.Children)),
+		reach:          snap.Reach,
+		refsUndeclared: snap.RefsUndeclared,
+	}
+	sort.Slice(g.labels, func(i, j int) bool { return g.labels[i] < g.labels[j] })
+	for id, kids := range snap.Children {
+		if id <= 0 || id > tabLen || !declared.has(id) || !inRange(kids) {
+			return false
+		}
+		g.childAlpha[id] = makeLabelBits(kids)
+	}
+	if len(g.childAlpha) != len(d.Elements) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.sigs[name]; ok {
+		c.unindexLocked(old)
+	}
+	c.dtds[name] = d
+	c.sigs[name] = g
+	c.indexLocked(g)
+	return true
+}

@@ -1,0 +1,160 @@
+package classify
+
+import (
+	"reflect"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/xmltree"
+)
+
+func persistDTD(t *testing.T, src, root string) *dtd.DTD {
+	t.Helper()
+	d, err := dtd.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Name = root
+	return d
+}
+
+var persistCorpus = map[string]string{
+	"article": `
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`,
+	"invoice": `
+<!ELEMENT invoice (item+, total)>
+<!ELEMENT item (name, price)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT total (#PCDATA)>`,
+	"memo": `
+<!ELEMENT memo (to, from, body?)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT body ANY>`,
+}
+
+// TestSetFromSnapshotEquivalence is the round-trip property: a classifier
+// rebuilt from persisted signatures must classify identically to one that
+// computed them — same winner, same score, same pruning decisions.
+func TestSetFromSnapshotEquivalence(t *testing.T) {
+	built := New(0.7, similarity.DefaultConfig())
+	for name, src := range persistCorpus {
+		built.Set(name, persistDTD(t, src, name))
+	}
+
+	// Re-seed a fresh table in the original ID order, exactly like source
+	// snapshot v2 restoration does.
+	tab := intern.NewTable()
+	tab.InternAll(built.Table().Names())
+	restored := NewWithTable(0.7, similarity.DefaultConfig(), tab)
+	for name, src := range persistCorpus {
+		snap := built.SigSnapshot(name)
+		if snap == nil {
+			t.Fatalf("SigSnapshot(%q) = nil", name)
+		}
+		if !restored.SetFromSnapshot(name, persistDTD(t, src, name), snap) {
+			t.Fatalf("SetFromSnapshot(%q) rejected its own round trip", name)
+		}
+	}
+
+	docs := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<invoice><item><name>n</name><price>1</price></item><total>1</total></invoice>`,
+		`<memo><to>a</to><from>b</from></memo>`,
+		`<article><title>t</title><author>x</author><body>b</body></article>`,
+		`<alien><x/><y/></alien>`,
+	}
+	for _, src := range docs {
+		doc, err := xmltree.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := restored.Classify(doc)
+		want := built.Classify(doc)
+		got.Candidates, want.Candidates = nil, nil // order among ties may differ
+		if got.DTDName != want.DTDName || got.Classified != want.Classified || got.Similarity != want.Similarity {
+			t.Errorf("doc %s:\n restored: %+v\n built:    %+v", src, got, want)
+		}
+	}
+	// The pruning index itself must be identical: same posting behavior
+	// shows up as the same candidate counts on a probe document.
+	doc, _ := xmltree.ParseString(docs[0])
+	restored.Classify(doc)
+	built.Classify(doc)
+	gs, bs := restored.Stats(), built.Stats()
+	if !reflect.DeepEqual(gs, bs) {
+		t.Errorf("index stats diverge:\n restored: %+v\n built:    %+v", gs, bs)
+	}
+}
+
+// TestSetFromSnapshotRejectsMismatches checks every defensive gate: a
+// rejected snapshot means the caller falls back to a full rebuild, so
+// rejection (not panic, not silent corruption) is the contract.
+func TestSetFromSnapshotRejectsMismatches(t *testing.T) {
+	built := New(0.7, similarity.DefaultConfig())
+	d := persistDTD(t, persistCorpus["article"], "article")
+	built.Set("article", d)
+	good := built.SigSnapshot("article")
+
+	fresh := func() (*Classifier, *dtd.DTD) {
+		tab := intern.NewTable()
+		tab.InternAll(built.Table().Names())
+		return NewWithTable(0.7, similarity.DefaultConfig(), tab),
+			persistDTD(t, persistCorpus["article"], "article")
+	}
+
+	c, dd := fresh()
+	if c.SetFromSnapshot("article", dd, nil) {
+		t.Error("nil snapshot accepted")
+	}
+
+	c, dd = fresh()
+	bad := *good
+	bad.DepthCap = good.DepthCap + 1
+	if c.SetFromSnapshot("article", dd, &bad) {
+		t.Error("depth-cap mismatch accepted (the reach bound would be unsound)")
+	}
+
+	c, dd = fresh()
+	bad = *good
+	bad.Root = "other"
+	if c.SetFromSnapshot("article", dd, &bad) {
+		t.Error("root mismatch accepted")
+	}
+
+	c, dd = fresh()
+	bad = *good
+	bad.Declared = bad.Declared[:len(bad.Declared)-1]
+	if c.SetFromSnapshot("article", dd, &bad) {
+		t.Error("truncated declared set accepted")
+	}
+
+	c, dd = fresh()
+	bad = *good
+	bad.Labels = append(append([]int32(nil), good.Labels...), 9999)
+	if c.SetFromSnapshot("article", dd, &bad) {
+		t.Error("out-of-range label ID accepted")
+	}
+
+	// A DTD that genuinely differs from the snapshotted one (extra element)
+	// must be rejected: the signature would misprune.
+	c, _ = fresh()
+	grown := persistDTD(t, persistCorpus["article"]+`
+<!ELEMENT extra (#PCDATA)>`, "article")
+	if c.SetFromSnapshot("article", grown, good) {
+		t.Error("stale snapshot accepted for a changed DTD")
+	}
+
+	// After every rejection, the plain Set fallback must still work.
+	c, dd = fresh()
+	c.Set("article", dd)
+	doc, _ := xmltree.ParseString(`<article><title>t</title><body>b</body></article>`)
+	if res := c.Classify(doc); !res.Classified {
+		t.Errorf("fallback Set classifier broken: %+v", res)
+	}
+}

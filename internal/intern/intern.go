@@ -21,6 +21,7 @@
 package intern
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -190,14 +191,37 @@ func (t *Table) Names() []string {
 
 // InternDTD interns every element name and every content-model label of d,
 // in one batched table extension. Called once per DTD at pool-compile time.
+//
+// The walk is deterministic (declaration order, then any programmatic
+// additions missing from d.Order, sorted): the ID assignment must be a pure
+// function of the operation history, so that a WAL replay reproduces the
+// live table exactly and snapshots carrying interned IDs (source snapshot
+// v2) compare equal across recoveries.
 func InternDTD(t *Table, d *dtd.DTD) {
 	if d == nil {
 		return
 	}
 	names := make([]string, 0, 2*len(d.Elements))
-	for name, model := range d.Elements {
-		names = append(names, name)
-		names = collectContent(names, model)
+	seen := make(map[string]bool, len(d.Elements))
+	for _, name := range d.Order {
+		if model, ok := d.Elements[name]; ok && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+			names = collectContent(names, model)
+		}
+	}
+	if len(seen) < len(d.Elements) {
+		rest := make([]string, 0, len(d.Elements)-len(seen))
+		for name := range d.Elements {
+			if !seen[name] {
+				rest = append(rest, name)
+			}
+		}
+		sort.Strings(rest)
+		for _, name := range rest {
+			names = append(names, name)
+			names = collectContent(names, d.Elements[name])
+		}
 	}
 	t.InternAll(names)
 }

@@ -168,9 +168,12 @@ type IngestSnapshot struct {
 	Batches int64 `json:"batches"`
 
 	// ClassifyNS / CommitNS are cumulative per-phase latencies; the Avg
-	// variants divide by the number of calls (0 when none).
+	// variants divide by the number of calls (0 when none). The call counts
+	// are exported so Aggregate can recompute exact averages across shards.
 	ClassifyNS    int64 `json:"classify_ns_total"`
 	CommitNS      int64 `json:"commit_ns_total"`
+	ClassifyCalls int64 `json:"classify_calls,omitempty"`
+	CommitCalls   int64 `json:"commit_calls,omitempty"`
 	AvgClassifyNS int64 `json:"classify_ns_avg"`
 	AvgCommitNS   int64 `json:"commit_ns_avg"`
 
@@ -236,14 +239,76 @@ func (m *Ingest) Snapshot() IngestSnapshot {
 		WALGroupSizeMax:  m.groupMax.Load(),
 		CommitQueueDepth: m.queueDepth.Load(),
 	}
-	if calls := m.classifyCalls.Load(); calls > 0 {
-		s.AvgClassifyNS = s.ClassifyNS / calls
+	s.ClassifyCalls = m.classifyCalls.Load()
+	s.CommitCalls = m.commitCalls.Load()
+	if s.ClassifyCalls > 0 {
+		s.AvgClassifyNS = s.ClassifyNS / s.ClassifyCalls
 	}
-	if calls := m.commitCalls.Load(); calls > 0 {
-		s.AvgCommitNS = s.CommitNS / calls
+	if s.CommitCalls > 0 {
+		s.AvgCommitNS = s.CommitNS / s.CommitCalls
 	}
 	if s.WALGroups > 0 {
 		s.WALGroupSizeMean = float64(m.groupDocs.Load()) / float64(s.WALGroups)
 	}
 	return s
+}
+
+// Aggregate rolls per-shard snapshots up into one service-wide snapshot:
+// counters sum, averages and ratios are recomputed from the summed
+// numerators and denominators (not averaged-over-averages), the group-size
+// min/max take the extremes of the shards that committed groups, and the
+// commit-queue depth sums (total documents waiting service-wide).
+func Aggregate(shards []IngestSnapshot) IngestSnapshot {
+	var out IngestSnapshot
+	var groupDocs float64
+	for _, s := range shards {
+		out.Added += s.Added
+		out.Classified += s.Classified
+		out.Repository += s.Repository
+		out.Evolutions += s.Evolutions
+		out.Reclassified += s.Reclassified
+		out.Batches += s.Batches
+		out.ClassifyNS += s.ClassifyNS
+		out.CommitNS += s.CommitNS
+		out.ClassifyCalls += s.ClassifyCalls
+		out.CommitCalls += s.CommitCalls
+		out.WALAppends += s.WALAppends
+		out.WALBytes += s.WALBytes
+		out.WALSyncs += s.WALSyncs
+		out.WALRotations += s.WALRotations
+		out.WALErrors += s.WALErrors
+		out.Checkpoints += s.Checkpoints
+		out.ClassifyPossible += s.ClassifyPossible
+		out.ClassifyCandidates += s.ClassifyCandidates
+		out.ClassifyScored += s.ClassifyScored
+		out.ClassifyPruned += s.ClassifyPruned
+		out.InternedSymbols += s.InternedSymbols
+		out.WALGroups += s.WALGroups
+		out.CommitQueueDepth += s.CommitQueueDepth
+		groupDocs += s.WALGroupSizeMean * float64(s.WALGroups)
+		if s.WALGroups > 0 {
+			if out.WALGroupSizeMin == 0 || s.WALGroupSizeMin < out.WALGroupSizeMin {
+				out.WALGroupSizeMin = s.WALGroupSizeMin
+			}
+			if s.WALGroupSizeMax > out.WALGroupSizeMax {
+				out.WALGroupSizeMax = s.WALGroupSizeMax
+			}
+		}
+	}
+	if out.ClassifyCalls > 0 {
+		out.AvgClassifyNS = out.ClassifyNS / out.ClassifyCalls
+	}
+	if out.CommitCalls > 0 {
+		out.AvgCommitNS = out.CommitNS / out.CommitCalls
+	}
+	if out.ClassifyPossible > 0 {
+		out.ClassifyPruneRatio = 1 - float64(out.ClassifyScored)/float64(out.ClassifyPossible)
+	}
+	if out.WALGroups > 0 {
+		out.WALGroupSizeMean = groupDocs / float64(out.WALGroups)
+	}
+	if out.Added > 0 && out.WALSyncs > 0 {
+		out.FsyncsPerDoc = float64(out.WALSyncs) / float64(out.Added)
+	}
+	return out
 }

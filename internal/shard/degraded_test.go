@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/wal/faultfs"
+)
+
+// degradedRouter builds a 4-shard router whose target shard journals
+// through a fault-injecting filesystem; the other shards get healthy WALs.
+// It returns the router, the faulty FS, and the degraded shard's index.
+func degradedRouter(t *testing.T) (*Router, *faultfs.FS, int) {
+	t.Helper()
+	r := New(testConfig(), Options{Shards: 4})
+	maybeEnableGroupCommit(r)
+	const target = 2
+	fs := faultfs.New()
+	for i := 0; i < r.Shards(); i++ {
+		opts := wal.Options{Sync: wal.SyncOff}
+		if i == target {
+			opts.FS = fs
+		}
+		w, err := wal.Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Shard(i).AttachWAL(w)
+		t.Cleanup(func() { r.Shard(i).CloseWAL() })
+	}
+	if err := r.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	// Kill shard 2's disk and trip its sticky degraded flag with one write.
+	fs.FailWritesAfter(0)
+	key := keyOn(t, r, target)
+	if _, err := r.AddDocument(context.Background(), key, parseDoc(t, `<article><title>t</title><body>b</body></article>`)); err == nil {
+		// The first failing add may still succeed at the API level when the
+		// WAL error surfaces asynchronously; what matters is the flag below.
+		t.Log("first add on the dying shard did not error (flag checked next)")
+	}
+	if r.Shard(target).Degraded() == nil {
+		t.Fatal("target shard not degraded after WAL write failure")
+	}
+	return r, fs, target
+}
+
+// TestDegradedShardIsolation is the blast-radius property: one shard's dead
+// disk leaves every other shard writable, the router reports shard-level
+// health, and only operations touching the dead shard are refused.
+func TestDegradedShardIsolation(t *testing.T) {
+	r, _, target := degradedRouter(t)
+
+	// The router as a whole is NOT degraded: three shards can still promise
+	// durability.
+	if err := r.Degraded(); err != nil {
+		t.Errorf("router degraded with 3 healthy shards: %v", err)
+	}
+
+	// Documents routed to healthy shards keep flowing.
+	for i := 0; i < r.Shards(); i++ {
+		if i == target {
+			continue
+		}
+		key := keyOn(t, r, i)
+		res, err := r.AddDocument(context.Background(), key, parseDoc(t, `<article><title>u</title><body>c</body></article>`))
+		if err != nil {
+			t.Errorf("healthy shard %d refused a document: %v", i, err)
+		} else if !res.Classified {
+			t.Errorf("healthy shard %d did not classify", i)
+		}
+	}
+
+	// A document routed to the dead shard is refused with a typed error
+	// naming the shard.
+	key := keyOn(t, r, target)
+	_, err := r.AddDocument(context.Background(), key, parseDoc(t, `<article><title>v</title><body>d</body></article>`))
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("add to degraded shard: err = %v, want *DegradedError", err)
+	}
+	if de.Shard != target {
+		t.Errorf("DegradedError.Shard = %d, want %d", de.Shard, target)
+	}
+
+	// ShardStatuses reports exactly one degraded shard.
+	degraded := 0
+	for _, st := range r.ShardStatuses() {
+		if st.Degraded {
+			degraded++
+			if st.Shard != target {
+				t.Errorf("shard %d reported degraded, want %d", st.Shard, target)
+			}
+			if st.Error == "" {
+				t.Error("degraded shard status carries no error")
+			}
+		}
+	}
+	if degraded != 1 {
+		t.Errorf("%d shards degraded, want 1", degraded)
+	}
+}
+
+// TestDegradedShardRefusesBatchAndBroadcast checks the all-or-nothing
+// paths: a batch touching the dead shard is refused whole, and broadcast
+// mutations (which must reach every shard's journal) are refused too.
+func TestDegradedShardRefusesBatchAndBroadcast(t *testing.T) {
+	r, _, target := degradedRouter(t)
+
+	healthy := (target + 1) % r.Shards()
+	keys := []string{keyOn(t, r, healthy), keyOn(t, r, target)}
+	docs := parseDocsShard(t, []string{
+		`<article><title>a</title><body>b</body></article>`,
+		`<article><title>c</title><body>d</body></article>`,
+	})
+	added := r.Shard(healthy).Metrics().Added
+	_, err := r.AddBatchKeyed(context.Background(), keys, docs)
+	var de *DegradedError
+	if !errors.As(err, &de) || de.Shard != target {
+		t.Fatalf("batch touching degraded shard: err = %v, want *DegradedError{Shard: %d}", err, target)
+	}
+	if got := r.Shard(healthy).Metrics().Added; got != added {
+		t.Errorf("refused batch still committed %d documents on the healthy shard", got-added)
+	}
+	// A batch avoiding the dead shard goes through.
+	if _, err := r.AddBatchKeyed(context.Background(), keys[:1], docs[:1]); err != nil {
+		t.Errorf("batch on healthy shards refused: %v", err)
+	}
+
+	if err := r.AddDTD("extra", articleDTD()); !errors.As(err, &de) {
+		t.Errorf("broadcast AddDTD with a degraded shard: err = %v, want *DegradedError", err)
+	}
+	if err := r.SetTriggerRules("on article when docs >= 4 do evolve"); !errors.As(err, &de) {
+		t.Errorf("broadcast SetTriggerRules with a degraded shard: err = %v, want *DegradedError", err)
+	}
+	if _, _, err := r.EvolveNow("article"); !errors.As(err, &de) {
+		t.Errorf("broadcast EvolveNow with a degraded shard: err = %v, want *DegradedError", err)
+	}
+}
+
+// TestAllShardsDegradedTripsRouter checks the blanket read-only gate: only
+// when every shard has lost durability does the router itself report
+// degraded.
+func TestAllShardsDegradedTripsRouter(t *testing.T) {
+	r := New(testConfig(), Options{Shards: 2})
+	maybeEnableGroupCommit(r)
+	fs := faultfs.New()
+	for i := 0; i < r.Shards(); i++ {
+		w, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncOff, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Shard(i).AttachWAL(w)
+		t.Cleanup(func() { r.Shard(i).CloseWAL() })
+	}
+	if err := r.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWritesAfter(0)
+	for i := 0; i < r.Shards(); i++ {
+		key := keyOn(t, r, i)
+		_, _ = r.AddDocument(context.Background(), key, parseDoc(t, `<article><title>t</title><body>b</body></article>`))
+	}
+	if r.Degraded() == nil {
+		t.Fatal("router not degraded with every shard degraded")
+	}
+	var de *DegradedError
+	if err := r.Degraded(); !errors.As(err, &de) {
+		t.Errorf("router Degraded() = %v, want *DegradedError", err)
+	}
+}

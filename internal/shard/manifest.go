@@ -1,0 +1,167 @@
+// The shard manifest and recovery fan-in.
+//
+// A durable router's directory layout is
+//
+//	dir/manifest.json        shard count + rendezvous seed (this file)
+//	dir/shard-000/ …         per-shard WAL directories (wal-*.log segments)
+//	dir/checkpoint-000.json  per-shard checkpoints
+//
+// The manifest pins the routing parameters: recovering with a different
+// shard count (or seed) would silently route keys to shards that never saw
+// their history, so a mismatch is a hard configuration error — resharding
+// requires an explicit migration tool, not a flag change. See DESIGN.md §13.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
+)
+
+// manifestVersion is the on-disk format version of manifest.json and of
+// the shard-merged snapshot document.
+const manifestVersion = 1
+
+// manifestFile is the manifest's file name under the router directory.
+const manifestFile = "manifest.json"
+
+// manifest pins a durable router's immutable routing parameters.
+type manifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Seed    uint64 `json:"seed"`
+}
+
+// loadManifest reads dir's manifest; ok is false when none exists yet.
+func loadManifest(dir string) (m manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("shard: decoding %s: %w", manifestFile, err)
+	}
+	return m, true, nil
+}
+
+// writeManifest persists the manifest atomically (temp + fsync + rename +
+// directory fsync), so a crash during creation leaves either no manifest
+// (a fresh directory, re-initialized next start) or a complete one.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return source.WriteFileAtomic(filepath.Join(dir, manifestFile), data)
+}
+
+// checkLayout rejects a directory that holds a legacy single-source WAL:
+// its wal-*.log segments belong to an unsharded deployment, and silently
+// ignoring them would drop acknowledged history. The operator must either
+// keep -shards=1 (the legacy path reads the directory as before) or
+// migrate explicitly.
+func checkLayout(dir string) error {
+	legacy, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return err
+	}
+	if len(legacy) > 0 {
+		return fmt.Errorf("shard: %s holds a single-source WAL (%d wal-*.log segments); it cannot be opened sharded — keep -shards=1, or migrate the data explicitly", dir, len(legacy))
+	}
+	return nil
+}
+
+// Recover rebuilds a durable Router from dir: each shard recovers in
+// parallel from its own checkpoint + WAL pair (source.Recover — torn tails
+// truncated, corruption quarantined, per shard), and the WALs are
+// reattached so the router is immediately durable again. A fresh directory
+// is initialized with a manifest recording opts; an existing manifest must
+// match opts (changing the shard count requires resharding and is
+// rejected). The returned RecoveryInfo slice has one entry per shard.
+func Recover(cfg source.Config, dir string, walOpts wal.Options, opts Options) (*Router, []source.RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := checkLayout(dir); err != nil {
+		return nil, nil, err
+	}
+	man, ok, err := loadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ok {
+		if man.Version != manifestVersion {
+			return nil, nil, fmt.Errorf("shard: manifest version %d, want %d", man.Version, manifestVersion)
+		}
+		// Zero opts mean "adopt the manifest"; an explicit value must match.
+		if opts.Shards > 0 && man.Shards != opts.Shards {
+			return nil, nil, fmt.Errorf("shard: directory %s was created with %d shards, configured for %d — changing the shard count requires resharding (migrate with a new directory), not a flag change", dir, man.Shards, opts.Shards)
+		}
+		if opts.Seed != 0 && opts.Seed != man.Seed {
+			return nil, nil, fmt.Errorf("shard: directory %s was created with hash seed %d, configured for %d", dir, man.Seed, opts.Seed)
+		}
+		opts.Shards = man.Shards
+		opts.Seed = man.Seed
+		opts.normalize()
+	} else {
+		opts.normalize()
+		if err := writeManifest(dir, manifest{Version: manifestVersion, Shards: opts.Shards, Seed: opts.Seed}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	r := &Router{
+		cfg:    cfg,
+		shards: make([]*source.Source, opts.Shards),
+		salts:  makeSalts(opts.Shards, opts.Seed),
+		seed:   opts.Seed,
+		dir:    dir,
+	}
+	infos := make([]source.RecoveryInfo, opts.Shards)
+	errs := make([]error, opts.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var snapshot []byte
+			data, err := os.ReadFile(r.checkpointPath(i))
+			switch {
+			case err == nil:
+				snapshot = data
+			case !os.IsNotExist(err):
+				errs[i] = fmt.Errorf("shard %d checkpoint: %w", i, err)
+				return
+			}
+			s, info, err := source.Recover(cfg, snapshot, filepath.Join(dir, shardName(i)), walOpts)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			r.shards[i] = s
+			infos[i] = info
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Fan-in failed: release the WALs the successful shards opened
+			// before reporting the first failure (in shard order).
+			for _, s := range r.shards {
+				if s != nil {
+					_ = s.CloseWAL() // dtdvet:allow errsync -- error path: the recovery error is being returned
+				}
+			}
+			return nil, infos, err
+		}
+	}
+	return r, infos, nil
+}

@@ -17,6 +17,7 @@ package source
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sync"
@@ -303,7 +304,7 @@ func (s *Source) Checkpoint(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(path, data); err != nil {
+	if err := WriteFileAtomic(path, data); err != nil {
 		return err
 	}
 	s.mu.RLock()
@@ -319,9 +320,10 @@ func (s *Source) Checkpoint(path string) error {
 	return nil
 }
 
-// writeFileAtomic writes data to path via a temp file, fsync and rename, so
-// a crash leaves either the old or the new file — never a torn one.
-func writeFileAtomic(path string, data []byte) (err error) {
+// WriteFileAtomic writes data to path via a temp file, fsync and rename, so
+// a crash leaves either the old or the new file — never a torn one. The
+// rename is made durable by fsyncing the containing directory.
+func WriteFileAtomic(path string, data []byte) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
@@ -370,7 +372,24 @@ func writeFileAtomic(path string, data []byte) (err error) {
 // goroutine until the returned stop function is called (which runs one
 // final checkpoint before returning). onErr, when non-nil, observes
 // checkpoint failures; the checkpointer keeps trying.
+//
+// The first checkpoint fires after interval plus a random phase in
+// [0, interval): a checkpoint is a snapshot serialization plus an fsync
+// burst, and co-located sources started together (N shards of one router,
+// a fleet restart) would otherwise storm the disk on every shared tick.
+// Callers that want a specific phase use StartCheckpointerDelayed.
 func (s *Source) StartCheckpointer(path string, interval time.Duration, onErr func(error)) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return s.StartCheckpointerDelayed(path, interval, rand.N(interval), onErr)
+}
+
+// StartCheckpointerDelayed is StartCheckpointer with an explicit phase:
+// the first tick fires after phase+interval, subsequent ones every
+// interval. A router staggers its shards' phases deterministically at
+// i/N of the interval so their checkpoint fsyncs interleave.
+func (s *Source) StartCheckpointerDelayed(path string, interval, phase time.Duration, onErr func(error)) (stop func()) {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
@@ -379,6 +398,15 @@ func (s *Source) StartCheckpointer(path string, interval time.Duration, onErr fu
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		if phase > 0 {
+			t := time.NewTimer(phase)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return
+			}
+		}
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {

@@ -1,0 +1,110 @@
+package source
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSnapshotV2Shape checks the checkpoint codec carries the symbol table
+// and the per-DTD classification signatures (DESIGN.md §12): recovery must
+// not pay the signature rebuild that scales with registry size.
+func TestSnapshotV2Shape(t *testing.T) {
+	s := New(testConfig())
+	s.AddDTD("article", articleDTD())
+	s.Add(parseDoc(t, `<article><title>t</title><body>b</body></article>`))
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Version    int                        `json:"version"`
+		Symbols    []string                   `json:"symbols"`
+		Signatures map[string]json.RawMessage `json:"signatures"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 {
+		t.Errorf("version = %d, want 2", snap.Version)
+	}
+	if len(snap.Symbols) == 0 {
+		t.Error("no symbols persisted")
+	}
+	if _, ok := snap.Signatures["article"]; !ok {
+		t.Errorf("signatures = %v, want an entry for article", snap.Signatures)
+	}
+}
+
+// TestRestoreRoundTripKeepsSymbolsAndSignatures checks restore → snapshot
+// is a fixpoint: the restored source must serialize byte-equal state
+// (symbols in the same ID order, signatures identical), which is what the
+// durability suite's DeepEqual comparisons rely on.
+func TestRestoreRoundTripKeepsSymbolsAndSignatures(t *testing.T) {
+	s := New(testConfig())
+	runScript(t, s, durabilityScript)
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(testConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm, wm := decodeSnapshot(t, got), decodeSnapshot(t, data); !deepEqualJSON(gm, wm) {
+		t.Errorf("restore round trip diverges:\n got: %v\nwant: %v", gm, wm)
+	}
+}
+
+// TestRestoreV1SnapshotFallsBackToRebuild feeds Restore a pre-v2 snapshot
+// (no version, no symbols, no signatures — exactly what an old checkpoint
+// file holds) and checks the classifier is rebuilt from scratch and
+// classifies identically.
+func TestRestoreV1SnapshotFallsBackToRebuild(t *testing.T) {
+	s := New(testConfig())
+	runScript(t, s, durabilityScript)
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "version")
+	delete(m, "symbols")
+	delete(m, "signatures")
+	v1, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(testConfig(), v1)
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	probes := []string{
+		`<article><title>t</title><body>b</body></article>`,
+		`<invoice><total>3</total></invoice>`,
+	}
+	for _, p := range probes {
+		got := restored.Add(parseDoc(t, p))
+		want := s.Add(parseDoc(t, p))
+		if got.Classified != want.Classified || got.DTDName != want.DTDName || got.Similarity != want.Similarity {
+			t.Errorf("probe %s:\n v1-restored: %+v\n original:    %+v", p, got, want)
+		}
+	}
+	if got, want := restored.RepositorySize(), s.RepositorySize(); got != want {
+		t.Errorf("repository size = %d, want %d", got, want)
+	}
+}
+
+// deepEqualJSON compares two decoded JSON values.
+func deepEqualJSON(a, b map[string]any) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
+}

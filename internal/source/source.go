@@ -757,8 +757,16 @@ func (s *Source) Status() []DTDStatus {
 	return out
 }
 
+// snapshotVersion is the current checkpoint codec version. Version 2 added
+// the interned symbol list and the per-DTD classification signatures;
+// Restore falls back to a full signature rebuild for older snapshots (or
+// any snapshot whose signatures fail validation), so old checkpoints keep
+// restoring.
+const snapshotVersion = 2
+
 // snapshot is the JSON checkpoint format.
 type snapshot struct {
+	Version    int                         `json:"version,omitempty"`
 	DTDs       map[string]string           `json:"dtds"`
 	Roots      map[string]string           `json:"roots"`
 	Docs       map[string]int              `json:"docs"`
@@ -769,6 +777,13 @@ type snapshot struct {
 	// Triggers is the source text of the installed trigger rules, so a
 	// restored service keeps firing them.
 	Triggers []string `json:"triggers,omitempty"`
+	// Symbols is the interned label table in ID order (ID 1 first): Restore
+	// re-interns it before anything else, so every interned ID in the
+	// snapshot — in particular the signature label sets — stays valid.
+	Symbols []string `json:"symbols,omitempty"`
+	// Signatures carries each DTD's classification signature, sparing
+	// recovery the per-DTD signature rebuild (DESIGN.md §12).
+	Signatures map[string]*classify.SigSnapshot `json:"signatures,omitempty"`
 	// WALSeq is the first WAL segment NOT covered by this snapshot:
 	// recovery replays only segments >= WALSeq on top (see Checkpoint;
 	// 0 for snapshots taken without a WAL).
@@ -789,12 +804,14 @@ func (s *Source) Snapshot() ([]byte, error) {
 // dtdvet:requires mu:r
 func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 	snap := snapshot{
+		Version:    snapshotVersion,
 		DTDs:       make(map[string]string),
 		Roots:      make(map[string]string),
 		Docs:       make(map[string]int),
 		Evolutions: make(map[string]int),
 		Recorders:  make(map[string]*record.Snapshot),
 		Added:      s.added,
+		Symbols:    s.tab.Names(),
 		WALSeq:     walSeq,
 	}
 	for name, e := range s.entries {
@@ -803,6 +820,12 @@ func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 		snap.Docs[name] = e.docs
 		snap.Evolutions[name] = e.evolutions
 		snap.Recorders[name] = e.rec.Snapshot()
+		if sig := s.classifier.SigSnapshot(name); sig != nil {
+			if snap.Signatures == nil {
+				snap.Signatures = make(map[string]*classify.SigSnapshot)
+			}
+			snap.Signatures[name] = sig
+		}
 	}
 	for _, doc := range s.repository {
 		snap.Repository = append(snap.Repository, doc.String())
@@ -821,6 +844,12 @@ func Restore(cfg Config, data []byte) (*Source, error) {
 		return nil, fmt.Errorf("source: decoding snapshot: %w", err)
 	}
 	s := New(cfg)
+	if snap.Version >= 2 && len(snap.Symbols) > 0 {
+		// Re-intern the saved symbols first, in their original ID order
+		// (InternAll assigns dense IDs in slice order on a fresh table), so
+		// the signatures' interned label IDs resolve to the same names.
+		s.tab.InternAll(snap.Symbols)
+	}
 	for name, src := range snap.DTDs {
 		d, err := dtd.ParseString(src)
 		if err != nil {
@@ -832,7 +861,11 @@ func Restore(cfg Config, data []byte) (*Source, error) {
 			e.rec.Restore(rs)
 		}
 		s.entries[name] = e
-		s.classifier.Set(name, d)
+		// Prefer the persisted signature; any mismatch (old codec, changed
+		// config, stale table) falls back to the full rebuild.
+		if sig := snap.Signatures[name]; sig == nil || !s.classifier.SetFromSnapshot(name, d, sig) {
+			s.classifier.Set(name, d)
+		}
 	}
 	for _, src := range snap.Repository {
 		doc, err := xmltree.ParseString(src)
