@@ -13,7 +13,9 @@
 //	          [-wal-segment 4194304] [-checkpoint 30s] \
 //	          [-group-commit] [-group-max 64] [-group-wait 0] \
 //	          [-classify-exact] [-classify-topk 16] \
-//	          [-shards 1] [-shard-key X-Doc-Key]
+//	          [-shards 1] [-shard-key X-Doc-Key] \
+//	          [-follow url] [-replica-listen :8081] [-max-staleness 0] \
+//	          [-follower-id id]
 //
 // Classification consults a signature index that prunes the candidate DTD
 // set before any similarity alignment runs. The default (-classify-exact)
@@ -59,6 +61,23 @@
 // reports per-shard health. -snapshot is ignored sharded — checkpoints live
 // at <wal>/checkpoint-NNN.json. See DESIGN.md §13.
 //
+// With -wal set, the server also serves the WAL-shipping replication
+// protocol under /replication/v1/: followers pull sealed segments plus the
+// active segment's durable prefix, acknowledge what they have applied, and
+// checkpoint-time WAL truncation never deletes a segment an active follower
+// still needs. GET /status and GET /metrics gain a "replication" section
+// listing registered followers and their ack floors. See DESIGN.md §14.
+//
+// With -follow <primary-url> the process runs as a read-only follower
+// replica instead: it bootstraps from the primary's latest checkpoint into
+// the -wal directory (the local replica mirror — required), tails shipped
+// WAL segments per shard with jittered retry/backoff, and serves GET
+// traffic on -replica-listen. Mutating routes answer 503 with a
+// Retry-After; with -max-staleness > 0 reads degrade to 503 too (except
+// /status and /metrics) once replication lag exceeds the bound. POST
+// /replication/promote turns a caught-up follower into a writable primary
+// over the same directory.
+//
 // With -pprof the server also exposes the net/http/pprof profiling handlers
 // under /debug/pprof/, for live CPU and allocation profiling of the ingest
 // pipeline (e.g. go tool pprof http://host/debug/pprof/allocs).
@@ -87,6 +106,7 @@ import (
 	"dtdevolve/internal/api"
 	"dtdevolve/internal/classify"
 	"dtdevolve/internal/docstore"
+	"dtdevolve/internal/replicate"
 	"dtdevolve/internal/source"
 )
 
@@ -110,6 +130,10 @@ func main() {
 	shards := flag.Int("shards", 1, "number of independent ingest shards (1: unsharded; omit to adopt an existing -wal directory's manifest)")
 	shardKey := flag.String("shard-key", api.DefaultKeyHeader, "request header carrying the document routing key (with -shards)")
 	shardSeed := flag.Uint64("shard-seed", 0, "rendezvous hash seed for a NEW sharded deployment (0: default; existing manifests keep their seed)")
+	follow := flag.String("follow", "", "primary base URL; run as a read-only follower replica (requires -wal as the local replica directory)")
+	replicaListen := flag.String("replica-listen", ":8081", "listen address in follower mode (with -follow)")
+	maxStaleness := flag.Duration("max-staleness", 0, "bounded-staleness read gate in follower mode: reads answer 503 once lag exceeds this (0: serve regardless of lag)")
+	followerID := flag.String("follower-id", "", "stable follower identity for the primary's ack/GC registry (default: hostname)")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
@@ -129,6 +153,18 @@ func main() {
 		Sync:        syncPolicy,
 		SyncEvery:   *fsyncEvery,
 	}
+	if *follow != "" {
+		runFollower(cfg, walOpts, followerParams{
+			primary:      *follow,
+			listen:       *replicaListen,
+			dir:          *walDir,
+			id:           *followerID,
+			maxStaleness: *maxStaleness,
+			pprof:        *pprofFlag,
+		})
+		return
+	}
+
 	// A WAL directory with a shard manifest was created by a sharded
 	// deployment; recovering it through the single-source path would
 	// silently start empty (and write a conflicting legacy layout on top).
@@ -191,15 +227,21 @@ func main() {
 	}
 
 	var stopCheckpointer func()
+	var handler http.Handler = api.New(src)
 	if *walDir != "" {
+		src.SetWALGCLogger(func(err error) { log.Printf("dtdserved: WAL GC: %v", err) })
 		stopCheckpointer = src.StartCheckpointer(checkpointPath, *checkpointEvery, func(err error) {
 			log.Printf("dtdserved: background checkpoint failed: %v", err)
 		})
 		log.Printf("dtdserved: journaling to %s (fsync %s), checkpointing to %s every %s",
 			*walDir, *fsyncMode, checkpointPath, *checkpointEvery)
+		prim := replicate.ForSource(src, *walDir, checkpointPath, replicate.PrimaryOptions{})
+		handler = mountReplication(
+			api.NewEngine(api.SourceEngine(src), api.Options{Replication: prim.Status}),
+			prim)
 	}
 
-	serveAndWait(*addr, api.New(src), *pprofFlag, func() {
+	serveAndWait(*addr, handler, *pprofFlag, func() {
 		m := src.Metrics()
 		log.Printf("dtdserved: shutting down (added %d: %d classified, %d to repository; %d evolutions, %d reclassified)",
 			m.Added, m.Classified, m.Repository, m.Evolutions, m.Reclassified)
@@ -281,7 +323,13 @@ func runSharded(cfg dtdevolve.Config, walOpts dtdevolve.WALOptions, p shardedPar
 		}
 		defer router.CloseStores()
 	}
+	var prim *replicate.Primary
 	if p.walDir != "" {
+		for i := 0; i < router.Shards(); i++ {
+			router.Shard(i).SetWALGCLogger(func(err error) {
+				log.Printf("dtdserved: shard %d: WAL GC: %v", i, err)
+			})
+		}
 		if _, err := router.StartCheckpointers(p.checkpointEvery, func(shard int, err error) {
 			log.Printf("dtdserved: shard %d: background checkpoint failed: %v", shard, err)
 		}); err != nil {
@@ -289,9 +337,17 @@ func runSharded(cfg dtdevolve.Config, walOpts dtdevolve.WALOptions, p shardedPar
 		}
 		log.Printf("dtdserved: journaling %d shards under %s (staggered checkpoints every %s)",
 			router.Shards(), p.walDir, p.checkpointEvery)
+		prim = replicate.ForRouter(router, replicate.PrimaryOptions{})
 	}
 
-	handler := api.NewEngine(router, api.Options{KeyHeader: p.keyHeader})
+	apiOpts := api.Options{KeyHeader: p.keyHeader}
+	if prim != nil {
+		apiOpts.Replication = prim.Status
+	}
+	var handler http.Handler = api.NewEngine(router, apiOpts)
+	if prim != nil {
+		handler = mountReplication(handler, prim)
+	}
 	serveAndWait(p.addr, handler, p.pprof, func() {
 		m, _ := router.Metrics()
 		degraded := 0
@@ -310,6 +366,68 @@ func runSharded(cfg dtdevolve.Config, walOpts dtdevolve.WALOptions, p shardedPar
 	} else if p.walDir != "" {
 		log.Printf("dtdserved: final per-shard checkpoints written under %s", p.walDir)
 	}
+}
+
+// followerParams carries the flag values of a -follow deployment.
+type followerParams struct {
+	primary      string
+	listen       string
+	dir          string
+	id           string
+	maxStaleness time.Duration
+	pprof        bool
+}
+
+// runFollower is main's -follow path: bootstrap a read-only replica of the
+// primary into the -wal directory, tail shipped WAL segments, and serve
+// GETs on -replica-listen until signalled.
+func runFollower(cfg dtdevolve.Config, walOpts dtdevolve.WALOptions, p followerParams) {
+	if p.dir == "" {
+		log.Fatalf("dtdserved: -follow requires -wal (the local replica directory)")
+	}
+	if p.id == "" {
+		if host, err := os.Hostname(); err == nil {
+			p.id = host
+		}
+	}
+	// Bootstrap retries against an unreachable primary until the first
+	// signal; once tailing, the tailers own retry/backoff.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	f, err := replicate.Open(ctx, cfg, p.primary, replicate.FollowerOptions{
+		ID:           p.id,
+		Dir:          p.dir,
+		MaxStaleness: p.maxStaleness,
+		WAL:          walOpts,
+		Logf:         log.Printf,
+	})
+	cancel()
+	if err != nil {
+		log.Fatalf("dtdserved: %v", err)
+	}
+	f.Start()
+	log.Printf("dtdserved: following %s as %q (%d shards, replica dir %s, max staleness %s)",
+		p.primary, p.id, f.Shards(), p.dir, p.maxStaleness)
+	serveAndWait(p.listen, f.Handler(), p.pprof, func() {
+		st := f.Status()
+		behind := int64(0)
+		for _, lag := range st.Shards {
+			behind += lag.BytesBehind
+		}
+		log.Printf("dtdserved: follower shutting down (promoted=%v, caught up=%v, %d bytes behind)",
+			st.Promoted, f.CaughtUp(), behind)
+	})
+	if err := f.Close(); err != nil {
+		log.Printf("dtdserved: closing follower: %v", err)
+	}
+}
+
+// mountReplication serves the shipping protocol under /replication/v1/
+// next to the ordinary API.
+func mountReplication(apiHandler http.Handler, prim *replicate.Primary) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/replication/", prim.Handler())
+	mux.Handle("/", apiHandler)
+	return mux
 }
 
 // serveAndWait runs the HTTP server until the first SIGINT/SIGTERM, drains

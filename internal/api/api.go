@@ -131,13 +131,20 @@ type Options struct {
 	// KeyHeader is the request header read as the routing key of
 	// POST /documents; empty means DefaultKeyHeader.
 	KeyHeader string
+	// Replication, when set, is called on each GET /status and GET /metrics
+	// and its result is embedded under "replication" in the response. The
+	// value is opaque to the handler (any JSON-marshalable value): the
+	// replication runtime — primary follower registry or follower lag —
+	// injects its state without the api package depending on it.
+	Replication func() any
 }
 
 // Handler serves the lifecycle API for one Engine.
 type Handler struct {
-	eng       Engine
-	keyHeader string
-	mux       *http.ServeMux
+	eng         Engine
+	keyHeader   string
+	replication func() any
+	mux         *http.ServeMux
 }
 
 // New returns an http.Handler managing a single unsharded Source.
@@ -151,7 +158,7 @@ func NewEngine(eng Engine, opts Options) *Handler {
 	if opts.KeyHeader == "" {
 		opts.KeyHeader = DefaultKeyHeader
 	}
-	h := &Handler{eng: eng, keyHeader: opts.KeyHeader, mux: http.NewServeMux()}
+	h := &Handler{eng: eng, keyHeader: opts.KeyHeader, replication: opts.Replication, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /status", h.status)
 	h.mux.HandleFunc("GET /dtds", h.listDTDs)
 	h.mux.HandleFunc("PUT /dtds/{name}", h.putDTD)
@@ -244,6 +251,9 @@ type statusResponse struct {
 	DegradedShards int `json:"degraded_shards,omitempty"`
 	// Shards is the per-shard health and volume detail (sharded only).
 	Shards []shard.ShardStatus `json:"shards,omitempty"`
+	// Replication is the replication runtime's state (Options.Replication):
+	// follower registry on a primary, per-shard lag on a follower.
+	Replication any `json:"replication,omitempty"`
 }
 
 func (h *Handler) status(w http.ResponseWriter, _ *http.Request) {
@@ -256,6 +266,9 @@ func (h *Handler) status(w http.ResponseWriter, _ *http.Request) {
 		if st.Degraded {
 			resp.DegradedShards++
 		}
+	}
+	if h.replication != nil {
+		resp.Replication = h.replication()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -452,19 +465,24 @@ func (h *Handler) addBatch(w http.ResponseWriter, r *http.Request) {
 // shardedMetrics is the GET /metrics shape of a sharded engine: the
 // rolled-up counters at the top level — field-compatible with the
 // single-source shape, so dashboards keep working — plus the per-shard
-// snapshots.
+// snapshots and, when a replication runtime is attached, its state.
 type shardedMetrics struct {
 	metrics.IngestSnapshot
-	Shards []metrics.IngestSnapshot `json:"shards"`
+	Shards      []metrics.IngestSnapshot `json:"shards,omitempty"`
+	Replication any                      `json:"replication,omitempty"`
 }
 
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	total, per := h.eng.Metrics()
-	if per == nil {
+	if per == nil && h.replication == nil {
 		writeJSON(w, http.StatusOK, total)
 		return
 	}
-	writeJSON(w, http.StatusOK, shardedMetrics{IngestSnapshot: total, Shards: per})
+	resp := shardedMetrics{IngestSnapshot: total, Shards: per}
+	if h.replication != nil {
+		resp.Replication = h.replication()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) repository(w http.ResponseWriter, _ *http.Request) {

@@ -27,6 +27,7 @@ type Ingest struct {
 	commitCalls   atomic.Int64
 
 	walErrors   atomic.Int64
+	walGCErrors atomic.Int64
 	checkpoints atomic.Int64
 
 	// Group-commit counters: how many WAL groups were committed, how many
@@ -141,6 +142,17 @@ func (m *Ingest) ObserveWALError() {
 	m.walErrors.Add(1)
 }
 
+// ObserveWALGCError records a failed WAL segment removal after a
+// checkpoint. Retention failures cost disk, not correctness — recovery
+// skips covered segments via the snapshot's WAL position — but a silently
+// filling disk is an outage in the making, so they are counted.
+func (m *Ingest) ObserveWALGCError() {
+	if m == nil {
+		return
+	}
+	m.walGCErrors.Add(1)
+}
+
 // ObserveCheckpoint records one completed checkpoint (snapshot written,
 // covered WAL history truncated).
 func (m *Ingest) ObserveCheckpoint() {
@@ -179,13 +191,15 @@ type IngestSnapshot struct {
 
 	// Durability counters (DESIGN.md §10). The WAL* values mirror the
 	// attached log's own statistics; WALErrors counts journal failures
-	// (each marks the source degraded); Checkpoints counts completed
-	// snapshot+truncate cycles.
+	// (each marks the source degraded); WALGCErrors counts failed segment
+	// removals after checkpoints (disk cost, not a correctness risk);
+	// Checkpoints counts completed snapshot+truncate cycles.
 	WALAppends   int64 `json:"wal_appends,omitempty"`
 	WALBytes     int64 `json:"wal_bytes,omitempty"`
 	WALSyncs     int64 `json:"wal_syncs,omitempty"`
 	WALRotations int64 `json:"wal_rotations,omitempty"`
 	WALErrors    int64 `json:"wal_errors,omitempty"`
+	WALGCErrors  int64 `json:"wal_gc_errors,omitempty"`
 	Checkpoints  int64 `json:"checkpoints,omitempty"`
 
 	// Candidate-index shape (DESIGN.md §12): ClassifyPossible is the
@@ -232,6 +246,7 @@ func (m *Ingest) Snapshot() IngestSnapshot {
 		ClassifyNS:   m.classifyNS.Load(),
 		CommitNS:     m.commitNS.Load(),
 		WALErrors:    m.walErrors.Load(),
+		WALGCErrors:  m.walGCErrors.Load(),
 		Checkpoints:  m.checkpoints.Load(),
 
 		WALGroups:        m.groups.Load(),
@@ -277,6 +292,7 @@ func Aggregate(shards []IngestSnapshot) IngestSnapshot {
 		out.WALSyncs += s.WALSyncs
 		out.WALRotations += s.WALRotations
 		out.WALErrors += s.WALErrors
+		out.WALGCErrors += s.WALGCErrors
 		out.Checkpoints += s.Checkpoints
 		out.ClassifyPossible += s.ClassifyPossible
 		out.ClassifyCandidates += s.ClassifyCandidates

@@ -1,0 +1,41 @@
+package replicate
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// backoff is jittered exponential retry pacing: base·2^attempt capped at
+// max, each delay jittered ±25% so a fleet of followers losing the same
+// primary does not reconnect in lockstep.
+type backoff struct {
+	base, max time.Duration
+	attempt   int
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = 5 * time.Second
+	}
+	return &backoff{base: base, max: max}
+}
+
+// next returns the delay before the next retry and advances the schedule.
+func (b *backoff) next() time.Duration {
+	d := b.base
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	jitter := time.Duration(rand.Int64N(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+// reset restores the schedule after a success.
+func (b *backoff) reset() { b.attempt = 0 }

@@ -1,0 +1,405 @@
+package replicate
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dtdevolve/internal/shard"
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
+)
+
+// PrimaryShard is one shard the primary serves: the live source (for the
+// active segment's durable frontier), its WAL directory (sealed segments
+// are read from disk) and its checkpoint file (shipped to bootstrapping
+// followers).
+type PrimaryShard struct {
+	Source         *source.Source
+	WALDir         string
+	CheckpointPath string
+}
+
+// PrimaryOptions tunes the primary side of replication.
+type PrimaryOptions struct {
+	// FollowerTTL is how long a silent follower keeps pinning WAL GC
+	// before it is expired from the registry. 0 means 5 minutes.
+	FollowerTTL time.Duration
+	// MaxChunk bounds one segment-range response. 0 means 1 MiB.
+	MaxChunk int64
+	// now is the test clock.
+	now func() time.Time
+}
+
+func (o *PrimaryOptions) normalize() {
+	if o.FollowerTTL <= 0 {
+		o.FollowerTTL = 5 * time.Minute
+	}
+	if o.MaxChunk <= 0 {
+		o.MaxChunk = 1 << 20
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// followerState is the primary's view of one follower: when it was last
+// heard from and, per shard, the first segment it has NOT durably applied
+// (its GC floor — everything below is safe to truncate).
+type followerState struct {
+	lastSeen time.Time
+	floors   []uint64
+}
+
+// Primary serves the shipping protocol for a set of shards and tracks
+// follower acknowledgments so checkpoint-time WAL GC never outruns
+// shipping. Construct with NewPrimary/ForRouter/ForSource — construction
+// installs the retention floor on every shard — and mount Handler under
+// the service root.
+type Primary struct {
+	shards  []PrimaryShard
+	seed    uint64
+	sharded bool
+	opts    PrimaryOptions
+	mux     *http.ServeMux
+
+	mu        sync.Mutex
+	followers map[string]*followerState // dtdvet:guarded_by mu
+}
+
+// NewPrimary wires a primary over the given shards. seed is the router's
+// rendezvous seed (0 for an unsharded deployment); followers build their
+// replica router from it so routing — and the merged snapshot shape — match
+// the primary exactly. Each shard's WAL retention floor is installed here;
+// Detach removes it again.
+func NewPrimary(shards []PrimaryShard, seed uint64, opts PrimaryOptions) *Primary {
+	opts.normalize()
+	p := &Primary{
+		shards:    shards,
+		seed:      seed,
+		sharded:   len(shards) > 1,
+		opts:      opts,
+		followers: make(map[string]*followerState),
+	}
+	for i := range p.shards {
+		i := i
+		p.shards[i].Source.SetWALRetention(func() uint64 { return p.retentionFloor(i) })
+	}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("GET "+pathPrefix+"info", p.handleInfo)
+	p.mux.HandleFunc("POST "+pathPrefix+"register", p.handleRegister)
+	p.mux.HandleFunc("GET "+pathPrefix+"checkpoint", p.handleCheckpoint)
+	p.mux.HandleFunc("GET "+pathPrefix+"segments", p.handleSegments)
+	p.mux.HandleFunc("GET "+pathPrefix+"segment", p.handleSegment)
+	p.mux.HandleFunc("POST "+pathPrefix+"ack", p.handleAck)
+	return p
+}
+
+// ForRouter builds a Primary over every shard of a durable router.
+func ForRouter(r *shard.Router, opts PrimaryOptions) *Primary {
+	shards := make([]PrimaryShard, r.Shards())
+	for i := range shards {
+		shards[i] = PrimaryShard{
+			Source:         r.Shard(i),
+			WALDir:         r.WALDir(i),
+			CheckpointPath: r.CheckpointFile(i),
+		}
+	}
+	p := NewPrimary(shards, r.Seed(), opts)
+	p.sharded = true // even one-shard routers serve the router envelope
+	return p
+}
+
+// ForSource builds a Primary over a single unsharded source.
+func ForSource(src *source.Source, walDir, checkpointPath string, opts PrimaryOptions) *Primary {
+	return NewPrimary([]PrimaryShard{{Source: src, WALDir: walDir, CheckpointPath: checkpointPath}}, 0, opts)
+}
+
+// Detach removes the retention floors, so WAL GC stops consulting the
+// follower registry.
+func (p *Primary) Detach() {
+	for i := range p.shards {
+		p.shards[i].Source.SetWALRetention(nil)
+	}
+}
+
+// Handler returns the shipping protocol handler. Its routes live under
+// /replication/v1/, so mount it at the server root (or under
+// "/replication/" with a non-stripping mux).
+func (p *Primary) Handler() http.Handler { return p.mux }
+
+// retentionFloor is the GC floor of one shard: the lowest unacknowledged
+// position of any live follower, MaxUint64 (no pin) when none. Expired
+// followers are dropped here — the checkpointers call this periodically,
+// so the registry cannot accumulate ghosts.
+func (p *Primary) retentionFloor(i int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.opts.now()
+	floor := uint64(math.MaxUint64)
+	for id, f := range p.followers {
+		if now.Sub(f.lastSeen) > p.opts.FollowerTTL {
+			delete(p.followers, id)
+			continue
+		}
+		if f.floors[i] < floor {
+			floor = f.floors[i]
+		}
+	}
+	return floor
+}
+
+// touch upserts a follower's registry entry and refreshes its liveness. A
+// fresh entry pins every shard's GC at 0 until its first ack.
+func (p *Primary) touch(id string) *followerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.followers[id]
+	if f == nil {
+		f = &followerState{floors: make([]uint64, len(p.shards))}
+		p.followers[id] = f
+	}
+	f.lastSeen = p.opts.now()
+	return f
+}
+
+// shardParam parses the shard index query parameter.
+func (p *Primary) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	i, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || i < 0 || i >= len(p.shards) {
+		writeError(w, http.StatusBadRequest, "bad shard %q (have %d)", r.URL.Query().Get("shard"), len(p.shards))
+		return 0, false
+	}
+	return i, true
+}
+
+func (p *Primary) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, infoResponse{Version: protocolVersion, Shards: len(p.shards), Seed: p.seed, Sharded: p.sharded})
+}
+
+func (p *Primary) handleRegister(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing follower id")
+		return
+	}
+	p.touch(id)
+	writeJSON(w, http.StatusOK, map[string]bool{"registered": true})
+}
+
+func (p *Primary) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	i, ok := p.shardParam(w, r)
+	if !ok {
+		return
+	}
+	data, err := os.ReadFile(p.shards[i].CheckpointPath)
+	if os.IsNotExist(err) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading checkpoint: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+// listSegments enumerates what shard i can ship right now. The active
+// segment (if any) reports its durable prefix from the live log; sealed
+// segments ship whole.
+func (p *Primary) listSegments(i int) ([]segmentInfo, error) {
+	sh := p.shards[i]
+	seqs, err := wal.ListSegments(sh.WALDir)
+	if err != nil {
+		return nil, err
+	}
+	var aseq uint64
+	var asize, adur int64
+	var haveActive bool
+	if w := sh.Source.WAL(); w != nil {
+		aseq, asize, adur, haveActive = w.ActivePosition()
+	}
+	out := make([]segmentInfo, 0, len(seqs))
+	for _, seq := range seqs {
+		if haveActive && seq == aseq {
+			out = append(out, segmentInfo{Seq: seq, Size: asize, Durable: adur})
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(sh.WALDir, wal.SegmentFileName(seq)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // truncated between listing and stat
+			}
+			return nil, err
+		}
+		out = append(out, segmentInfo{Seq: seq, Size: fi.Size(), Durable: fi.Size(), Sealed: true})
+	}
+	return out, nil
+}
+
+func (p *Primary) handleSegments(w http.ResponseWriter, r *http.Request) {
+	i, ok := p.shardParam(w, r)
+	if !ok {
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		p.touch(id)
+	}
+	segs, err := p.listSegments(i)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing segments: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, segs)
+}
+
+func (p *Primary) handleSegment(w http.ResponseWriter, r *http.Request) {
+	i, ok := p.shardParam(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		p.touch(id)
+	}
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seq %q", q.Get("seq"))
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		writeError(w, http.StatusBadRequest, "bad off %q", q.Get("off"))
+		return
+	}
+	sh := p.shards[i]
+	// The shippable end: the durable prefix while the segment is active,
+	// the whole file once sealed.
+	end := int64(-1)
+	if wl := sh.Source.WAL(); wl != nil {
+		if aseq, _, adur, ok := wl.ActivePosition(); ok && aseq == seq {
+			end = adur
+		}
+	}
+	f, err := os.Open(filepath.Join(sh.WALDir, wal.SegmentFileName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Distinguish "truncated by GC" (the follower must resync) from
+			// "not written yet" (the follower is ahead of the stream).
+			if segs, lerr := p.listSegments(i); lerr == nil {
+				for _, s := range segs {
+					if s.Seq > seq {
+						writeError(w, http.StatusGone, "segment %d was truncated (oldest available %d)", seq, s.Seq)
+						return
+					}
+				}
+			}
+			writeError(w, http.StatusNotFound, "segment %d does not exist yet", seq)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "opening segment: %v", err)
+		return
+	}
+	defer f.Close() // dtdvet:allow errsync -- read-only handle
+	if end < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "stat segment: %v", err)
+			return
+		}
+		end = fi.Size()
+	}
+	if off >= end {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	n := end - off
+	if n > p.opts.MaxChunk {
+		n = p.opts.MaxChunk
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "reading segment: %v", err)
+		return
+	}
+	// Same CRC32-C the WAL frames use, over the whole chunk: transit
+	// corruption is rejected at the transport layer before the follower's
+	// frame parser ever sees the bytes.
+	w.Header().Set(crcHeader, fmt.Sprintf("%08x", wal.Checksum(buf)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(buf); err != nil {
+		return // client went away; it will refetch
+	}
+}
+
+func (p *Primary) handleAck(w http.ResponseWriter, r *http.Request) {
+	i, ok := p.shardParam(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	id := q.Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing follower id")
+		return
+	}
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seq %q", q.Get("seq"))
+		return
+	}
+	f := p.touch(id)
+	p.mu.Lock()
+	// The ack means "segments <= seq are durably stored and applied";
+	// floors are monotonic so a delayed duplicate cannot move GC backward.
+	if seq+1 > f.floors[i] {
+		f.floors[i] = seq + 1
+	}
+	p.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"acked": true})
+}
+
+// FollowerInfo is one registry entry of PrimaryStatus.
+type FollowerInfo struct {
+	ID string `json:"id"`
+	// AgeMS is how long ago the follower was last heard from.
+	AgeMS int64 `json:"age_ms"`
+	// Floors is, per shard, the first segment the follower has not yet
+	// acknowledged (what its presence pins in the WAL).
+	Floors []uint64 `json:"floors"`
+}
+
+// PrimaryStatus is the replication state a primary injects into
+// GET /status and GET /metrics (api.Options.Replication).
+type PrimaryStatus struct {
+	Role      string         `json:"role"`
+	Followers []FollowerInfo `json:"followers,omitempty"`
+}
+
+// Status returns the current follower registry (live entries only).
+func (p *Primary) Status() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.opts.now()
+	st := &PrimaryStatus{Role: "primary"}
+	for id, f := range p.followers {
+		if now.Sub(f.lastSeen) > p.opts.FollowerTTL {
+			continue
+		}
+		floors := make([]uint64, len(f.floors))
+		copy(floors, f.floors)
+		st.Followers = append(st.Followers, FollowerInfo{ID: id, AgeMS: now.Sub(f.lastSeen).Milliseconds(), Floors: floors})
+	}
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].ID < st.Followers[j].ID })
+	return st
+}

@@ -1,0 +1,94 @@
+// Package replicate ships the write-ahead log from a primary dtdevolve
+// service to follower replicas and replays it there (DESIGN.md §14).
+//
+// The design is pull-based WAL shipping over HTTP. The primary exposes a
+// small protocol under /replication/v1/: its shard layout (manifest
+// parameters), each shard's latest checkpoint, a listing of each shard's
+// WAL segments with their durable sizes, CRC-protected byte ranges of any
+// segment (sealed segments whole, the active segment up to its
+// fsync-durable prefix — a follower can never apply bytes the primary
+// could still lose in a crash), and an acknowledgment endpoint. A follower
+// bootstraps from the primary's checkpoint, then tails each shard's
+// segment stream: fetched bytes are appended to a local mirror of the
+// primary's directory layout (manifest + shard-NNN/wal-*.log +
+// checkpoint-NNN.json, so a promoted follower directory is directly
+// recoverable by the ordinary startup path) and complete frames are
+// applied through source.ApplyWALRecord in shipped order. Because the
+// primary journals every state-changing decision — including
+// auto-evolutions and trigger firings — as its own logical record, replay
+// is exact and the follower's state is byte-identical to the primary's at
+// every segment boundary.
+//
+// Acknowledgments gate the primary's WAL GC: checkpoint-time truncation
+// keeps every segment at or above the lowest unacknowledged position of
+// any live follower (source.SetWALRetention), so retention can never
+// delete an unshipped segment. Followers that vanish stop pinning GC
+// after a TTL; a follower that returns after its history was collected
+// detects the gap and reports resync-required (restart re-bootstraps it
+// from the current checkpoint). Transient failures — primary down,
+// connection resets, CRC mismatches in transit — are retried with
+// jittered exponential backoff; corruption that survives into a local
+// segment is quarantined and refetched from the last applied boundary,
+// never applied.
+//
+// dtdvet:strict errsync
+package replicate
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// protocolVersion is the wire version of the shipping protocol; it is also
+// baked into the URL prefix so incompatible revisions cannot half-work.
+const protocolVersion = 1
+
+// pathPrefix is where the primary's handler lives, relative to the
+// server root the primary is mounted on.
+const pathPrefix = "/replication/v1/"
+
+// segmentInfo describes one shippable WAL segment of a shard, as listed by
+// GET /replication/v1/segments.
+type segmentInfo struct {
+	// Seq is the segment's sequence number.
+	Seq uint64 `json:"seq"`
+	// Size is the segment's current size in bytes.
+	Size int64 `json:"size"`
+	// Durable is the prefix length a follower may fetch and apply: the
+	// whole file for sealed segments, the fsync-covered prefix for the
+	// active one.
+	Durable int64 `json:"durable"`
+	// Sealed reports the segment will never grow again.
+	Sealed bool `json:"sealed"`
+}
+
+// infoResponse is the primary's layout, served at
+// GET /replication/v1/info; a follower mirrors it into its local manifest
+// and refuses to run against a primary whose layout changed.
+type infoResponse struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Seed    uint64 `json:"seed"`
+	// Sharded reports the primary serves through a shard router (even a
+	// one-shard one). The follower mirrors it so the merged /snapshot shape
+	// — bare source vs. router envelope — matches the primary byte for byte.
+	Sharded bool `json:"sharded"`
+}
+
+// crcHeader carries the CRC32-C of a segment chunk response body, so a
+// follower rejects bytes mangled in transit before the frame-level CRC
+// ever sees them.
+const crcHeader = "X-Replication-Crc"
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the api-style JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,781 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dtdevolve/internal/api"
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/shard"
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/wal"
+	"dtdevolve/internal/xmltree"
+)
+
+func testCfg() source.Config {
+	cfg := source.DefaultConfig()
+	cfg.MinDocs = 5
+	return cfg
+}
+
+func articleDTD() *dtd.DTD {
+	d := dtd.MustParse(`
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`)
+	d.Name = "article"
+	return d
+}
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return doc
+}
+
+var docShapes = []string{
+	`<article><title>t</title><body>b</body></article>`,
+	`<article><title>t</title><author>a</author><body>b</body></article>`,
+	`<invoice><total>3</total></invoice>`,
+	`<article><title>u</title><ref/><body>c</body></article>`,
+}
+
+// fastFollower is FollowerOptions tuned for tests: tight polling and
+// backoff so catch-up and retry assertions run in milliseconds.
+func fastFollower(dir, id string) FollowerOptions {
+	return FollowerOptions{
+		ID:          id,
+		Dir:         dir,
+		Poll:        5 * time.Millisecond,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
+
+// listenServe serves h on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the server plus the bound address.
+func listenServe(t *testing.T, addr string, h http.Handler) (*http.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	return srv, ln.Addr().String()
+}
+
+// primaryHandler mounts the shipping protocol next to the ordinary API,
+// the same way cmd/dtdserved does.
+func primaryHandler(prim *Primary, eng api.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/replication/", prim.Handler())
+	mux.Handle("/", api.NewEngine(eng, api.Options{Replication: prim.Status}))
+	return mux
+}
+
+// waitCaughtUp waits until the follower reports caught-up on two
+// consecutive samples with no ingest progress between them. A single
+// CaughtUp() reading can be one poll-cycle stale — the lag was computed
+// from a segment listing fetched just before the primary's final write —
+// so a stable reading across a full poll interval is required.
+func waitCaughtUp(t *testing.T, f *Follower, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last []ShardLag
+	for time.Now().Before(deadline) {
+		if !f.CaughtUp() {
+			last = nil
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		cur := f.Status().Shards
+		if last != nil {
+			stable := true
+			for i := range cur {
+				if cur[i].FetchedBytes != last[i].FetchedBytes || cur[i].RecordsApplied != last[i].RecordsApplied {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				return
+			}
+		}
+		last = cur
+		time.Sleep(15 * time.Millisecond) // > the 5ms test poll interval
+	}
+	t.Fatalf("follower never caught up: %+v", f.Status())
+}
+
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}
+
+func ingestDocs(t *testing.T, r *shard.Router, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if _, err := r.AddDocument(context.Background(), key, parseDoc(t, docShapes[i%len(docShapes)])); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// totalFetched sums FetchedBytes across a follower's shards.
+func totalFetched(f *Follower) int64 {
+	var n int64
+	for _, lag := range f.Status().Shards {
+		n += lag.FetchedBytes
+	}
+	return n
+}
+
+// TestFollowerEndToEndSharded is the acceptance test: a 4-shard primary
+// ingests documents while a follower tails; after quiescing, the
+// follower's merged /snapshot is byte-identical to the primary's and its
+// lag reads zero. Then the follower is killed mid-stream, the primary
+// keeps ingesting, and a restart over the same replica directory resumes
+// without re-shipping completed history and without duplicate replay.
+func TestFollowerEndToEndSharded(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 512}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	srv, addr := listenServe(t, "127.0.0.1:0", primaryHandler(prim, router))
+	defer srv.Close()
+	base := "http://" + addr
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 30)
+
+	fdir := t.TempDir()
+	f, err := Open(context.Background(), testCfg(), base, fastFollower(fdir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() != 4 {
+		t.Fatalf("follower sees %d shards, want 4", f.Shards())
+	}
+	f.Start()
+
+	// Keep ingesting while the follower tails.
+	ingestDocs(t, router, 30, 60)
+	waitCaughtUp(t, f, 10*time.Second)
+
+	fsrv, faddr := listenServe(t, "127.0.0.1:0", f.Handler())
+	defer fsrv.Close()
+	pSnap := httpGetBody(t, base+"/snapshot")
+	fSnap := httpGetBody(t, "http://"+faddr+"/snapshot")
+	if !bytes.Equal(pSnap, fSnap) {
+		t.Errorf("follower /snapshot differs from primary (%d vs %d bytes)", len(fSnap), len(pSnap))
+	}
+	st := f.Status()
+	for _, lag := range st.Shards {
+		if lag.SegmentsBehind != 0 || lag.BytesBehind != 0 || lag.SecondsBehind != 0 {
+			t.Errorf("shard %d lag nonzero after quiesce: %+v", lag.Shard, lag)
+		}
+	}
+	firstFetched := totalFetched(f)
+	if firstFetched == 0 {
+		t.Fatal("follower fetched nothing")
+	}
+
+	// Writes must bounce off the follower with a Retry-After.
+	resp, err := http.Post("http://"+faddr+"/documents", "application/xml", bytes.NewBufferString(docShapes[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("follower write: status %d Retry-After %q, want 503 + Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Kill the follower mid-stream, keep ingesting, restart over the same
+	// directory: it must converge again fetching only the delta — completed
+	// segments replay from local disk, not over the wire.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 60, 70)
+	f2, err := Open(context.Background(), testCfg(), base, fastFollower(fdir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Start()
+	waitCaughtUp(t, f2, 10*time.Second)
+	defer f2.Close()
+
+	pSnap2 := httpGetBody(t, base+"/snapshot")
+	f2srv, f2addr := listenServe(t, "127.0.0.1:0", f2.Handler())
+	defer f2srv.Close()
+	fSnap2 := httpGetBody(t, "http://"+f2addr+"/snapshot")
+	if !bytes.Equal(pSnap2, fSnap2) {
+		t.Errorf("restarted follower /snapshot differs from primary")
+	}
+	if refetched := totalFetched(f2); refetched >= firstFetched {
+		t.Errorf("restart re-shipped history: fetched %d bytes, first run fetched %d for 6x the documents",
+			refetched, firstFetched)
+	}
+
+	// The primary's /status lists the follower with its ack floors.
+	ps, ok := prim.Status().(*PrimaryStatus)
+	if !ok || ps.Role != "primary" {
+		t.Fatalf("primary status = %#v", prim.Status())
+	}
+	if len(ps.Followers) != 1 || ps.Followers[0].ID != "f1" {
+		t.Errorf("primary followers = %+v, want [f1]", ps.Followers)
+	}
+}
+
+// TestFollowerRetryBackoff kills the primary's listener under a tailing
+// follower: the follower must back off and retry (lag and retries visible
+// in Status), then converge once the primary comes back on the same
+// address.
+func TestFollowerRetryBackoff(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 512}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	h := primaryHandler(prim, router)
+	srv, addr := listenServe(t, "127.0.0.1:0", h)
+	base := "http://" + addr
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 10)
+
+	f, err := Open(context.Background(), testCfg(), base, fastFollower(t.TempDir(), "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	waitCaughtUp(t, f, 10*time.Second)
+
+	// Primary goes away; the source keeps ingesting locally.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 10, 20)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := f.Status(); len(st.Shards) > 0 && st.Shards[0].Retries > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := f.Status()
+	if st.Shards[0].Retries == 0 {
+		t.Fatalf("no retries observed while the primary was down: %+v", st)
+	}
+	if st.Shards[0].LastError == "" {
+		t.Error("Status carries no LastError while the primary is down")
+	}
+
+	// Primary returns on the same address; the follower converges without
+	// intervention — and without having marked itself failed.
+	srv2, _ := listenServe(t, addr, h)
+	defer srv2.Close()
+	waitCaughtUp(t, f, 10*time.Second)
+	pSnap, err := router.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSnap, err := f.Engine().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pSnap, fSnap) {
+		t.Error("follower diverged across the primary outage")
+	}
+	if st := f.Status(); st.Shards[0].ResyncRequired {
+		t.Errorf("transient outage latched resync: %+v", st.Shards[0])
+	}
+}
+
+// TestFollowerKillAtEveryOffsetLocalIngest is the follower-side durability
+// property: crash the follower at every byte offset of its local segment
+// stream (truncation = torn tail) and at sampled offsets with a flipped
+// byte (CRC corruption at rest), restart over the damaged directory, and
+// require convergence to the primary's exact state — corrupt bytes are
+// quarantined, never applied.
+func TestFollowerKillAtEveryOffsetLocalIngest(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 512}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	srv, addr := listenServe(t, "127.0.0.1:0", primaryHandler(prim, router))
+	defer srv.Close()
+	base := "http://" + addr
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 12)
+	pSnap, err := router.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fully caught-up follower leaves a local checkpoint plus the active
+	// segment's applied prefix on disk.
+	fdir := t.TempDir()
+	f, err := Open(context.Background(), testCfg(), base, fastFollower(fdir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	waitCaughtUp(t, f, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := filepath.Join(fdir, shard.ShardDirName(0))
+	segs, err := wal.ListSegments(shardDir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no local segments after catch-up: %v %v", segs, err)
+	}
+	segPath := filepath.Join(shardDir, wal.SegmentFileName(segs[len(segs)-1]))
+	stream, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatal("active local segment is empty; nothing to cut")
+	}
+
+	reopen := func(t *testing.T, damaged func(string)) {
+		t.Helper()
+		sub := t.TempDir()
+		for _, name := range []string{"manifest.json", shard.CheckpointFileName(0)} {
+			data, err := os.ReadFile(filepath.Join(fdir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(sub, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		subShard := filepath.Join(sub, shard.ShardDirName(0))
+		if err := os.MkdirAll(subShard, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		damaged(filepath.Join(subShard, filepath.Base(segPath)))
+
+		f2, err := Open(context.Background(), testCfg(), base, fastFollower(sub, "f1"))
+		if err != nil {
+			t.Fatalf("reopen failed: %v", err)
+		}
+		f2.Start()
+		waitCaughtUp(t, f2, 10*time.Second)
+		fSnap, err := f2.Engine().Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pSnap, fSnap) {
+			t.Error("recovered follower diverged from primary")
+		}
+		if err := f2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("torn", func(t *testing.T) {
+		for cut := 0; cut <= len(stream); cut++ {
+			cut := cut
+			reopen(t, func(path string) {
+				if cut == 0 {
+					return // crash before any byte landed
+				}
+				if err := os.WriteFile(path, stream[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if t.Failed() {
+				t.Fatalf("diverged at cut %d/%d", cut, len(stream))
+			}
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		stride := 7
+		if testing.Short() {
+			stride = 31
+		}
+		for off := 0; off < len(stream); off += stride {
+			off := off
+			reopen(t, func(path string) {
+				bad := append([]byte(nil), stream...)
+				bad[off] ^= 0xFF
+				if err := os.WriteFile(path, bad, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if t.Failed() {
+				t.Fatalf("diverged at corrupt offset %d/%d", off, len(stream))
+			}
+		}
+	})
+}
+
+// TestFollowerTransportCorruptionQuarantined interposes a corrupting proxy
+// that flips a byte in every shipped chunk and fixes up the transport CRC
+// header, so only the frame-level CRC can catch it: the follower must
+// quarantine the corrupt suffix (never applying it), and converge cleanly
+// once the corruption stops.
+func TestFollowerTransportCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 512}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	inner := primaryHandler(prim, router)
+
+	var corrupt atomic.Bool
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if corrupt.Load() && r.URL.Path == pathPrefix+"segment" && rec.Code == http.StatusOK && len(body) > 0 {
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0xFF
+			// Re-stamp the transport CRC over the corrupted bytes: the
+			// transport check must pass so the frame parser is the last line
+			// of defense.
+			rec.Header().Set(crcHeader, fmt.Sprintf("%08x", wal.Checksum(body)))
+		}
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(body)
+	})
+	srv, addr := listenServe(t, "127.0.0.1:0", proxy)
+	defer srv.Close()
+	base := "http://" + addr
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 12)
+
+	corrupt.Store(true)
+	fdir := t.TempDir()
+	f, err := Open(context.Background(), testCfg(), base, fastFollower(fdir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := f.Status(); len(st.Shards) > 0 && st.Shards[0].Corruptions > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := f.Status()
+	if st.Shards[0].Corruptions == 0 {
+		t.Fatalf("no corruption detected through the fixed-up proxy: %+v", st)
+	}
+
+	// Quarantine files hold the rejected bytes for inspection.
+	quarantined, err := filepath.Glob(filepath.Join(fdir, shard.ShardDirName(0), "*.quarantine"))
+	if err != nil || len(quarantined) == 0 {
+		t.Errorf("no quarantine file written: %v %v", quarantined, err)
+	}
+
+	// Corruption stops; the follower refetches and converges — proof the
+	// corrupt bytes were never applied.
+	corrupt.Store(false)
+	waitCaughtUp(t, f, 10*time.Second)
+	pSnap, err := router.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSnap, err := f.Engine().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pSnap, fSnap) {
+		t.Error("follower state diverged after transport corruption")
+	}
+	if st := f.Status(); st.Shards[0].ResyncRequired {
+		t.Errorf("transport corruption latched resync: %+v", st.Shards[0])
+	}
+}
+
+// TestConcurrentShipReplayRead is the -race stress: concurrent primary
+// writers, a tailing follower, and readers hammering both sides' status
+// and snapshot surfaces.
+func TestConcurrentShipReplayRead(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 1024}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	srv, addr := listenServe(t, "127.0.0.1:0", primaryHandler(prim, router))
+	defer srv.Close()
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(context.Background(), testCfg(), "http://"+addr, fastFollower(t.TempDir(), "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("w%d-%d", g, i)
+				if _, err := router.AddDocument(context.Background(), key, parseDoc(t, docShapes[(g+i)%len(docShapes)])); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // readers race the tailers and writers
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			f.Status()
+			f.CaughtUp()
+			if _, err := f.Engine().Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+			prim.Status()
+		}
+	}()
+	wg.Wait()
+
+	waitCaughtUp(t, f, 10*time.Second)
+	pSnap, err := router.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSnap, err := f.Engine().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pSnap, fSnap) {
+		t.Error("follower diverged under concurrent ship/replay/read")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromoteFollower is the manual failover path: once the primary is
+// gone and the follower has caught up, promotion makes it writable over
+// the same directory — and that directory recovers through the ordinary
+// sharded startup path, pinned by the manifest.
+func TestPromoteFollower(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff, SegmentSize: 512}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := ForRouter(router, PrimaryOptions{})
+	srv, addr := listenServe(t, "127.0.0.1:0", primaryHandler(prim, router))
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 16)
+
+	fdir := t.TempDir()
+	f, err := Open(context.Background(), testCfg(), "http://"+addr, fastFollower(fdir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	waitCaughtUp(t, f, 10*time.Second)
+
+	// Primary dies for good.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, faddr := listenServe(t, "127.0.0.1:0", f.Handler())
+	defer fsrv.Close()
+	resp, err := http.Post("http://"+faddr+"/replication/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promoted() = false after POST /replication/promote")
+	}
+
+	// The promoted node accepts writes and journals them.
+	for i := 0; i < 4; i++ {
+		res := f.Source(i % 2).Add(parseDoc(t, docShapes[i%len(docShapes)]))
+		_ = res
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Source(i).Degraded(); err != nil {
+			t.Fatalf("promoted shard %d degraded: %v", i, err)
+		}
+	}
+	want, err := f.Engine().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica directory is a first-class durable deployment now.
+	recovered, _, err := shard.Recover(testCfg(), fdir, walOpts, shard.Options{})
+	if err != nil {
+		t.Fatalf("recovering the promoted directory: %v", err)
+	}
+	defer recovered.Close()
+	if recovered.Shards() != 2 {
+		t.Fatalf("recovered %d shards, want 2 from the replica manifest", recovered.Shards())
+	}
+	got, err := recovered.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("promoted directory did not recover to the promoted state")
+	}
+}
+
+// TestStalenessGate checks the bounded-staleness read gate: with the
+// primary unreachable and MaxStaleness exceeded, reads answer 503 — except
+// /status and /metrics, which must stay up for operators.
+func TestStalenessGate(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Sync: wal.SyncOff}
+	router, _, err := shard.Recover(testCfg(), dir, walOpts, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	prim := ForRouter(router, PrimaryOptions{})
+	srv, addr := listenServe(t, "127.0.0.1:0", primaryHandler(prim, router))
+
+	if err := router.AddDTD("article", articleDTD()); err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, router, 0, 6)
+
+	opts := fastFollower(t.TempDir(), "f1")
+	opts.MaxStaleness = 30 * time.Millisecond
+	f, err := Open(context.Background(), testCfg(), "http://"+addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	waitCaughtUp(t, f, 10*time.Second)
+
+	fsrv, faddr := listenServe(t, "127.0.0.1:0", f.Handler())
+	defer fsrv.Close()
+	// Healthy and fresh: reads pass.
+	httpGetBody(t, "http://"+faddr+"/snapshot")
+
+	// Primary vanishes; after MaxStaleness the gate trips.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) int {
+		resp, err := http.Get("http://" + faddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if get("/snapshot") == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := get("/snapshot"); code != http.StatusServiceUnavailable {
+		t.Errorf("stale read: status %d, want 503", code)
+	}
+	if code := get("/status"); code != http.StatusOK {
+		t.Errorf("/status while stale: %d, want 200", code)
+	}
+	if code := get("/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics while stale: %d, want 200", code)
+	}
+	st := f.Status()
+	if !st.Stale {
+		t.Errorf("Status().Stale = false with the primary gone: %+v", st)
+	}
+}

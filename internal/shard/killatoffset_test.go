@@ -122,15 +122,11 @@ func TestKillAtEveryOffsetSharded(t *testing.T) {
 		`<article><title>u</title><ref/><body>c</body></article>`,
 	}
 	docCount := 4 * n // a few documents per shard in expectation
-	perShardDocs := make([][]string, n)
 	for i := 0; i < docCount; i++ {
 		key := fmt.Sprintf("doc-%d", i)
-		text := shapes[i%len(shapes)]
-		if _, err := live.AddDocument(context.Background(), key, parseDoc(t, text)); err != nil {
+		if _, err := live.AddDocument(context.Background(), key, parseDoc(t, shapes[i%len(shapes)])); err != nil {
 			t.Fatal(err)
 		}
-		si := live.ShardFor(key)
-		perShardDocs[si] = append(perShardDocs[si], text)
 	}
 	liveSnaps := make([]map[string]any, n)
 	for i := range liveSnaps {
@@ -141,24 +137,22 @@ func TestKillAtEveryOffsetSharded(t *testing.T) {
 	}
 
 	for si := 0; si < n; si++ {
-		// Reference snapshots of shard si after each durable prefix of its
-		// op sequence: [dtd, doc, doc, …].
-		refs := make([]map[string]any, 0, len(perShardDocs[si])+2)
-		ref := source.New(testConfig())
-		refs = append(refs, snapshotOf(t, ref))
-		ref.AddDTD("article", articleDTD())
-		refs = append(refs, snapshotOf(t, ref))
-		for _, text := range perShardDocs[si] {
-			ref.Add(parseDoc(t, text))
-			refs = append(refs, snapshotOf(t, ref))
-		}
-
-		// Record boundaries of shard si's stream, plus a torn offset inside
-		// every record.
+		// Reference snapshots of shard si after each journaled record
+		// prefix, derived from the stream itself through a replica-mode
+		// source (auto-evolution decisions are records of their own) —
+		// while also collecting record boundaries, plus a torn offset
+		// inside every record.
 		shardDir := filepath.Join(dir, shardName(si))
+		ref := source.New(testConfig())
+		ref.SetReplica(true)
+		refs := []map[string]any{snapshotOf(t, ref)}
 		offsets := map[int]bool{0: true}
 		boundary := 0
 		if _, err := wal.Replay(shardDir, func(p []byte) error {
+			if err := ref.ApplyWALRecord(p); err != nil {
+				return err
+			}
+			refs = append(refs, snapshotOf(t, ref))
 			offsets[boundary+3] = true // torn: mid-header or mid-payload
 			boundary += 8 + len(p)
 			offsets[boundary] = true

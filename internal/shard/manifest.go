@@ -63,6 +63,28 @@ func writeManifest(dir string, m manifest) error {
 	return source.WriteFileAtomic(filepath.Join(dir, manifestFile), data)
 }
 
+// ReadManifest reads dir's manifest and returns its routing parameters;
+// ok is false when no manifest exists. A follower replica uses it to
+// verify its local mirror matches the primary's layout across restarts.
+func ReadManifest(dir string) (shards int, seed uint64, ok bool, err error) {
+	m, ok, err := loadManifest(dir)
+	if err != nil || !ok {
+		return 0, 0, ok, err
+	}
+	if m.Version != manifestVersion {
+		return 0, 0, false, fmt.Errorf("shard: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return m.Shards, m.Seed, true, nil
+}
+
+// WriteManifest atomically writes dir's manifest. A follower replica uses
+// it to mirror the primary's layout, so its directory — manifest plus
+// per-shard checkpoint and WAL files — is directly recoverable (and
+// promotable) by Recover with the exact same routing parameters.
+func WriteManifest(dir string, shards int, seed uint64) error {
+	return writeManifest(dir, manifest{Version: manifestVersion, Shards: shards, Seed: seed})
+}
+
 // checkLayout rejects a directory that holds a legacy single-source WAL:
 // its wal-*.log segments belong to an unsharded deployment, and silently
 // ignoring them would drop acknowledged history. The operator must either

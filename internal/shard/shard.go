@@ -591,8 +591,46 @@ func (r *Router) Close() error {
 
 // checkpointPath is the checkpoint file of shard i under the durable root.
 func (r *Router) checkpointPath(i int) string {
-	return filepath.Join(r.dir, fmt.Sprintf("checkpoint-%03d.json", i))
+	return filepath.Join(r.dir, CheckpointFileName(i))
 }
+
+// CheckpointFileName is the checkpoint file name of shard i under a
+// durable root (checkpoint-000.json, …), exported so a follower replica
+// can mirror the primary's layout exactly.
+func CheckpointFileName(i int) string { return fmt.Sprintf("checkpoint-%03d.json", i) }
 
 // shardName is the per-shard subdirectory name (WAL and store layout).
 func shardName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// Dir returns the router's durable root ("" for in-memory routers).
+func (r *Router) Dir() string { return r.dir }
+
+// WALDir returns the WAL directory of shard i under the durable root. The
+// replication primary reads sealed segment files from it directly.
+func (r *Router) WALDir(i int) string { return filepath.Join(r.dir, shardName(i)) }
+
+// CheckpointFile returns the checkpoint file of shard i under the durable
+// root. The replication primary ships its contents to bootstrapping
+// followers.
+func (r *Router) CheckpointFile(i int) string { return r.checkpointPath(i) }
+
+// ShardDirName returns the per-shard subdirectory name used by the durable
+// layout (shard-000, shard-001, …), so a follower can mirror the primary's
+// directory structure exactly and a promoted replica directory is directly
+// recoverable by Recover.
+func ShardDirName(i int) string { return shardName(i) }
+
+// NewReplica wires an already-built shard set into a read-only router:
+// same rendezvous salts (from seed), same snapshot shape, no durable root
+// of its own — the follower runtime owns the shards' directories and WALs.
+// The shards are expected to be in replica mode; registry mutations through
+// the router would journal nothing and must not be offered (the serving
+// layer enforces read-only).
+func NewReplica(cfg source.Config, shards []*source.Source, seed uint64) *Router {
+	return &Router{
+		cfg:    cfg,
+		shards: shards,
+		salts:  makeSalts(len(shards), seed),
+		seed:   seed,
+	}
+}

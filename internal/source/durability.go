@@ -9,9 +9,12 @@
 // The journal is a *logical command log*: each record is the operation
 // (document XML, DTD text, trigger source, forced evolution), not a state
 // delta. Replaying the operations through the normal code paths, in commit
-// order, reproduces the exact state — classification, auto-evolution and
-// trigger firing are deterministic functions of (config, state, operation),
-// and the write lock serializes commits, so WAL order is state order.
+// order, reproduces the exact state: the write lock serializes commits, so
+// WAL order is state order, and the check phase's own decisions
+// (auto-evolutions, trigger firings) are journaled as records of their own
+// the moment they fire, so replay — and a follower replica tailing the log
+// mid-stream (internal/replicate) — applies the recorded decision instead
+// of re-deriving it.
 package source
 
 import (
@@ -33,9 +36,11 @@ type walOp struct {
 	// Op is the operation: "doc" (document ingested), "dtd" (DTD
 	// registered), "triggers" (rule set replaced), "trigger" (rule
 	// appended), "evolve" (forced evolution), "reclassify" (forced
+	// repository re-classification), "autoevolve" (check phase or trigger
+	// rule fired an evolution), "autoreclassify" (trigger rule fired a
 	// repository re-classification).
 	Op string `json:"op"`
-	// Name is the DTD name for "dtd" and "evolve".
+	// Name is the DTD name for "dtd", "evolve" and "autoevolve".
 	Name string `json:"name,omitempty"`
 	// Root is the DTD's declared root element for "dtd".
 	Root string `json:"root,omitempty"`
@@ -53,7 +58,11 @@ type walOp struct {
 // dtdvet:requires mu
 // dtdvet:journalpoint
 func (s *Source) journalLocked(op walOp) {
-	if s.wal == nil || s.replaying || s.walErr != nil {
+	if s.replaying || s.walErr != nil {
+		return
+	}
+	sink := s.journalSink
+	if s.wal == nil && sink == nil {
 		return
 	}
 	payload, err := json.Marshal(op)
@@ -62,6 +71,14 @@ func (s *Source) journalLocked(op walOp) {
 		// degraded log all the same rather than dropping the record.
 		s.walErr = fmt.Errorf("source: encoding WAL record: %w", err)
 		s.metrics.ObserveWALError()
+		return
+	}
+	if sink != nil {
+		// A group commit is in flight: collect the record for the group's
+		// single batched append (journalBatchLocked) instead of writing it
+		// now, preserving its position between the doc that caused it and
+		// the next doc of the group.
+		*sink = append(*sink, payload)
 		return
 	}
 	if err := s.wal.Append(payload); err != nil {
@@ -188,6 +205,15 @@ func (s *Source) applyOp(op walOp) error {
 		}
 	case "reclassify":
 		s.ReclassifyRepository()
+	case "autoevolve":
+		// A check-phase or trigger-fired evolution the primary recorded;
+		// apply the decision rather than re-deriving it (the check phase is
+		// suppressed while replaying).
+		if _, _, err := s.EvolveNow(op.Name); err != nil {
+			return fmt.Errorf("source: WAL auto-evolve: %w", err)
+		}
+	case "autoreclassify":
+		s.ReclassifyRepository()
 	default:
 		return fmt.Errorf("source: unknown WAL operation %q", op.Op)
 	}
@@ -309,12 +335,28 @@ func (s *Source) Checkpoint(path string) error {
 	}
 	s.mu.RLock()
 	w := s.wal
+	retain := s.retain
+	gcLogf := s.gcLogf
 	s.mu.RUnlock()
 	if w != nil {
-		// Best-effort: leftover sealed segments are skipped at recovery via
-		// the snapshot's WAL position, so a failed removal costs disk, not
-		// correctness.
-		_ = w.RemoveBefore(keep)
+		// Leftover sealed segments are skipped at recovery via the
+		// snapshot's WAL position, so a failed removal costs disk, not
+		// correctness — but a silently filling disk is an outage in the
+		// making, so failures are counted (wal_gc_errors) and the first per
+		// checkpoint is logged. The retention floor pins segments a
+		// replication follower has not acknowledged (SetWALRetention).
+		floor := keep
+		if retain != nil {
+			if f := retain(); f < floor {
+				floor = f
+			}
+		}
+		if err := w.RemoveBefore(floor); err != nil {
+			s.metrics.ObserveWALGCError()
+			if gcLogf != nil {
+				gcLogf(err)
+			}
+		}
 	}
 	s.metrics.ObserveCheckpoint()
 	return nil

@@ -232,17 +232,22 @@ func (gc *groupCommitter) lead(last *commitReq) {
 }
 
 // commitGroupLocked journals and applies one drained group inside the
-// leader's write-lock section: one batched WAL write covers every
-// document, then each document's state changes apply in queue order,
-// re-scored first when the DTD set changed after its read-locked scoring
-// (exactly as the serial path re-scores). The group's fsync is deliberately
-// NOT in here: when one is owed (SyncAlways), the attached log is returned
-// and the leader flushes it after releasing the write lock, before closing
-// any done channel.
+// leader's write-lock section: each document's payload is collected, its
+// state changes apply in queue order (re-scored first when the DTD set
+// changed after its read-locked scoring, exactly as the serial path
+// re-scores), and any records the apply itself journals — auto-evolutions,
+// trigger firings — are diverted into the same collection via the journal
+// sink, landing between the doc that caused them and the next doc. One
+// batched WAL write then covers the whole interleaved sequence, leaving
+// the exact byte stream the serial path would have. The group's fsync is
+// deliberately NOT in here: when one is owed (SyncAlways), the attached
+// log is returned and the leader flushes it after releasing the write
+// lock, before closing any done channel.
 // dtdvet:requires Source.mu
 func (gc *groupCommitter) commitGroupLocked(group []*commitReq) (flush *wal.Log) {
 	s := gc.s
 	payloads := make([][]byte, 0, len(group))
+	s.journalSink = &payloads
 	for _, r := range group {
 		p := r.payload
 		if p == nil && s.wal != nil && !s.replaying && s.walErr == nil {
@@ -250,18 +255,17 @@ func (gc *groupCommitter) commitGroupLocked(group []*commitReq) (flush *wal.Log)
 			// under the lock like the serial path would have.
 			p = s.encodeOpLocked(walOp{Op: "doc", Text: r.doc.String()})
 		}
-		if p != nil {
+		if p != nil && s.wal != nil && !s.replaying && s.walErr == nil {
 			payloads = append(payloads, p)
 		}
-	}
-	flush = s.journalBatchLocked(payloads)
-	for _, r := range group {
 		if s.gen != r.gen {
 			r.cls = s.classifier.Classify(r.doc)
 		}
 		r.res = s.applyCommitLocked(r.doc, r.cls)
 		s.fireTriggers(&r.res)
 	}
+	s.journalSink = nil
+	flush = s.journalBatchLocked(payloads)
 	s.metrics.ObserveGroup(len(group))
 	return flush
 }

@@ -158,17 +158,10 @@ func TestKillAtEveryOffsetGroupCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reference snapshots after each journaled prefix: the dtd op, then the
-	// documents in enqueue (= batch) order, applied serially.
-	refs := make([]map[string]any, 0, len(srcs)+2)
-	ref := New(testConfig())
-	refs = append(refs, snapshotOf(t, ref))
-	ref.AddDTD("article", articleDTD())
-	refs = append(refs, snapshotOf(t, ref))
-	for _, src := range srcs {
-		ref.Add(parseDoc(t, src))
-		refs = append(refs, snapshotOf(t, ref))
-	}
+	// Reference snapshots after each journaled record prefix, derived from
+	// the stream itself: the dtd op, then the documents in enqueue (= batch)
+	// order with auto-evolution decisions interleaved where they fired.
+	refs := journalPrefixRefs(t, testConfig(), dir)
 
 	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil || len(segs) == 0 {
@@ -306,8 +299,13 @@ func TestGroupCommitConcurrentAddSyncAlways(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recovered.CloseWAL()
-	if info.Replayed != writers*perWriter+1 {
-		t.Errorf("replayed %d, want %d", info.Replayed, writers*perWriter+1)
+	counts := journalOpCounts(t, dir)
+	if counts["doc"] != writers*perWriter || counts["dtd"] != 1 {
+		t.Errorf("journal holds %d doc + %d dtd records, want %d + 1",
+			counts["doc"], counts["dtd"], writers*perWriter)
+	}
+	if want := journalRecordCount(t, dir); info.Replayed != want {
+		t.Errorf("replayed %d, want all %d journaled records", info.Replayed, want)
 	}
 	if got, want := snapshotOf(t, recovered), snapshotOf(t, s); !reflect.DeepEqual(got, want) {
 		t.Errorf("recovered state diverges from group-committed run:\n got: %v\nwant: %v", got, want)

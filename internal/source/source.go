@@ -141,6 +141,19 @@ type Source struct {
 	wal       *wal.Log // dtdvet:guarded_by mu
 	walErr    error    // dtdvet:guarded_by mu
 	replaying bool     // dtdvet:guarded_by mu
+	// journalSink, when set, diverts journalLocked's encoded records into
+	// the pointed-at slice instead of appending them to the WAL. The
+	// group-commit leader uses it to collect a whole group's records — docs
+	// interleaved with the auto-evolutions their applies journal — into one
+	// batched append (groupcommit.go).
+	journalSink *[][]byte // dtdvet:guarded_by mu
+	// retain, when set, floors checkpoint-time WAL truncation: segments at
+	// or above retain() survive even when the snapshot covers them. The
+	// replication primary pins history its followers have not acknowledged.
+	// gcLogf, when set, receives the first segment-removal error of each
+	// checkpoint.
+	retain func() uint64 // dtdvet:guarded_by mu
+	gcLogf func(error)   // dtdvet:guarded_by mu
 	// committer, when set, routes commits through the group-commit
 	// coordinator (groupcommit.go). Unguarded: an atomic pointer, like
 	// metrics, set once by EnableGroupCommit before traffic.
@@ -369,10 +382,11 @@ func (s *Source) AddBatchContext(ctx context.Context, docs []*xmltree.Document) 
 // Callers hold the write lock.
 // dtdvet:requires mu
 func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
-	// Write-ahead: the document is journaled before its effects. Replay
-	// re-runs the whole commit (classification included), which is
-	// deterministic given the journaled commit order, so auto-evolutions
-	// and trigger firings need no records of their own.
+	// Write-ahead: the document is journaled before its effects. The check
+	// phase's own decisions (auto-evolutions, trigger firings) are journaled
+	// as logical commands of their own the moment they fire, so replay — and
+	// a follower replica tailing the log — applies the recorded decision
+	// instead of re-deriving it and can never diverge from the primary.
 	s.journalLocked(walOp{Op: "doc", Text: doc.String()})
 	return s.applyCommitLocked(doc, cls)
 }
@@ -380,14 +394,18 @@ func (s *Source) commitLocked(doc *xmltree.Document, cls classify.Result) AddRes
 // applyCommitLocked is the in-memory half of a commit: record the document
 // and run the check phase. Callers hold the write lock and must already
 // have journaled the document (commitLocked, or the group committer's
-// journalBatchLocked).
+// journal sink).
 // dtdvet:requires mu
 func (s *Source) applyCommitLocked(doc *xmltree.Document, cls classify.Result) AddResult {
 	s.added++
 	res := s.recordLocked(doc, cls)
-	if res.Classified && s.cfg.AutoEvolve {
+	// During replay the check phase is suppressed entirely: every evolution
+	// that fired live follows in the log as its own "autoevolve" record, and
+	// re-deriving it here would double-apply it.
+	if res.Classified && s.cfg.AutoEvolve && !s.replaying {
 		e := s.entries[res.DTDName]
 		if e.docs >= s.cfg.MinDocs && e.rec.ShouldEvolve(s.cfg.Tau) {
+			s.journalLocked(walOp{Op: "autoevolve", Name: res.DTDName})
 			report, reclassified := s.evolveLocked(res.DTDName)
 			res.Evolved = true
 			res.Report = &report
@@ -508,7 +526,10 @@ func (l lockedState) Invalidity(name, element string) float64 {
 // actions evolve and re-classify).
 // dtdvet:requires mu
 func (s *Source) fireTriggers(res *AddResult) {
-	if len(s.triggers) == 0 {
+	// Suppressed during replay: every firing that happened live was
+	// journaled as its own record ("autoevolve"/"autoreclassify") and is
+	// re-applied from the log, not re-derived.
+	if len(s.triggers) == 0 || s.replaying {
 		return
 	}
 	state := lockedState{s: s}
@@ -521,11 +542,13 @@ func (s *Source) fireTriggers(res *AddResult) {
 			for _, action := range rule.Actions {
 				switch action {
 				case trigger.Evolve:
+					s.journalLocked(walOp{Op: "autoevolve", Name: name})
 					report, reclassified := s.evolveLocked(name)
 					res.Evolved = true
 					res.Report = &report
 					res.Reclassified += reclassified
 				case trigger.Reclassify:
+					s.journalLocked(walOp{Op: "autoreclassify"})
 					res.Reclassified += s.reclassifyLocked()
 				}
 			}

@@ -176,6 +176,48 @@ func listSegments(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
+// ListSegments returns the sequence numbers of the WAL segments in dir,
+// sorted ascending. The replication shipper uses it to enumerate what the
+// primary can serve; sealed segments are plain files and may be read
+// directly, the active one only up to ActivePosition's durable offset.
+func ListSegments(dir string) ([]uint64, error) {
+	return listSegments(dir)
+}
+
+// SegmentFileName returns the file name of segment seq (wal-%016d.log),
+// relative to the log directory.
+func SegmentFileName(seq uint64) string {
+	return segmentName(seq)
+}
+
+// ActivePosition reports the shipping frontier of the log: the active
+// segment's sequence number, its total size, and the length of its durable
+// prefix — the bytes a follower may safely replicate. Under SyncAlways
+// every appended byte is durable; under SyncInterval the durable prefix
+// trails the tail by at most the unflushed window (sealing a segment syncs
+// it, so all unflushed bytes live in the active segment); under SyncOff
+// durability is explicitly not promised and the whole segment is offered.
+// ok is false when no segment is active (nothing appended since Open or the
+// last Rotate).
+func (l *Log) ActivePosition() (seq uint64, size, durable int64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return 0, 0, 0, false
+	}
+	seq, size = l.activeSeq, l.activeSize
+	durable = size
+	if l.opts.Sync != SyncOff {
+		if lag := l.bytes.Load() - l.flushed; lag > 0 {
+			durable -= lag
+		}
+		if durable < 0 {
+			durable = 0
+		}
+	}
+	return seq, size, durable, true
+}
+
 // Open prepares dir for appending. Existing segments are left untouched —
 // recovery (Replay) reads them first — and new records go to a fresh
 // segment numbered after the highest present, so a truncated tail is never

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end replication check with the real binary: a 4-shard primary
+# ingests documents while a follower tails it over HTTP; after quiescing,
+# the follower's merged /snapshot must be byte-identical to the primary's,
+# its lag must read zero, and a write against the follower must bounce
+# with 503 + Retry-After. Run from the repository root. CI runs this in
+# the `replication` job; locally: ./scripts/replication_e2e.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+PRIMARY_ADDR="127.0.0.1:18080"
+FOLLOWER_ADDR="127.0.0.1:18081"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/dtdserved" ./cmd/dtdserved
+
+wait_http() { # url [tries]
+    local url=$1 tries=${2:-100}
+    for _ in $(seq "$tries"); do
+        if curl -fsS -o /dev/null "$url" 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "timeout waiting for $url" >&2
+    return 1
+}
+
+echo "--- start primary (4 shards)"
+"$WORK/dtdserved" -addr "$PRIMARY_ADDR" -wal "$WORK/primary" -shards 4 \
+    -fsync interval -fsync-interval 10ms -wal-segment 4096 -mindocs 3 &
+PIDS+=($!)
+wait_http "http://$PRIMARY_ADDR/status"
+
+echo "--- ingest"
+curl -fsS -X PUT "http://$PRIMARY_ADDR/dtds/article" -o /dev/null --data-binary @- <<'EOF'
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+EOF
+for i in $(seq 60); do
+    if [ $((i % 3)) -eq 0 ]; then
+        doc="<article><title>t$i</title><author>a</author><body>b</body></article>"
+    else
+        doc="<article><title>t$i</title><body>b$i</body></article>"
+    fi
+    curl -fsS -X POST "http://$PRIMARY_ADDR/documents" \
+        -H "X-Doc-Key: doc-$i" -o /dev/null --data-binary "$doc"
+done
+
+echo "--- start follower"
+"$WORK/dtdserved" -follow "http://$PRIMARY_ADDR" -wal "$WORK/follower" \
+    -replica-listen "$FOLLOWER_ADDR" -follower-id ci-e2e -mindocs 3 &
+PIDS+=($!)
+wait_http "http://$FOLLOWER_ADDR/status"
+
+echo "--- ingest more while the follower tails"
+for i in $(seq 61 90); do
+    curl -fsS -X POST "http://$PRIMARY_ADDR/documents" \
+        -H "X-Doc-Key: doc-$i" -o /dev/null \
+        --data-binary "<article><title>t$i</title><body>b$i</body></article>"
+done
+
+echo "--- wait for byte-identical snapshots"
+converged=
+for _ in $(seq 200); do
+    curl -fsS "http://$PRIMARY_ADDR/snapshot" -o "$WORK/p.snap"
+    curl -fsS "http://$FOLLOWER_ADDR/snapshot" -o "$WORK/f.snap"
+    if cmp -s "$WORK/p.snap" "$WORK/f.snap"; then converged=1; break; fi
+    sleep 0.1
+done
+if [ -z "$converged" ]; then
+    echo "FAIL: follower snapshot never converged to the primary's" >&2
+    exit 1
+fi
+echo "snapshots byte-identical ($(wc -c <"$WORK/p.snap") bytes)"
+
+echo "--- follower lag reads zero"
+status="$(curl -fsS "http://$FOLLOWER_ADDR/status")"
+echo "$status" | grep -q '"role":"follower"' || { echo "FAIL: not a follower: $status" >&2; exit 1; }
+if echo "$status" | grep -Eq '"(segments|bytes)_behind":[1-9]'; then
+    echo "FAIL: nonzero lag after convergence: $status" >&2
+    exit 1
+fi
+
+echo "--- follower metrics expose replication state"
+curl -fsS "http://$FOLLOWER_ADDR/metrics" | grep -q '"replication"' || {
+    echo "FAIL: /metrics carries no replication block" >&2
+    exit 1
+}
+
+echo "--- writes bounce off the follower with Retry-After"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$FOLLOWER_ADDR/documents" \
+    -H "X-Doc-Key: nope" --data-binary "<article><title>x</title><body>y</body></article>")"
+retry_after="$(curl -s -o /dev/null -D - -X POST "http://$FOLLOWER_ADDR/documents" \
+    -H "X-Doc-Key: nope" --data-binary "<x/>" | tr -d '\r' | awk 'tolower($1)=="retry-after:"{print $2}')"
+if [ "$code" != 503 ] || [ -z "$retry_after" ]; then
+    echo "FAIL: follower write answered $code (Retry-After: '$retry_after'), want 503 + Retry-After" >&2
+    exit 1
+fi
+
+echo "--- primary registry lists the follower"
+curl -fsS "http://$PRIMARY_ADDR/status" | grep -q '"ci-e2e"' || {
+    echo "FAIL: primary /status does not list follower ci-e2e" >&2
+    exit 1
+}
+
+echo "PASS: replication end-to-end"
