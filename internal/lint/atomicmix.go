@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// AtomicmixAnalyzer enforces all-or-nothing atomicity on shared words:
+// once any code in a package touches a variable through sync/atomic
+// (atomic.AddInt64(&s.n, …) and friends), every other access to that
+// variable must go through the same API — a plain s.n++ or s.n read
+// elsewhere is a data race the race detector only catches when the two
+// sites actually collide under test. Fields and variables of the
+// atomic.* wrapper types (atomic.Int64, atomic.Pointer[T], …) get the
+// complementary check: they must be used through their methods or by
+// address — copying one as a plain value, or overwriting it with a
+// composite literal, tears the word the type exists to protect.
+//
+// The analyzer is always on (it triggers only where atomic usage
+// exists) and is deliberately forgiving about initialization: keyed
+// composite-literal fields are exempt, because building a value that no
+// other goroutine can see yet is the idiomatic constructor shape
+// (xmltree.Node.Clone stamps labelID this way). Anything else that is
+// genuinely single-threaded carries "dtdvet:allow atomicmix -- <why>".
+var AtomicmixAnalyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain access to variables that are accessed with sync/atomic (or have an atomic.* type) elsewhere",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *analysis.Pass) error {
+	fx := build(pass)
+	am := &atomicmixScanner{
+		fx:         fx,
+		viaFn:      make(map[*types.Var]bool),
+		sanctioned: make(map[ast.Node]bool),
+	}
+	// Pass 1: find every variable reached through a sync/atomic function
+	// and mark the expression nodes that constitute sanctioned access.
+	for _, decl := range fx.funcs {
+		am.sanction(decl.Body)
+	}
+	// Pass 2: every remaining use of a tracked variable is a plain access.
+	for _, decl := range fx.funcs {
+		am.check(decl.Body, fx.funcObj(decl))
+	}
+	return nil
+}
+
+type atomicmixScanner struct {
+	fx *facts
+	// viaFn holds variables whose address is passed to a sync/atomic
+	// function anywhere in the package (the atomic.AddInt64(&v) style).
+	viaFn map[*types.Var]bool
+	// sanctioned marks the exact AST nodes through which atomic access
+	// happens: the &v argument of an atomic call, the receiver of an
+	// atomic.* method, the operand of & on an atomic.* value, and keyed
+	// composite-literal fields (initialization before sharing).
+	sanctioned map[ast.Node]bool
+}
+
+// isAtomicValueType reports whether t is one of the sync/atomic wrapper
+// types (not a pointer to one: copying a *atomic.Int64 is fine).
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// refVar resolves an expression to the variable it names: a selector to a
+// field, or a bare identifier to a local or package-level var.
+func (am *atomicmixScanner) refVar(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := am.fx.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := am.fx.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (am *atomicmixScanner) sanction(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						am.sanctioned[key] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &x on an atomic.* value: taking the address to call methods
+			// through a pointer, or to hand the word to a helper, is how
+			// the wrapper types are meant to travel.
+			if n.Op == token.AND {
+				if v := am.refVar(n.X); v != nil && isAtomicValueType(v.Type()) {
+					am.sanctioned[ast.Unparen(n.X)] = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := am.fx.calleeOf(n)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			sig := callee.Type().(*types.Signature)
+			if sig.Recv() != nil {
+				// x.f.Add(1): the receiver expression is the sanctioned
+				// access to f.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					am.sanctioned[ast.Unparen(sel.X)] = true
+				}
+				return true
+			}
+			// atomic.AddInt64(&x.f, 1): &f is the sanctioned access, and f
+			// is from now on an atomically-accessed variable everywhere.
+			for _, arg := range n.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				if v := am.refVar(ue.X); v != nil {
+					am.viaFn[v] = true
+					am.sanctioned[ast.Unparen(ue.X)] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (am *atomicmixScanner) check(body ast.Node, fn *types.Func) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			v, ok := am.fx.pass.TypesInfo.Uses[n.Sel].(*types.Var)
+			if !ok || am.sanctioned[n] {
+				return true
+			}
+			am.report(n.Pos(), fn, v, n.Sel.Name)
+		case *ast.Ident:
+			v, ok := am.fx.pass.TypesInfo.Uses[n].(*types.Var)
+			// Field uses are reported at their selector; a bare ident here
+			// is a local or package-level variable.
+			if !ok || v.IsField() || am.sanctioned[n] {
+				return true
+			}
+			am.report(n.Pos(), fn, v, n.Name)
+		}
+		return true
+	})
+}
+
+func (am *atomicmixScanner) report(pos token.Pos, fn *types.Func, v *types.Var, name string) {
+	if am.fx.allowed("atomicmix", fn, pos) {
+		return
+	}
+	switch {
+	case am.viaFn[v]:
+		am.fx.pass.Reportf(pos,
+			"%s is accessed with sync/atomic elsewhere in this package but read or written plainly here (dtdvet:atomicmix); use the atomic API at every site or annotate dtdvet:allow atomicmix",
+			name)
+	case isAtomicValueType(v.Type()):
+		am.fx.pass.Reportf(pos,
+			"%s has atomic type %s but is used as a plain value here (dtdvet:atomicmix); call its methods (or take its address) instead of copying or overwriting it",
+			name, types.TypeString(v.Type(), func(p *types.Package) string { return p.Name() }))
+	}
+}

@@ -17,12 +17,19 @@
 //	                         methods must journal before writing
 //	journalpoint             on a func: this is the WAL append point
 //	nojournal -- <reason>    on a func: exempt from the journal rule
+//	replayroot               on a func: a replay/emission entry point;
+//	                         everything it (same-package) reaches must
+//	                         be deterministic (no clock, no rand, no
+//	                         map-order iteration)
+//	retry                    anywhere in a file: opt the whole package
+//	                         into the retrybound analyzer (retry loops
+//	                         must not spin on a constant sleep)
 //	allow <analyzer> -- <reason>
 //	                         on a func doc or trailing a statement:
 //	                         suppress that analyzer here
 //	strict <analyzer>        anywhere in a file: opt the whole
 //	                         package into a package-scoped analyzer
-//	                         (currently errsync)
+//	                         (errsync, golife)
 //
 // A comment that starts with the prefix but does not parse is itself a
 // diagnostic (the directive analyzer): a misspelled invariant must fail
@@ -41,11 +48,15 @@ const Prefix = "dtdvet:"
 
 // analyzer names valid in allow/strict arguments.
 var analyzerNames = map[string]bool{
-	"locks":     true,
-	"journal":   true,
-	"noalloc":   true,
-	"errsync":   true,
-	"directive": true,
+	"locks":      true,
+	"journal":    true,
+	"noalloc":    true,
+	"errsync":    true,
+	"directive":  true,
+	"replaydet":  true,
+	"golife":     true,
+	"atomicmix":  true,
+	"retrybound": true,
 }
 
 // Directive is one parsed dtdvet comment.
@@ -97,7 +108,7 @@ func parseDirective(pos token.Pos, text string) *Directive {
 		if len(d.Args) != 1 || !identPat.MatchString(d.Args[0]) {
 			d.Err = "want a single mutex field name: dtdvet:guarded_by field"
 		}
-	case "noalloc", "journaled", "journalpoint":
+	case "noalloc", "journaled", "journalpoint", "replayroot", "retry":
 		if len(d.Args) != 0 {
 			d.Err = "directive takes no arguments"
 		}

@@ -39,6 +39,16 @@ func TestParseDirective(t *testing.T) {
 		{text: "dtdvet:allow locks journal -- x", wantErr: "want a single analyzer name"},
 		{text: "dtdvet:strict errsync", verb: "strict", args: []string{"errsync"}},
 		{text: "dtdvet:strict", wantErr: "want a single analyzer name"},
+		{text: "dtdvet:replayroot", verb: "replayroot"},
+		{text: "dtdvet:replayroot ApplyWALRecord", wantErr: "takes no arguments"},
+		{text: "dtdvet:retry", verb: "retry"},
+		{text: "dtdvet:retry hard", wantErr: "takes no arguments"},
+		{text: "dtdvet:strict golife", verb: "strict", args: []string{"golife"}},
+		{text: "dtdvet:strict lifecycle", wantErr: "want a single analyzer name"},
+		{text: "dtdvet:allow replaydet -- keys sorted below", verb: "allow", args: []string{"replaydet"}, reason: "keys sorted below"},
+		{text: "dtdvet:allow atomicmix -- constructor, not shared yet", verb: "allow", args: []string{"atomicmix"}, reason: "constructor, not shared yet"},
+		{text: "dtdvet:allow retrybound -- fixed cadence is the protocol", verb: "allow", args: []string{"retrybound"}, reason: "fixed cadence is the protocol"},
+		{text: "dtdvet:allow golife", wantErr: "missing reason"},
 		{text: "dtdvet:", wantErr: "missing verb"},
 		{text: "dtdvet:frobnicate", wantErr: `unknown directive verb "frobnicate"`},
 	}

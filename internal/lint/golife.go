@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// GolifeAnalyzer checks goroutine shutdown discipline in packages opted
+// in with "dtdvet:strict golife": every go statement must launch a body
+// with recognizable lifecycle evidence — a sync.WaitGroup Done, a channel
+// receive (stop channels, tickers, select arms), or a context.Context
+// Done/Err check — found in the body itself or transitively through
+// same-package callees. A goroutine with none of these has no way to be
+// waited for or told to stop: it is the leaked-tailer/leaked-checkpointer
+// bug, invisible in unit tests (the process exits) and fatal in a server
+// that restarts components (DESIGN.md §13, §14). Launches whose lifecycle
+// the checker cannot see (cross-package bodies, function values) and
+// goroutines that are deliberately run-to-completion carry
+// "dtdvet:allow golife -- <why>".
+var GolifeAnalyzer = &analysis.Analyzer{
+	Name: "golife",
+	Doc:  "require goroutines in packages marked dtdvet:strict golife to be tied to a WaitGroup, stop channel, or context",
+	Run:  runGolife,
+}
+
+func runGolife(pass *analysis.Pass) error {
+	fx := build(pass)
+	if !fx.strict["golife"] {
+		return nil
+	}
+	gs := &golifeScanner{fx: fx, memo: make(map[*types.Func]bool), active: make(map[*types.Func]bool)}
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if gs.launchHasLifecycle(g) || fx.allowed("golife", fn, g.Pos()) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine is not tied to a lifecycle (dtdvet:strict golife): no WaitGroup Done, channel receive, or context check in its body; it can neither be stopped nor waited for — wire a stop signal or annotate dtdvet:allow golife")
+			return true
+		})
+	}
+	return nil
+}
+
+type golifeScanner struct {
+	fx     *facts
+	memo   map[*types.Func]bool
+	active map[*types.Func]bool
+}
+
+// launchHasLifecycle resolves what a go statement runs and looks for
+// lifecycle evidence in it.
+func (gs *golifeScanner) launchHasLifecycle(g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return gs.evidence(lit.Body)
+	}
+	if callee := gs.fx.calleeOf(g.Call); callee != nil {
+		return gs.fnHasLifecycle(callee)
+	}
+	return false // function value or builtin: nothing to inspect
+}
+
+// fnHasLifecycle reports whether fn's body (same package, transitively)
+// contains lifecycle evidence, memoized.
+func (gs *golifeScanner) fnHasLifecycle(fn *types.Func) bool {
+	if v, ok := gs.memo[fn]; ok {
+		return v
+	}
+	if gs.active[fn] {
+		return false // recursion: a cycle alone is not evidence
+	}
+	decl := gs.fx.decls[fn]
+	if decl == nil {
+		return false // other package, or no body visible
+	}
+	gs.active[fn] = true
+	v := gs.evidence(decl.Body)
+	delete(gs.active, fn)
+	gs.memo[fn] = v
+	return v
+}
+
+// evidence scans a body for lifecycle constructs: a channel receive
+// (covers stop channels, tickers and every select receive arm), a range
+// over a channel, a sync.WaitGroup Done, or a context.Context Done/Err.
+// Nested go statements are skipped — evidence inside a goroutine the body
+// launches ties that goroutine, not this one — and same-package callees
+// are searched transitively.
+func (gs *golifeScanner) evidence(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := gs.fx.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if gs.lifecycleCall(n) {
+				found = true
+				return false
+			}
+			if callee := gs.fx.calleeOf(n); callee != nil && callee.Pkg() == gs.fx.pass.Pkg {
+				if gs.fnHasLifecycle(callee) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lifecycleCall recognizes (*sync.WaitGroup).Done and
+// (context.Context).Done/Err calls.
+func (gs *golifeScanner) lifecycleCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := gs.fx.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "sync" && fn.Name() == "Done":
+		return true // (*sync.WaitGroup).Done
+	case fn.Pkg().Path() == "context" && (fn.Name() == "Done" || fn.Name() == "Err"):
+		return true
+	}
+	return false
+}

@@ -2,7 +2,9 @@
 // custom analyzers that machine-check the invariants the engine's
 // correctness rests on — lock discipline around the Source state,
 // journal-before-mutate in the durability layer, allocation-free hot
-// paths, and never-dropped fsync errors. The analyzers run over one
+// paths, never-dropped fsync errors, determinism of replay-reachable
+// code, goroutine shutdown discipline, consistent sync/atomic access,
+// and jittered retry backoff. The analyzers run over one
 // type-checked package at a time (see the analysis subpackage) and are
 // driven by cmd/dtdvet through the standard `go vet -vettool` contract.
 //
@@ -31,6 +33,10 @@ func Analyzers() []*analysis.Analyzer {
 		JournalAnalyzer,
 		NoallocAnalyzer,
 		ErrsyncAnalyzer,
+		ReplaydetAnalyzer,
+		GolifeAnalyzer,
+		AtomicmixAnalyzer,
+		RetryboundAnalyzer,
 	}
 }
 
@@ -76,17 +82,21 @@ type facts struct {
 	rw      map[lockKey]bool
 	// requires maps a function to the locks its callers must hold.
 	requires map[*types.Func][]lockReq
-	// noalloc, journalpoint, nojournal, journaled mark annotated decls.
+	// noalloc, journalpoint, nojournal, journaled, replayroot mark
+	// annotated decls.
 	noalloc      map[*types.Func]bool
 	journalpoint map[*types.Func]bool
 	nojournal    map[*types.Func]bool
 	journaled    map[*types.TypeName]bool
+	replayroot   map[*types.Func]bool
 	// allowFn and allowLine are suppressions: per function body, or per
 	// source line (trailing comment).
 	allowFn   map[*types.Func]map[string]bool
 	allowLine map[lineKey]map[string]bool
-	// strict holds package-wide opt-ins (dtdvet:strict).
+	// strict holds package-wide opt-ins (dtdvet:strict); retry is the
+	// package-wide retrybound opt-in (dtdvet:retry).
 	strict map[string]bool
+	retry  bool
 
 	// funcs lists every function declaration with a body in non-test
 	// files, with decls as the reverse index.
@@ -111,6 +121,7 @@ func build(pass *analysis.Pass) *facts {
 		journalpoint: make(map[*types.Func]bool),
 		nojournal:    make(map[*types.Func]bool),
 		journaled:    make(map[*types.TypeName]bool),
+		replayroot:   make(map[*types.Func]bool),
 		allowFn:      make(map[*types.Func]map[string]bool),
 		allowLine:    make(map[lineKey]map[string]bool),
 		strict:       make(map[string]bool),
@@ -289,6 +300,8 @@ func (fx *facts) bindFuncDirective(d *Directive, decl *ast.FuncDecl) {
 		fx.journalpoint[fn] = true
 	case "nojournal":
 		fx.nojournal[fn] = true
+	case "replayroot":
+		fx.replayroot[fn] = true
 	case "allow":
 		m := fx.allowFn[fn]
 		if m == nil {
@@ -359,6 +372,8 @@ func (fx *facts) bindFloatingDirective(d *Directive) {
 	switch d.Verb {
 	case "strict":
 		fx.strict[d.Args[0]] = true
+	case "retry":
+		fx.retry = true
 	case "allow":
 		pos := fx.pass.Fset.Position(d.Pos)
 		lk := lineKey{file: pos.Filename, line: pos.Line}

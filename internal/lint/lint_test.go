@@ -31,6 +31,29 @@ func TestDirective(t *testing.T) {
 	linttest.Run(t, "testdata", "directivefix", lint.DirectiveAnalyzer)
 }
 
+func TestReplaydet(t *testing.T) {
+	linttest.Run(t, "testdata", "replayfix", lint.ReplaydetAnalyzer)
+}
+
+func TestGolife(t *testing.T) {
+	linttest.Run(t, "testdata", "golifefix", lint.GolifeAnalyzer)
+}
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, "testdata", "atomicmixfix", lint.AtomicmixAnalyzer)
+}
+
+func TestRetrybound(t *testing.T) {
+	linttest.Run(t, "testdata", "retryboundfix", lint.RetryboundAnalyzer)
+}
+
+// TestStrictOptInGates pins the opt-in gates: the strictoff fixture
+// contains a leaked goroutine and a constant-sleep spin but opts into
+// nothing, so golife and retrybound must stay silent there.
+func TestStrictOptInGates(t *testing.T) {
+	linttest.Run(t, "testdata", "strictoff", lint.GolifeAnalyzer, lint.RetryboundAnalyzer)
+}
+
 // TestSuiteOnCleanFixture runs every analyzer at once over the package
 // that uses the directives correctly end to end: the suite must agree
 // with the fixture's want set exactly (locksfix wants are all locks

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// ReplaydetAnalyzer enforces determinism on replay-reachable code: every
+// function reachable through same-package calls from a function marked
+// "dtdvet:replayroot" (the WAL apply dispatch, snapshot and journal
+// encoders) must not consult the wall clock (time.Now/Since/Until), draw
+// randomness (math/rand, math/rand/v2), or iterate a map — Go randomizes
+// map order per run, so any bytes or state derived from a bare range
+// diverge between the primary and a replica replaying the same stream.
+// This is the invariant PR 8's replication rests on: recovery and
+// followers must reproduce the primary's state byte-for-byte from the
+// journaled records alone (DESIGN.md §10, §14).
+//
+// Map ranges whose results are sorted before use, and clock reads that
+// feed only metrics, are suppressed at the site with
+// "dtdvet:allow replaydet -- <why>". The reachability is same-package
+// only (the framework has no cross-package facts); each package declares
+// its own roots.
+var ReplaydetAnalyzer = &analysis.Analyzer{
+	Name: "replaydet",
+	Doc:  "forbid clock reads, randomness and map-order iteration in code reachable from dtdvet:replayroot entry points",
+	Run:  runReplaydet,
+}
+
+func runReplaydet(pass *analysis.Pass) error {
+	fx := build(pass)
+	if len(fx.replayroot) == 0 {
+		return nil
+	}
+
+	// Reachability: breadth-first over same-package calls from the roots.
+	// via remembers which root first reached each function, for the
+	// diagnostic.
+	via := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for fn := range fx.replayroot {
+		via[fn] = fn
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		decl := fx.decls[fn]
+		if decl == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := fx.calleeOf(call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+		root, reachable := via[fn]
+		if fn == nil || !reachable {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				what := nondeterministicCall(fx, n)
+				if what == "" {
+					return true
+				}
+				if fx.allowed("replaydet", fn, n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"call to %s in replay-reachable code (%s is reachable from dtdvet:replayroot %s); replayed state must be deterministic (dtdvet:replaydet)",
+					what, fn.Name(), root.Name())
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if fx.allowed("replaydet", fn, n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"map iteration in replay-reachable code (%s is reachable from dtdvet:replayroot %s); map order is nondeterministic — sort the keys, or annotate dtdvet:allow replaydet if order cannot escape (dtdvet:replaydet)",
+					fn.Name(), root.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondeterministicCall describes a call whose result varies between runs
+// ("" when the call is deterministic): the wall clock and the rand
+// packages.
+func nondeterministicCall(fx *facts, call *ast.CallExpr) string {
+	callee := fx.calleeOf(call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	switch callee.Pkg().Path() {
+	case "time":
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			return "time." + callee.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		return callee.Pkg().Path() + "." + callee.Name()
+	}
+	return ""
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dtdevolve/internal/lint/analysis"
+)
+
+// RetryboundAnalyzer checks retry pacing in packages opted in with a
+// floating "dtdvet:retry" comment: a loop that waits with time.Sleep or
+// time.After on a compile-time-constant duration retries at a fixed
+// cadence forever — the constant-sleep spin that hammers an unreachable
+// primary and, across a fleet, reconnects every follower in lockstep the
+// moment it returns (DESIGN.md §14). Retry delays must be computed —
+// grown across attempts and jittered, as replicate's backoff schedule is —
+// so the analyzer accepts any non-constant wait argument and flags only
+// the literal spin. Deliberate fixed pacing (a poll interval that is
+// configuration, not retry) either arrives through a variable, which
+// passes, or carries "dtdvet:allow retrybound -- <why>".
+var RetryboundAnalyzer = &analysis.Analyzer{
+	Name: "retrybound",
+	Doc:  "forbid constant-delay retry spins in loops of packages marked dtdvet:retry",
+	Run:  runRetrybound,
+}
+
+func runRetrybound(pass *analysis.Pass) error {
+	fx := build(pass)
+	if !fx.retry {
+		return nil
+	}
+	for _, decl := range fx.funcs {
+		fn := fx.funcObj(decl)
+
+		// Collect the source spans of every loop in the function; a wait
+		// call anywhere inside one (body, condition, select arm) runs once
+		// per attempt.
+		var loops []span
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, span{from: n.Pos(), to: n.End()})
+			}
+			return true
+		})
+		if len(loops) == 0 {
+			continue
+		}
+
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inSpan(loops, call.Pos()) {
+				return true
+			}
+			what, ok := constantWait(fx, call)
+			if !ok {
+				return true
+			}
+			if fx.allowed("retrybound", fn, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"retry loop waits a constant duration via %s on every attempt (dtdvet:retry); back off with a growing, jittered delay or annotate dtdvet:allow retrybound",
+				what)
+			return true
+		})
+	}
+	return nil
+}
+
+type span struct{ from, to token.Pos }
+
+func inSpan(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.from <= pos && pos < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// constantWait recognizes time.Sleep(d) and time.After(d) where d is a
+// compile-time constant.
+func constantWait(fx *facts, call *ast.CallExpr) (string, bool) {
+	callee := fx.calleeOf(call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "time" {
+		return "", false
+	}
+	switch callee.Name() {
+	case "Sleep", "After":
+	default:
+		return "", false
+	}
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := fx.pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	return "time." + callee.Name(), true
+}

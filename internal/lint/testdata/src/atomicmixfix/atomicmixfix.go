@@ -1,0 +1,75 @@
+// Package atomicmixfix exercises the atomicmix analyzer: a variable
+// accessed through sync/atomic anywhere must never be read or written
+// plainly elsewhere, and atomic.* wrapper values must not be copied or
+// overwritten as plain values.
+package atomicmixfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	size atomic.Int64
+}
+
+// bump makes hits an atomically-accessed word for the whole package.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere in this package but read or written plainly here`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) okRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// okMethods uses the wrapper type the only way it should be used.
+func (c *counters) okMethods() int64 {
+	c.size.Add(1)
+	return c.size.Load()
+}
+
+func (c *counters) copied() atomic.Int64 {
+	return c.size // want `size has atomic type atomic\.Int64 but is used as a plain value here`
+}
+
+func (c *counters) overwritten() {
+	c.size = atomic.Int64{} // want `size has atomic type atomic\.Int64`
+}
+
+// okPointer hands the word to a helper by address; the helper's pointer
+// is an ordinary value and may be copied freely.
+func (c *counters) okPointer() *atomic.Int64 {
+	return &c.size
+}
+
+// newCounters initializes via a keyed composite literal: the value is not
+// shared yet, so the plain write is the idiomatic constructor shape.
+func newCounters(seed atomic.Int64) *counters {
+	return &counters{size: seed} // dtdvet:allow atomicmix -- fixture: seed is a one-shot constructor argument
+}
+
+// total is a package-level word accessed atomically below.
+var total int64
+
+func addTotal(n int64) {
+	atomic.AddInt64(&total, n)
+}
+
+func readTotalRacy() int64 {
+	return total // want `total is accessed with sync/atomic elsewhere`
+}
+
+func readTotalOK() int64 {
+	return atomic.LoadInt64(&total)
+}
+
+// singleThreaded documents a sanctioned plain access.
+func singleThreaded() {
+	total = 0 // dtdvet:allow atomicmix -- fixture: test-only reset before any goroutine starts
+}

@@ -39,6 +39,12 @@ func floating() {
 	_ = 1
 }
 
+// dtdvet:replayroot // want `malformed dtdvet directive: directive dtdvet:replayroot cannot annotate a type`
+type T3 struct{}
+
+// dtdvet:retry // want `malformed dtdvet directive: directive dtdvet:retry cannot annotate a function`
+func wrongRetryTarget() {}
+
 // Valid directives produce no diagnostics.
 // dtdvet:requires mu
 func (s *S) okLocked() { s.data++ }

@@ -1,0 +1,95 @@
+// Package golifefix exercises the golife analyzer in a package opted in
+// with the strict directive: every goroutine must show lifecycle evidence
+// (WaitGroup Done, channel receive, or context check), in its own body or
+// through same-package callees.
+package golifefix
+
+// dtdvet:strict golife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak launches a goroutine nothing can stop or wait for.
+func leak() {
+	go func() { // want `goroutine is not tied to a lifecycle \(dtdvet:strict golife\)`
+		for {
+			work()
+		}
+	}()
+}
+
+// waited ties the goroutine to a WaitGroup.
+func waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// stoppable ties the goroutine to a stop channel.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxBound ties the goroutine to a context.
+func ctxBound(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// tail shows evidence found transitively through a named same-package
+// function.
+func tail(stop chan struct{}) {
+	<-stop
+}
+
+func startTail(stop chan struct{}) {
+	go tail(stop)
+}
+
+// startLeaky launches a named function with no evidence anywhere.
+func leakyLoop() {
+	for {
+		work()
+	}
+}
+
+func startLeaky() {
+	go leakyLoop() // want `goroutine is not tied to a lifecycle`
+}
+
+// opaque launches a function value the checker cannot see into: the
+// annotation records why that is acceptable.
+func opaque(f func()) {
+	go f() // dtdvet:allow golife -- fixture: caller contract says f returns promptly
+}
+
+// nestedEvidence must not leak outward: the inner goroutine's receive
+// ties the inner goroutine, not the outer one.
+func nested(stop chan struct{}) {
+	go func() { // want `goroutine is not tied to a lifecycle`
+		go func() {
+			<-stop
+		}()
+		for {
+			work()
+		}
+	}()
+}

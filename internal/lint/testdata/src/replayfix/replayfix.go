@@ -1,0 +1,55 @@
+// Package replayfix exercises the replaydet analyzer: code reachable
+// (same-package call graph) from a dtdvet:replayroot entry point must be
+// deterministic — no clock, no randomness, no map-order iteration.
+package replayfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type store struct {
+	entries map[string]int
+	log     []string
+}
+
+// Apply is the replay entry point: everything it reaches is swept.
+// dtdvet:replayroot
+func (s *store) Apply(payload string) {
+	s.stamp()
+	s.emit()
+	s.emitSorted()
+}
+
+// stamp is only reachable from Apply; its clock read is flagged there.
+func (s *store) stamp() {
+	_ = time.Now() // want `call to time\.Now in replay-reachable code \(stamp is reachable from dtdvet:replayroot Apply\)`
+}
+
+func (s *store) emit() {
+	for k := range s.entries { // want `map iteration in replay-reachable code`
+		s.log = append(s.log, k)
+	}
+	delay := rand.Int() // want `call to math/rand\.Int in replay-reachable code`
+	_ = time.Duration(delay)
+}
+
+// emitSorted is the sanctioned shape: the range order cannot escape
+// because the keys are sorted before use.
+func (s *store) emitSorted() {
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries { // dtdvet:allow replaydet -- keys sorted below before any emission
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.log = append(s.log, keys...)
+}
+
+// tick is NOT reachable from any replayroot: the clock is fine here.
+func (s *store) tick() time.Time {
+	for k := range s.entries {
+		_ = k
+	}
+	return time.Now()
+}

@@ -1,0 +1,70 @@
+// Package retryboundfix exercises the retrybound analyzer in a package
+// opted in with the retry directive: loops must not wait on a
+// compile-time-constant duration between attempts.
+package retryboundfix
+
+// dtdvet:retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// spin is the bug: a fixed cadence forever.
+func spin(try func() error) {
+	for try() != nil {
+		time.Sleep(100 * time.Millisecond) // want `retry loop waits a constant duration via time\.Sleep on every attempt \(dtdvet:retry\)`
+	}
+}
+
+// selectSpin hides the same bug in a select arm.
+func selectSpin(stop chan struct{}, try func() error) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want `retry loop waits a constant duration via time\.After`
+			if try() == nil {
+				return
+			}
+		}
+	}
+}
+
+// backoff is the sanctioned shape: the delay grows and is jittered, so
+// the wait argument is computed, not constant.
+func backoff(try func() error) {
+	d := 10 * time.Millisecond
+	for try() != nil {
+		time.Sleep(d + time.Duration(rand.Int63n(int64(d))))
+		if d < time.Second {
+			d *= 2
+		}
+	}
+}
+
+// pollInterval passes because the cadence arrives through a variable —
+// configuration, not a hard-coded spin.
+func pollInterval(interval time.Duration, try func() error) {
+	for try() != nil {
+		time.Sleep(interval)
+	}
+}
+
+// waitOnce is not a loop: a single fixed delay is fine.
+func waitOnce() {
+	time.Sleep(50 * time.Millisecond)
+}
+
+// annotated records why a fixed cadence is deliberate.
+func heartbeat(stop chan struct{}, beat func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		time.Sleep(time.Second) // dtdvet:allow retrybound -- fixture: fixed heartbeat cadence is the protocol, not a retry
+		beat()
+	}
+}

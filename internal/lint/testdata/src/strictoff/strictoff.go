@@ -1,0 +1,22 @@
+// Package strictoff has neither the golife nor the retry opt-in: the
+// same leaked goroutine and constant-sleep spin that fail golifefix and
+// retryboundfix produce no diagnostics here.
+package strictoff
+
+import "time"
+
+func work() {}
+
+func leak() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func spin(try func() error) {
+	for try() != nil {
+		time.Sleep(100 * time.Millisecond)
+	}
+}

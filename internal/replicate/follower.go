@@ -588,6 +588,7 @@ func (f *Follower) segPath(st *shardTail, seq uint64) string {
 // more bytes arrive (it is only an error if the segment seals under it);
 // a zero/oversized length or CRC mismatch returns wal.ErrCorrupt and
 // applies nothing further.
+// dtdvet:replayroot
 func (f *Follower) applyPending(st *shardTail) error {
 	for {
 		if len(st.pending) < wal.FrameHeaderSize {

@@ -32,6 +32,12 @@
 // never applied.
 //
 // dtdvet:strict errsync
+//
+// Tailer goroutines must be tied to the follower's stop channel and
+// WaitGroup, and every retry loop must back off with a growing, jittered
+// delay — a fleet of followers on a fixed cadence reconnects in lockstep.
+// dtdvet:strict golife
+// dtdvet:retry
 package replicate
 
 import (

@@ -108,6 +108,7 @@ func checkLayout(dir string) error {
 // is initialized with a manifest recording opts; an existing manifest must
 // match opts (changing the shard count requires resharding and is
 // rejected). The returned RecoveryInfo slice has one entry per shard.
+// dtdvet:replayroot
 func Recover(cfg source.Config, dir string, walOpts wal.Options, opts Options) (*Router, []source.RecoveryInfo, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err

@@ -29,6 +29,10 @@
 //
 // The durability layer must never drop a Sync/Close/Write error.
 // dtdvet:strict errsync
+//
+// Per-shard fan-outs (recovery, broadcasts, checkpointer stops) must be
+// tied to a WaitGroup or stop signal.
+// dtdvet:strict golife
 package shard
 
 import (
@@ -463,7 +467,9 @@ type routerSnapshot struct {
 // Snapshot serializes every shard's state into one merged document. Each
 // shard snapshots independently (its own read lock); the merged snapshot
 // is a point-in-time view per shard, not a global cut — identical to what
-// N independent checkpoints provide.
+// N independent checkpoints provide. The merged bytes are compared across
+// primary/replica pairs, so the emission must be deterministic.
+// dtdvet:replayroot
 func (r *Router) Snapshot() ([]byte, error) {
 	merged := routerSnapshot{
 		Version: manifestVersion,

@@ -57,6 +57,7 @@ type walOp struct {
 // because their durability can no longer be promised.
 // dtdvet:requires mu
 // dtdvet:journalpoint
+// dtdvet:replayroot
 func (s *Source) journalLocked(op walOp) {
 	if s.replaying || s.walErr != nil {
 		return
@@ -98,6 +99,7 @@ func (s *Source) journalLocked(op walOp) {
 // source turns degraded (sticky) and the group still applies in memory.
 // dtdvet:requires mu
 // dtdvet:journalpoint
+// dtdvet:replayroot
 func (s *Source) journalBatchLocked(payloads [][]byte) (flush *wal.Log) {
 	if s.wal == nil || s.replaying || s.walErr != nil || len(payloads) == 0 {
 		return nil
@@ -254,6 +256,7 @@ func walPosition(snapshotData []byte) uint64 {
 // Recovery is total over crash damage: a torn tail is truncated, corrupt
 // suffixes are quarantined, and the state equals the reference state at the
 // last durable record.
+// dtdvet:replayroot
 func Recover(cfg Config, snapshotData []byte, walDir string, opts wal.Options) (*Source, RecoveryInfo, error) {
 	var info RecoveryInfo
 	var s *Source

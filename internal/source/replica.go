@@ -40,6 +40,7 @@ func (s *Source) Replica() bool {
 // operation is not re-journaled; applying records in shipped order on a
 // state built from the primary's checkpoint reproduces the primary's state
 // exactly.
+// dtdvet:replayroot
 func (s *Source) ApplyWALRecord(payload []byte) error {
 	var op walOp
 	if err := json.Unmarshal(payload, &op); err != nil {

@@ -48,6 +48,10 @@ import (
 
 // The durability layer must never drop a Sync/Close/Write error.
 // dtdvet:strict errsync
+//
+// Every goroutine this package starts (checkpointers, scoring workers)
+// must be tied to a stop signal or a WaitGroup.
+// dtdvet:strict golife
 
 // Config holds the source parameters.
 type Config struct {
@@ -207,7 +211,7 @@ func (s *Source) Names() []string {
 // dtdvet:requires mu:r
 func (s *Source) names() []string {
 	out := make([]string, 0, len(s.entries))
-	for name := range s.entries {
+	for name := range s.entries { // dtdvet:allow replaydet -- keys sorted below before returning
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -249,13 +253,13 @@ type AddResult struct {
 // changed in between (another Add evolved a DTD, or AddDTD ran), the
 // document is re-scored under the write lock before being recorded.
 func (s *Source) Add(doc *xmltree.Document) AddResult {
-	start := time.Now()
+	start := time.Now() // dtdvet:allow replaydet -- wall clock feeds phase metrics only; never journaled or replayed
 	s.mu.RLock()
 	gen := s.gen
 	hasWAL := s.wal != nil && !s.replaying && s.walErr == nil
 	cls := s.classifier.Classify(doc)
 	s.mu.RUnlock()
-	s.metrics.ObserveClassifyPhase(time.Since(start))
+	s.metrics.ObserveClassifyPhase(time.Since(start)) // dtdvet:allow replaydet -- metrics only
 
 	if gc := s.committer.Load(); gc != nil {
 		req := newCommitReq(doc, cls, gen, hasWAL)
@@ -264,7 +268,7 @@ func (s *Source) Add(doc *xmltree.Document) AddResult {
 		return req.res
 	}
 
-	commit := time.Now()
+	commit := time.Now() // dtdvet:allow replaydet -- wall clock feeds phase metrics only; never journaled or replayed
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.gen != gen {
@@ -272,7 +276,7 @@ func (s *Source) Add(doc *xmltree.Document) AddResult {
 	}
 	res := s.commitLocked(doc, cls)
 	s.fireTriggers(&res)
-	s.metrics.ObserveCommitPhase(time.Since(commit))
+	s.metrics.ObserveCommitPhase(time.Since(commit)) // dtdvet:allow replaydet -- metrics only
 	return res
 }
 
@@ -823,8 +827,11 @@ func (s *Source) Snapshot() ([]byte, error) {
 }
 
 // snapshotLocked marshals the state with the given WAL position. Callers
-// hold s.mu (read side suffices).
+// hold s.mu (read side suffices). Snapshot bytes are compared across
+// primary/replica pairs and across recover-checkpoint cycles, so the
+// encoder must be byte-deterministic.
 // dtdvet:requires mu:r
+// dtdvet:replayroot
 func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 	snap := snapshot{
 		Version:    snapshotVersion,
@@ -837,7 +844,13 @@ func (s *Source) snapshotLocked(walSeq uint64) ([]byte, error) {
 		Symbols:    s.tab.Names(),
 		WALSeq:     walSeq,
 	}
-	for name, e := range s.entries {
+	// Iterate in sorted-name order, not map order: the per-entry calls
+	// (record snapshots, signature snapshots) must run in the same order on
+	// every node so any state they touch — and any future non-map field
+	// derived from them — keeps checkpoint bytes identical across
+	// primary/replica pairs and recover-checkpoint cycles.
+	for _, name := range s.names() {
+		e := s.entries[name]
 		snap.DTDs[name] = e.d.String()
 		snap.Roots[name] = e.d.Name
 		snap.Docs[name] = e.docs
@@ -873,7 +886,19 @@ func Restore(cfg Config, data []byte) (*Source, error) {
 		// the signatures' interned label IDs resolve to the same names.
 		s.tab.InternAll(snap.Symbols)
 	}
-	for name, src := range snap.DTDs {
+	// Restore DTDs in sorted-name order, not map order: building a
+	// recorder or classifier entry interns labels into the shared symbol
+	// table, and for pre-v2 snapshots (no saved Symbols slice) the
+	// iteration order IS the ID assignment order. Two restores of the same
+	// snapshot must produce identical tables, or their next checkpoints —
+	// which a follower compares byte-for-byte — diverge.
+	names := make([]string, 0, len(snap.DTDs))
+	for name := range snap.DTDs { // dtdvet:allow replaydet -- keys sorted below before any state is touched
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := snap.DTDs[name]
 		d, err := dtd.ParseString(src)
 		if err != nil {
 			return nil, fmt.Errorf("source: snapshot DTD %q: %w", name, err)

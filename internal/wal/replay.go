@@ -29,6 +29,7 @@ type ReplayResult struct {
 }
 
 // Replay is ReplayFrom over the whole directory.
+// dtdvet:replayroot
 func Replay(dir string, apply func(payload []byte) error) (ReplayResult, error) {
 	return ReplayFrom(dir, 0, apply)
 }
@@ -46,6 +47,7 @@ func Replay(dir string, apply func(payload []byte) error) (ReplayResult, error) 
 // both cases ReplayFrom returns a nil error and the state rebuilt from the
 // longest valid prefix; an apply error or an I/O failure is returned as an
 // error.
+// dtdvet:replayroot
 func ReplayFrom(dir string, minSeq uint64, apply func(payload []byte) error) (ReplayResult, error) {
 	var res ReplayResult
 	seqs, err := listSegments(dir)

@@ -32,6 +32,10 @@ import (
 
 // A write-ahead log that drops a Sync/Close/Write error is not one.
 // dtdvet:strict errsync
+//
+// The background fsync loop must be stoppable: a leaked sync goroutine
+// keeps a dead Log's file handle alive past Close.
+// dtdvet:strict golife
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
 type SyncPolicy int
