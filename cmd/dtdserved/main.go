@@ -134,6 +134,8 @@ func main() {
 	replicaListen := flag.String("replica-listen", ":8081", "listen address in follower mode (with -follow)")
 	maxStaleness := flag.Duration("max-staleness", 0, "bounded-staleness read gate in follower mode: reads answer 503 once lag exceeds this (0: serve regardless of lag)")
 	followerID := flag.String("follower-id", "", "stable follower identity for the primary's ack/GC registry (default: hostname)")
+	maxDocBytes := flag.Int64("max-doc-bytes", 0, "streaming ingest byte budget: POST /documents?stream=1 rejects bigger documents with 413 (0: unlimited)")
+	maxChildren := flag.Int("max-children", 0, "streaming ingest width budget: an element exceeding this many children degrades to an ANY-style summary instead of growing memory (0: unlimited)")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	flag.Parse()
 
@@ -143,6 +145,8 @@ func main() {
 	cfg.MinDocs = *minDocs
 	cfg.ClassifyApprox = !*classifyExact
 	cfg.ClassifyTopK = *classifyTopK
+	cfg.MaxDocBytes = *maxDocBytes
+	cfg.MaxChildren = *maxChildren
 
 	syncPolicy, err := dtdevolve.ParseSyncPolicy(*fsyncMode)
 	if err != nil {

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"dtdevolve"
 )
@@ -70,6 +71,18 @@ func main() {
 		log.Fatalf("new-style event still invalid: %v", vs)
 	}
 	fmt.Println("\nnew-style events now valid")
+
+	// A high-volume tail of the stream arrives through the one-pass
+	// streaming path (DESIGN.md §15): same classification, same recorded
+	// statistics, but the document is never materialized as a tree —
+	// memory stays bounded by the open-element path however large the
+	// event. Over HTTP this is POST /documents?stream=1.
+	res, err := restored.AddStream(strings.NewReader(evt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed event classified %q at similarity %.2f (one pass, no tree)\n",
+		res.DTDName, res.Similarity)
 }
 
 func feed(src *dtdevolve.Source, s string) dtdevolve.AddResult {

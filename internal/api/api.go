@@ -11,6 +11,11 @@
 //	GET  /dtds/{name}             current DTD (text/plain)
 //	POST /dtds/{name}/evolve      force the evolution phase
 //	POST /documents               classify+record one document (body: XML)
+//	POST /documents?stream=1      same, via the bounded-memory one-pass path
+//	                              (body streams straight into the parser; the
+//	                              engine's MaxDocBytes budget replaces the
+//	                              handler's body cap; sharded ingest needs
+//	                              the routing-key header)
 //	POST /documents/batch         batch ingest (body: {"documents": [xml, …], "keys": [k, …]})
 //	GET  /repository              repository size
 //	POST /repository/reclassify   re-classify the repository
@@ -75,6 +80,11 @@ type Engine interface {
 	DTD(name string) *dtd.DTD
 	Names() []string
 	AddDocument(ctx context.Context, key string, doc *xmltree.Document) (source.AddResult, error)
+	// AddDocumentStream ingests one document through the bounded-memory
+	// one-pass path without materializing the tree. Sharded engines require
+	// a non-empty key (shard.ErrStreamKeyRequired otherwise): the router
+	// never sees the bytes, so there is no content-hash fallback.
+	AddDocumentStream(ctx context.Context, key string, r io.Reader) (source.AddResult, error)
 	AddBatchKeyed(ctx context.Context, keys []string, docs []*xmltree.Document) ([]source.AddResult, error)
 	EvolveNow(name string) (evolve.Report, int, error)
 	Reclassify() (int, error)
@@ -107,6 +117,9 @@ func (e sourceEngine) DTD(name string) *dtd.DTD { return e.src.DTD(name) }
 func (e sourceEngine) Names() []string          { return e.src.Names() }
 func (e sourceEngine) AddDocument(_ context.Context, _ string, doc *xmltree.Document) (source.AddResult, error) {
 	return e.src.Add(doc), nil
+}
+func (e sourceEngine) AddDocumentStream(_ context.Context, _ string, r io.Reader) (source.AddResult, error) {
+	return e.src.AddStream(r)
 }
 func (e sourceEngine) AddBatchKeyed(ctx context.Context, _ []string, docs []*xmltree.Document) ([]source.AddResult, error) {
 	return e.src.AddBatchContext(ctx, docs)
@@ -361,20 +374,66 @@ type addResponse struct {
 // back. Batch responses omit candidates entirely.
 const maxEchoCandidates = 5
 
-func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
-	data, ok := readBody(w, r)
-	if !ok {
-		return
+// streamRequested reports whether the client asked for the one-pass
+// streaming ingest (?stream=1 / ?stream=true on POST /documents).
+func streamRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
 	}
-	doc, err := parseDocument(data)
-	if err != nil {
+	return false
+}
+
+// writeStreamError maps a streaming-ingest failure onto a status: the byte
+// budget is 413 like an over-limit buffered body, malformed XML is the
+// client's 400, a missing routing key on a sharded engine is 400, and the
+// bounded-mode refusals (no spool kept for the repository or for re-scoring
+// after a DTD change) are 409 — the document was not ingested and the
+// client should re-send it, buffered.
+func writeStreamError(w http.ResponseWriter, err error) {
+	var se *xmltree.SizeError
+	var pe *xmltree.ParseError
+	switch {
+	case errors.As(err, &se):
+		writeError(w, http.StatusRequestEntityTooLarge, "streaming document: %v", err)
+	case errors.As(err, &pe):
 		writeError(w, http.StatusBadRequest, "parsing document: %v", err)
-		return
+	case errors.Is(err, shard.ErrStreamKeyRequired):
+		writeError(w, http.StatusBadRequest, "streaming document: %v", err)
+	case errors.Is(err, source.ErrStreamRepository), errors.Is(err, source.ErrStreamStale):
+		writeError(w, http.StatusConflict, "streaming document: %v", err)
+	default:
+		writeEngineError(w, err, http.StatusInternalServerError, "streaming document")
 	}
-	res, err := h.eng.AddDocument(r.Context(), r.Header.Get(h.keyHeader), doc)
-	if err != nil {
-		writeEngineError(w, err, http.StatusInternalServerError, "adding document")
-		return
+}
+
+func (h *Handler) addDocument(w http.ResponseWriter, r *http.Request) {
+	var res source.AddResult
+	var err error
+	if streamRequested(r) {
+		// The body flows straight into the one-pass ingest: no read-side
+		// buffer, no maxBodyBytes — the engine's MaxDocBytes budget is the
+		// cap, enforced as the bytes stream (SizeError → 413).
+		res, err = h.eng.AddDocumentStream(r.Context(), r.Header.Get(h.keyHeader), r.Body)
+		if err != nil {
+			writeStreamError(w, err)
+			return
+		}
+	} else {
+		data, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		doc, perr := parseDocument(data)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "parsing document: %v", perr)
+			return
+		}
+		res, err = h.eng.AddDocument(r.Context(), r.Header.Get(h.keyHeader), doc)
+		if err != nil {
+			writeEngineError(w, err, http.StatusInternalServerError, "adding document")
+			return
+		}
 	}
 	cands := res.Candidates
 	if len(cands) > maxEchoCandidates {

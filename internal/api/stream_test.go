@@ -1,0 +1,143 @@
+package api
+
+// Tests for POST /documents?stream=1 — the bounded-memory one-pass ingest
+// mode — and its error mapping (413 oversize, 400 malformed / missing
+// shard key, 409 bounded-mode refusal), plus the stream counters pinned in
+// GET /metrics.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/source"
+)
+
+const articleXML = `<article><title>t</title><body>b</body></article>`
+
+func TestStreamDocumentEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dtd: %d (%v)", resp.StatusCode, out)
+	}
+	resp, buffered := do(t, "POST", srv.URL+"/documents", articleXML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered post: %d (%v)", resp.StatusCode, buffered)
+	}
+	resp, streamed := do(t, "POST", srv.URL+"/documents?stream=1", articleXML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed post: %d (%v)", resp.StatusCode, streamed)
+	}
+	// Same response shape and content as the buffered path.
+	for _, k := range []string{"classified", "dtd", "similarity"} {
+		if buffered[k] != streamed[k] {
+			t.Errorf("%s: buffered %v != streamed %v", k, buffered[k], streamed[k])
+		}
+	}
+	if streamed["classified"] != true {
+		t.Errorf("streamed document not classified: %v", streamed)
+	}
+
+	// The stream counters must be pinned in GET /metrics — and count only
+	// the streamed ingest, not the buffered one.
+	resp, m := do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if got := m["stream_docs"]; got != float64(1) {
+		t.Errorf("stream_docs = %v, want 1", got)
+	}
+	if got, ok := m["stream_bytes"].(float64); !ok || got < float64(len(articleXML)) {
+		t.Errorf("stream_bytes = %v, want >= %d", m["stream_bytes"], len(articleXML))
+	}
+	if m["added"] != float64(2) {
+		t.Errorf("added = %v, want 2", m["added"])
+	}
+}
+
+func TestStreamDocumentOversize413(t *testing.T) {
+	cfg := source.DefaultConfig()
+	cfg.MaxDocBytes = 64
+	src := source.New(cfg)
+	srv := httptest.NewServer(New(src))
+	t.Cleanup(srv.Close)
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dtd: %d (%v)", resp.StatusCode, out)
+	}
+	big := "<article>" + strings.Repeat("<title>x</title>", 50) + "</article>"
+	resp, out := do(t, "POST", srv.URL+"/documents?stream=1", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize stream: %d (%v), want 413", resp.StatusCode, out)
+	}
+	_, m := do(t, "GET", srv.URL+"/metrics", "")
+	if m["stream_rejected_oversize"] != float64(1) {
+		t.Errorf("stream_rejected_oversize = %v, want 1", m["stream_rejected_oversize"])
+	}
+}
+
+func TestStreamDocumentMalformed400(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, out := do(t, "POST", srv.URL+"/documents?stream=1", "<open><unclosed>")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed stream: %d (%v), want 400", resp.StatusCode, out)
+	}
+}
+
+func TestStreamDocumentBoundedRepository409(t *testing.T) {
+	// No WAL, no store: an unclassifiable streamed document has no spooled
+	// bytes left for the repository — the handler reports 409 so the client
+	// re-sends buffered.
+	srv, _ := newServer(t)
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dtd: %d (%v)", resp.StatusCode, out)
+	}
+	resp, out := do(t, "POST", srv.URL+"/documents?stream=1", "<unrelated><x/></unrelated>")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("bounded repository: %d (%v), want 409", resp.StatusCode, out)
+	}
+	// The buffered path still accepts it into the repository.
+	if resp, out := do(t, "POST", srv.URL+"/documents", "<unrelated><x/></unrelated>"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered fallback: %d (%v)", resp.StatusCode, out)
+	}
+	if _, out := do(t, "GET", srv.URL+"/repository", ""); out["size"] != float64(1) {
+		t.Errorf("repository size = %v, want 1", out["size"])
+	}
+}
+
+func TestStreamDocumentShardedNeedsKey(t *testing.T) {
+	srv, r := newShardedServer(t, 4)
+	if resp, out := do(t, "PUT", srv.URL+"/dtds/article?root=article", articleDTD); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dtd: %d (%v)", resp.StatusCode, out)
+	}
+	// No key: the router cannot content-hash a stream it never buffers.
+	resp, out := do(t, "POST", srv.URL+"/documents?stream=1", articleXML)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("keyless sharded stream: %d (%v), want 400", resp.StatusCode, out)
+	}
+	// With a key it lands on exactly the routed shard.
+	target := 2
+	key := shardKey(t, r, target)
+	req, err := http.NewRequest("POST", srv.URL+"/documents?stream=1", strings.NewReader(articleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DefaultKeyHeader, key)
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed sharded stream: %d", hresp.StatusCode)
+	}
+	for i := 0; i < r.Shards(); i++ {
+		want := int64(0)
+		if i == target {
+			want = 1
+		}
+		if got := r.Shard(i).Metrics().StreamDocs; got != want {
+			t.Errorf("shard %d stream_docs = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -532,6 +532,77 @@ func (c *Classifier) minNameLocked() string {
 	return min
 }
 
+// StreamEntry is one registered DTD exposed to the streaming ingest path:
+// the pieces a stream consumer needs to score a document incrementally
+// (the evaluator pool, the declared-root gate, and the DTD for the
+// recorder lane).
+type StreamEntry struct {
+	Name     string
+	RootName string // declared root ("" gates nothing)
+	Pool     *similarity.Pool
+	DTD      *dtd.DTD
+}
+
+// StreamEntries snapshots the registered DTDs sorted by name — the lane
+// order of a streamed classification, matching foldLocked's tie-break
+// order.
+func (c *Classifier) StreamEntries() []StreamEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]StreamEntry, 0, len(c.sigs))
+	for _, name := range c.namesLocked() {
+		g := c.sigs[name]
+		out = append(out, StreamEntry{Name: name, RootName: g.rootName, Pool: g.pool, DTD: g.d})
+	}
+	return out
+}
+
+// StreamScore is one lane's outcome of a streamed classification.
+type StreamScore struct {
+	Name string
+	Sim  float64
+	// Gated reports that the declared-root gate pre-scored the DTD to 0
+	// without running the alignment.
+	Gated bool
+}
+
+// FoldStream folds per-lane scores from the streaming path into a Result,
+// bumping the classification counters. scores must be sorted by name (the
+// StreamEntries order); the fold then reproduces foldLocked exactly — the
+// winner is the highest similarity with ties toward the smallest name, an
+// all-zero fold reports the smallest name, and Classified applies σ.
+func (c *Classifier) FoldStream(scores []StreamScore) Result {
+	c.classifications.Add(1)
+	c.possible.Add(int64(len(scores)))
+	var res Result
+	for _, e := range scores {
+		if !e.Gated {
+			c.scored.Add(1)
+		}
+		if e.Sim > res.Similarity || res.DTDName == "" {
+			res.Similarity = e.Sim
+			res.DTDName = e.Name
+		}
+	}
+	if res.Similarity == 0 && len(scores) > 0 {
+		// Sorted input: the smallest name is the first entry, matching
+		// minNameLocked over the same snapshot.
+		res.DTDName = scores[0].Name
+	}
+	res.Classified = res.DTDName != "" && res.Similarity >= c.sigma
+	res.Candidates = make([]Candidate, 0, len(scores))
+	for _, e := range scores {
+		res.Candidates = append(res.Candidates, Candidate{Name: e.Name, Similarity: e.Sim})
+	}
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		if res.Candidates[i].Similarity != res.Candidates[j].Similarity {
+			return res.Candidates[i].Similarity > res.Candidates[j].Similarity
+		}
+		return res.Candidates[i].Name < res.Candidates[j].Name
+	})
+	return res
+}
+
 // ValidatorClassifier is the boolean baseline: a document is associated
 // with a DTD only when it is strictly valid for it. Heterogeneous documents
 // are rejected outright, which is the loss of information the paper's

@@ -200,6 +200,37 @@ func (s *Store) Put(name string, doc *xmltree.Document) error {
 	return nil
 }
 
+// PutRaw appends a document given as canonical serialized bytes — the
+// streaming ingest path's spool, byte-identical to what Put would have
+// framed — sparing the re-serialization. The bytes are parsed once for the
+// in-memory collection (the store serves *Document values), so raw must be
+// a well-formed document.
+func (s *Store) PutRaw(name string, raw []byte) error {
+	doc, err := xmltree.ParseString(string(raw))
+	if err != nil {
+		return fmt.Errorf("docstore: raw record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.ensure(name)
+	if err != nil {
+		return err
+	}
+	if c.file != nil {
+		s.frame = wal.EncodeFrame(s.frame[:0], raw)
+		if _, err := c.file.Write(s.frame); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+		if s.sync == wal.SyncAlways {
+			if err := c.file.Sync(); err != nil {
+				return fmt.Errorf("docstore: %w", err)
+			}
+		}
+	}
+	c.docs = append(c.docs, doc)
+	return nil
+}
+
 // appendRecord writes one CRC-framed record in a single Write call (so a
 // crash tears at most the final record, never interleaves two), fsyncing
 // per the store's policy. The lock covers the shared frame buffer.

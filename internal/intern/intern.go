@@ -142,6 +142,24 @@ func (t *Table) Intern(name string) int32 {
 	return id
 }
 
+// InternBytes returns the ID and canonical interned string of the symbol
+// spelled by b, interning it when new. The found path is lock-free and does
+// not copy b (the map lookup compiles to a no-allocation probe), so the
+// streaming parser can resolve element names straight out of its read
+// window. Only the first sighting of a name allocates. An empty b returns
+// (None, "").
+func (t *Table) InternBytes(b []byte) (int32, string) {
+	if len(b) == 0 {
+		return None, ""
+	}
+	s := t.state.Load()
+	if id, ok := s.ids[string(b)]; ok {
+		return id, s.names[id]
+	}
+	id := t.Intern(string(b))
+	return id, t.Name(id)
+}
+
 // InternAll interns every name in names, taking the write lock and copying
 // the snapshot at most once — use it over per-name Intern calls when
 // seeding a table, where n copy-on-write extensions would cost O(n²).

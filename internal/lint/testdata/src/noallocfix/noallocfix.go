@@ -53,6 +53,19 @@ func coldPath(buf []byte, err error) error {
 	return nil
 }
 
+// mapLookup shows the streaming recorder's key pattern: the analyzer is
+// syntactic and flags every []byte→string conversion, including the two
+// shapes the compiler compiles without a copy — map indexing and string
+// comparison — so those carry the sanctioned line allow.
+// dtdvet:noalloc
+func mapLookup(m map[string]int, key []byte, other []byte) int {
+	if string(key) == string(other) { // dtdvet:allow noalloc -- fixture: string(b)==string(b) comparison does not allocate
+		return -1
+	}
+	_ = string(key)       // want `conversion from \[\]byte to string allocates`
+	return m[string(key)] // dtdvet:allow noalloc -- fixture: map-index string(b) is the compiler's no-copy special case
+}
+
 // unannotated functions may allocate freely.
 func unannotated() []int {
 	return []int{1, 2, 3}
@@ -61,3 +74,4 @@ func unannotated() []int {
 var _ = hot
 var _ = bad
 var _ = coldPath
+var _ = mapLookup

@@ -46,6 +46,16 @@ func (s *store) emitSorted() {
 	s.log = append(s.log, keys...)
 }
 
+// ReplayStream mirrors the streaming apply path: the replay entry point
+// may read the clock for latency metrics — never journaled, never fed
+// back into replayed state — under a line allow naming that contract.
+// dtdvet:replayroot
+func (s *store) ReplayStream(payload string) {
+	start := time.Now() // dtdvet:allow replaydet -- fixture: wall clock feeds phase metrics only; never journaled or replayed
+	s.log = append(s.log, payload)
+	_ = time.Since(start) // dtdvet:allow replaydet -- fixture: metrics only
+}
+
 // tick is NOT reachable from any replayroot: the clock is fine here.
 func (s *store) tick() time.Time {
 	for k := range s.entries {

@@ -30,6 +30,13 @@ type Ingest struct {
 	walGCErrors atomic.Int64
 	checkpoints atomic.Int64
 
+	// Streaming-ingest counters: documents that went through the one-pass
+	// path, the input bytes they consumed, and documents rejected by the
+	// byte budget.
+	streamDocs             atomic.Int64
+	streamBytes            atomic.Int64
+	streamRejectedOversize atomic.Int64
+
 	// Group-commit counters: how many WAL groups were committed, how many
 	// documents they carried (groupDocs/groups is the mean group size), the
 	// extreme sizes seen, and the instantaneous commit-queue depth.
@@ -133,6 +140,25 @@ func (m *Ingest) SetCommitQueueDepth(n int) {
 	m.queueDepth.Store(int64(n))
 }
 
+// ObserveStream records one document ingested through the streaming
+// one-pass path and the input bytes it consumed.
+func (m *Ingest) ObserveStream(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.streamDocs.Add(1)
+	m.streamBytes.Add(bytes)
+}
+
+// ObserveStreamRejectedOversize records one streamed document rejected by
+// the byte budget (HTTP 413 at the serving layer).
+func (m *Ingest) ObserveStreamRejectedOversize() {
+	if m == nil {
+		return
+	}
+	m.streamRejectedOversize.Add(1)
+}
+
 // ObserveWALError records a failed write-ahead-log append or sync — the
 // event that degrades the service to read-only.
 func (m *Ingest) ObserveWALError() {
@@ -202,6 +228,13 @@ type IngestSnapshot struct {
 	WALGCErrors  int64 `json:"wal_gc_errors,omitempty"`
 	Checkpoints  int64 `json:"checkpoints,omitempty"`
 
+	// Streaming-ingest counters (DESIGN.md §15): documents ingested through
+	// the bounded-memory one-pass path, the input bytes they consumed, and
+	// documents its byte budget rejected.
+	StreamDocs             int64 `json:"stream_docs,omitempty"`
+	StreamBytes            int64 `json:"stream_bytes,omitempty"`
+	StreamRejectedOversize int64 `json:"stream_rejected_oversize,omitempty"`
+
 	// Candidate-index shape (DESIGN.md §12): ClassifyPossible is the
 	// alignments exhaustive scoring would have run (classifications ×
 	// registered DTDs), ClassifyCandidates how many DTDs survived the
@@ -249,6 +282,10 @@ func (m *Ingest) Snapshot() IngestSnapshot {
 		WALGCErrors:  m.walGCErrors.Load(),
 		Checkpoints:  m.checkpoints.Load(),
 
+		StreamDocs:             m.streamDocs.Load(),
+		StreamBytes:            m.streamBytes.Load(),
+		StreamRejectedOversize: m.streamRejectedOversize.Load(),
+
 		WALGroups:        m.groups.Load(),
 		WALGroupSizeMin:  m.groupMin.Load(),
 		WALGroupSizeMax:  m.groupMax.Load(),
@@ -294,6 +331,9 @@ func Aggregate(shards []IngestSnapshot) IngestSnapshot {
 		out.WALErrors += s.WALErrors
 		out.WALGCErrors += s.WALGCErrors
 		out.Checkpoints += s.Checkpoints
+		out.StreamDocs += s.StreamDocs
+		out.StreamBytes += s.StreamBytes
+		out.StreamRejectedOversize += s.StreamRejectedOversize
 		out.ClassifyPossible += s.ClassifyPossible
 		out.ClassifyCandidates += s.ClassifyCandidates
 		out.ClassifyScored += s.ClassifyScored

@@ -1,0 +1,239 @@
+package record
+
+// Equivalence tests for the streaming recorder (stream.go): a document
+// streamed through a StreamRecorder and committed lane-by-lane must leave
+// every Recorder in exactly the state Record(doc) would have — compared
+// snapshot-deep and as JSON checkpoint bytes — including cross-family
+// documents (undeclared roots, plus elements) and pooled reuse across
+// documents.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/gen"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/validate"
+	"dtdevolve/internal/xmltree"
+)
+
+func loadCorpus(t *testing.T, dir string) (*dtd.DTD, []*xmltree.Document) {
+	t.Helper()
+	dtds, err := filepath.Glob(filepath.Join(dir, "*.dtd"))
+	if err != nil || len(dtds) != 1 {
+		t.Fatalf("globbing %s: %v (%d DTDs)", dir, err, len(dtds))
+	}
+	d, err := dtd.ParseFile(dtds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmls, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil || len(xmls) == 0 {
+		t.Fatalf("globbing %s: %v (%d docs)", dir, err, len(xmls))
+	}
+	var docs []*xmltree.Document
+	for _, path := range xmls {
+		doc, err := xmltree.ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		docs = append(docs, doc)
+	}
+	return d, docs
+}
+
+// streamDoc replays doc's event stream into sr, computing each lane's
+// validity bit the way the tree recorder does (decl != nil && LocalValid),
+// and optionally degrading the element closed at index degradeAt.
+func streamDoc(sr *StreamRecorder, vs []*validate.Validator, doc *xmltree.Document, degradeAt int) {
+	sr.Begin()
+	tab := sr.Table()
+	valids := make([]bool, sr.Lanes())
+	closed := 0
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		sr.Start(tab.Intern(n.Name), n.Name)
+		for _, c := range n.Children {
+			switch c.Kind {
+			case xmltree.Element:
+				walk(c)
+			case xmltree.Text:
+				sr.Text(strings.TrimSpace(c.Data) != "")
+			}
+		}
+		if closed == degradeAt {
+			sr.DegradeTop()
+		}
+		closed++
+		for i := 0; i < sr.Lanes(); i++ {
+			d := sr.Lane(i).DTD()
+			decl := d.Elements[n.Name]
+			valids[i] = closed-1 != degradeAt && decl != nil && vs[i].LocalValid(n, decl)
+		}
+		sr.End(valids)
+	}
+	walk(doc.Root)
+}
+
+// checkRecorders compares a tree recorder and a stream-committed recorder
+// snapshot-deep and as checkpoint JSON bytes.
+func checkRecorders(t *testing.T, label string, tree, stream *Recorder) {
+	t.Helper()
+	ts, ss := tree.Snapshot(), stream.Snapshot()
+	if !reflect.DeepEqual(ts, ss) {
+		t.Errorf("%s: snapshots differ", label)
+		tj, _ := json.Marshal(ts)
+		sj, _ := json.Marshal(ss)
+		t.Logf("tree:   %s", tj)
+		t.Logf("stream: %s", sj)
+		return
+	}
+	tj, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tj) != string(sj) {
+		t.Errorf("%s: snapshot JSON differs\ntree:   %s\nstream: %s", label, tj, sj)
+	}
+}
+
+// runEquivalence streams every document through one shared StreamRecorder
+// (pooled-reuse shape), committing every lane, and requires each resulting
+// recorder to match its tree twin exactly.
+func runEquivalence(t *testing.T, label string, ds []*dtd.DTD, docs []*xmltree.Document) {
+	t.Helper()
+	tab := intern.NewTable()
+	sr := NewStreamRecorder(tab)
+	sr.SetLanes(ds)
+	vs := make([]*validate.Validator, len(ds))
+	treeRecs := make([]*Recorder, len(ds))
+	streamRecs := make([]*Recorder, len(ds))
+	for i, d := range ds {
+		vs[i] = validate.New(d)
+		treeRecs[i] = NewWithTable(d, tab)
+		streamRecs[i] = NewWithTable(d, tab)
+	}
+	for di, doc := range docs {
+		streamDoc(sr, vs, doc, -1)
+		for i := range ds {
+			want := treeRecs[i].Record(doc)
+			got := sr.CommitTo(i, streamRecs[i])
+			if got != want {
+				t.Errorf("%s doc %d lane %d: DocResult stream %+v tree %+v", label, di, i, got, want)
+			}
+		}
+	}
+	for i := range ds {
+		checkRecorders(t, fmt.Sprintf("%s lane %d", label, i), treeRecs[i], streamRecs[i])
+	}
+}
+
+// TestStreamRecorderMatchesRecorderCorpus runs the streaming recorder over
+// the full testdata corpus with both DTD lanes live, cross-family.
+func TestStreamRecorderMatchesRecorderCorpus(t *testing.T) {
+	feedDTD, feedDocs := loadCorpus(t, filepath.Join("..", "..", "testdata", "feeds"))
+	playDTD, playDocs := loadCorpus(t, filepath.Join("..", "..", "testdata", "plays"))
+	docs := append(append([]*xmltree.Document{}, feedDocs...), playDocs...)
+	runEquivalence(t, "corpus", []*dtd.DTD{feedDTD, playDTD}, docs)
+}
+
+// TestStreamRecorderMatchesRecorderRandom fuzzes the streaming recorder
+// with generated DTDs and heavily mutated documents (plus elements,
+// repeated labels, undeclared tags) across multiple lanes.
+func TestStreamRecorderMatchesRecorderRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := gen.New(gen.DefaultConfig(seed))
+		a := g.RandomDTD("root", 8)
+		b := g.RandomDTD("root", 6)
+		docs := append(g.MutatedDocuments(a, 10, 3, 0.7), g.MutatedDocuments(b, 10, 3, 0.7)...)
+		runEquivalence(t, fmt.Sprintf("seed %d", seed), []*dtd.DTD{a, b}, docs)
+	}
+}
+
+// TestStreamRecorderPaperExample2 re-runs the paper's Example 2 scenario
+// through the streaming path and checks the recorded group/label structure
+// against the tree recorder.
+func TestStreamRecorderPaperExample2(t *testing.T) {
+	d := dtd.MustParse(paperExample2DTD)
+	d1 := parseDoc(t, `<a><b>1</b><c>1</c><b>2</b><c>2</c><d>x</d><d>y</d><d>z</d></a>`)
+	d2 := parseDoc(t, `<a><b>1</b><c>1</c><e>w</e></a>`)
+	runEquivalence(t, "example2", []*dtd.DTD{d},
+		[]*xmltree.Document{d1, d1, d1, d2, d2})
+}
+
+// TestStreamRecorderDegradeDeterministic pins the degradation semantics:
+// the same document degraded at the same element produces bit-identical
+// recorder state on repeat runs (the property sdoc WAL replay relies on),
+// and the degraded instance records as invalid.
+func TestStreamRecorderDegradeDeterministic(t *testing.T) {
+	g := gen.New(gen.DefaultConfig(7))
+	d := g.RandomDTD("root", 8)
+	docs := g.MutatedDocuments(d, 6, 3, 0.7)
+	run := func() *Recorder {
+		tab := intern.NewTable()
+		sr := NewStreamRecorder(tab)
+		sr.SetLanes([]*dtd.DTD{d})
+		vs := []*validate.Validator{validate.New(d)}
+		rec := NewWithTable(d, tab)
+		for _, doc := range docs {
+			// Degrade the root (last element to close).
+			streamDoc(sr, vs, doc, countNodes(doc.Root)-1)
+			sr.CommitTo(0, rec)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a.Snapshot())
+	bj, _ := json.Marshal(b.Snapshot())
+	if string(aj) != string(bj) {
+		t.Errorf("degraded runs diverge:\n%s\n%s", aj, bj)
+	}
+	if st := a.Stats(d.Name); st != nil && st.ValidInstances != 0 {
+		t.Errorf("degraded root recorded %d valid instances, want 0", st.ValidInstances)
+	}
+}
+
+// TestStreamRecorderAbortViaBegin checks that a document abandoned
+// mid-stream (parse error path) leaves no residue: Begin discards it and
+// the next document records exactly as if the abort never happened.
+func TestStreamRecorderAbortViaBegin(t *testing.T) {
+	d := dtd.MustParse(paperExample2DTD)
+	tab := intern.NewTable()
+	sr := NewStreamRecorder(tab)
+	sr.SetLanes([]*dtd.DTD{d})
+	vs := []*validate.Validator{validate.New(d)}
+
+	// Abandon a document with two open frames.
+	sr.Begin()
+	sr.Start(tab.Intern("a"), "a")
+	sr.Start(tab.Intern("b"), "b")
+	sr.Text(true)
+
+	doc := parseDoc(t, `<a><b>1</b><c>1</c></a>`)
+	streamDoc(sr, vs, doc, -1)
+	stream := NewWithTable(d, tab)
+	sr.CommitTo(0, stream)
+
+	tree := NewWithTable(d, tab)
+	tree.Record(doc)
+	checkRecorders(t, "after abort", tree, stream)
+}
+
+func countNodes(n *xmltree.Node) int {
+	c := 1
+	for _, ch := range n.Children {
+		if ch.Kind == xmltree.Element {
+			c += countNodes(ch)
+		}
+	}
+	return c
+}

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -224,6 +225,26 @@ func (r *Router) AddDocument(_ context.Context, key string, doc *xmltree.Documen
 		return source.AddResult{}, &DegradedError{Shard: si, Err: err}
 	}
 	return r.shards[si].Add(doc), nil
+}
+
+// ErrStreamKeyRequired reports a streaming ingest without an explicit
+// routing key: the content-hash fallback needs the whole document, which
+// is exactly what streaming avoids buffering.
+var ErrStreamKeyRequired = errors.New("shard: streaming ingest requires an explicit routing key (content hashing would buffer the document)")
+
+// AddDocumentStream routes one document stream to its shard by the
+// explicit key and ingests it there through the one-pass streaming path.
+// Unlike AddDocument there is no content-hash fallback — the router never
+// sees the document bytes — so key must be non-empty.
+func (r *Router) AddDocumentStream(_ context.Context, key string, rd io.Reader) (source.AddResult, error) {
+	if key == "" {
+		return source.AddResult{}, ErrStreamKeyRequired
+	}
+	si := r.ShardFor(key)
+	if err := r.shards[si].Degraded(); err != nil {
+		return source.AddResult{}, &DegradedError{Shard: si, Err: err}
+	}
+	return r.shards[si].AddStream(rd)
 }
 
 // AddBatchKeyed partitions a batch by routing key and fans the per-shard

@@ -36,6 +36,9 @@ type Pool struct {
 	shared *sharedTables
 	bound  Bound
 	pool   sync.Pool
+	// streams pools StreamEvals (each owning a borrowed evaluator) for the
+	// streaming ingest path; see stream.go.
+	streams sync.Pool
 }
 
 // NewPool precompiles the alignment automata and required-weight table of d

@@ -1,0 +1,499 @@
+// Streaming evaluation: the global similarity of a document against one
+// DTD computed from a Start/Text/End event stream, never holding the
+// tree (DESIGN.md §15).
+//
+// The tree evaluator's recursion is replaced by an explicit frame stack:
+// each open element carries the per-model state its triple needs — the
+// accumulator of ANY/EMPTY/(#PCDATA)/mixed models, or one DP layer of the
+// alignment automaton for element content. The [BGM01] alignment is
+// sequential in the children, so one automaton-states-sized layer per open
+// frame is enough: when a child element closes, its own triple (computed
+// the same way, one level deeper) feeds exactly one DP transition of its
+// parent. Memory is O(open depth × automaton states), independent of
+// document size, and the arithmetic performs the identical floating-point
+// operations in the identical order as Evaluator.Evaluate, so results are
+// bit-identical (pinned by TestStreamEvalMatchesEvaluate).
+//
+// Each frame also tracks the boolean one-level validity of its element
+// (validate.LocalValid semantics) so the recording path can reuse it: for
+// element content this is a reachable-state bitset over the same automaton
+// restricted to its zero-minus epsilon edges and exact-ID symbol edges.
+// The one divergence between that automaton and the validator's matcher is
+// a nested ANY inside element content (the matcher accepts any segment,
+// the automaton compiles ANY to an empty-only epsilon); such models —
+// vanishingly rare — fall back to buffering the child tags and asking the
+// matcher at close.
+package similarity
+
+import (
+	"math/bits"
+
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/validate"
+)
+
+type streamMode int8
+
+const (
+	// modeOff: the element has no declaration in the DTD — no triple of its
+	// own (its cost is carried by the parent as a plus component) and never
+	// locally valid.
+	modeOff streamMode = iota
+	modeAny
+	modeEmpty
+	modePCDATA
+	modeMixed
+	modeContent
+)
+
+// sframe is the per-open-element state of one streaming evaluation.
+type sframe struct {
+	mode       streamMode
+	declared   bool // the element name has a declaration in the DTD
+	triples    bool // triple accumulation active (declared && depth < MaxDepth)
+	degraded   bool // child budget exceeded: triple escalated to the ANY-style summary
+	useTags    bool // nested-ANY model: validity via buffered tags + matcher
+	hasText    bool // some non-whitespace text child (xmltree.Node.HasText semantics)
+	mixedOK    bool // mixed validity: every element child so far is in the alphabet
+	id         int32
+	name       string
+	decl       *dtd.Content
+	set        *labelSet
+	a          *nfa
+	t          Triple   // ANY/EMPTY/PCDATA/mixed accumulator
+	anyT       Triple   // ANY-style summary of a content frame, used when degraded
+	textPlus   float64  // content models: one plus per text child
+	childCount int      // all kept children (text nodes included)
+	elemCount  int      // element children only
+	cells      []cell   // content: current DP layer
+	spare      []cell   // content: next DP layer (swapped each step)
+	vbits      []uint64 // content: validity reachable-state set
+	vspare     []uint64
+	tags       []string // nested-ANY fallback: buffered child tags
+}
+
+// StreamEval scores one document against one DTD from a stream of events.
+// Obtain one from Pool.GetStream, feed Start/Text/End in document order,
+// read Result after the root closes, and return it with Pool.PutStream.
+// Not safe for concurrent use.
+type StreamEval struct {
+	e      *Evaluator
+	frames []sframe
+	n      int // open frames
+	// sc provides the worklist scratch relaxEps and the validity closure
+	// share; owned (not drawn from scratchPool) so a pooled StreamEval
+	// keeps warm buffers.
+	sc           alignScratch
+	anyNested    map[*dtd.Content]bool
+	rootT        Triple
+	rootDeclared bool
+	closed       bool
+}
+
+// GetStream borrows a streaming evaluator for the pool's DTD. Return it
+// with PutStream.
+func (p *Pool) GetStream() *StreamEval {
+	if v := p.streams.Get(); v != nil {
+		se := v.(*StreamEval)
+		se.Reset()
+		return se
+	}
+	return &StreamEval{e: p.Get(), anyNested: make(map[*dtd.Content]bool)}
+}
+
+// PutStream returns a streaming evaluator to the pool.
+func (p *Pool) PutStream(se *StreamEval) {
+	if se != nil && se.e != nil && se.e.d == p.d {
+		p.streams.Put(se)
+	}
+}
+
+// Reset prepares the evaluator for a new document.
+func (se *StreamEval) Reset() {
+	se.n = 0
+	se.rootT = Triple{}
+	se.rootDeclared = false
+	se.closed = false
+}
+
+// Declared reports whether name is declared by the DTD under evaluation.
+func (se *StreamEval) Declared(name string) bool {
+	_, ok := se.e.d.Elements[name]
+	return ok
+}
+
+// Start opens an element with interned label id. name must stay valid
+// until the matching End (interned names are).
+func (se *StreamEval) Start(id int32, name string) {
+	if se.n == len(se.frames) {
+		se.frames = append(se.frames, sframe{})
+	}
+	f := &se.frames[se.n]
+	depth := se.n
+	se.n++
+	decl, declared := se.e.d.Elements[name]
+	f.id, f.name, f.decl, f.declared = id, name, decl, declared
+	f.triples = declared && depth < se.e.cfg.MaxDepth
+	f.degraded, f.useTags, f.hasText = false, false, false
+	f.mixedOK = true
+	f.t, f.anyT, f.textPlus = Triple{}, Triple{}, 0
+	f.childCount, f.elemCount = 0, 0
+	f.tags = f.tags[:0]
+	switch {
+	case !declared:
+		f.mode = modeOff
+	case decl == nil || decl.Kind == dtd.Any:
+		f.mode = modeAny
+	case decl.Kind == dtd.Empty:
+		f.mode = modeEmpty
+	case decl.Kind == dtd.PCDATA:
+		f.mode = modePCDATA
+	case decl.IsMixed():
+		f.mode = modeMixed
+		f.set = se.e.mixedSet(decl)
+	default:
+		f.mode = modeContent
+		f.a = se.e.compiled(decl)
+		se.initContent(f)
+	}
+}
+
+// initContent prepares the DP layer and validity set of a content frame.
+func (se *StreamEval) initContent(f *sframe) {
+	n := len(f.a.eps)
+	if cap(f.cells) < n {
+		f.cells = make([]cell, n)
+		f.spare = make([]cell, n)
+	}
+	f.cells, f.spare = f.cells[:n], f.spare[:n]
+	se.growScratch(n)
+	if f.triples {
+		for i := range f.cells {
+			f.cells[i] = cell{}
+		}
+		f.cells[f.a.start] = cell{ok: true}
+		se.e.relaxEps(f.a, f.cells, &se.sc)
+	}
+	words := (n + 63) / 64
+	if cap(f.vbits) < words {
+		f.vbits = make([]uint64, words)
+		f.vspare = make([]uint64, words)
+	}
+	f.vbits, f.vspare = f.vbits[:words], f.vspare[:words]
+	if f.useTags = se.nestedAny(f.decl); f.useTags {
+		return
+	}
+	for i := range f.vbits {
+		f.vbits[i] = 0
+	}
+	f.vbits[f.a.start/64] |= 1 << (uint(f.a.start) % 64)
+	se.closure0(f.a, f.vbits)
+}
+
+// growScratch sizes the shared worklist scratch for n automaton states.
+func (se *StreamEval) growScratch(n int) {
+	if len(se.sc.inWork) < n {
+		se.sc.inWork = make([]bool, n)
+	}
+}
+
+// nestedAny reports whether model contains an ANY leaf below the top level:
+// the matcher accepts any child segment there, the compiled automaton does
+// not, so validity must go through the matcher.
+func (se *StreamEval) nestedAny(model *dtd.Content) bool {
+	if v, ok := se.anyNested[model]; ok {
+		return v
+	}
+	v := false
+	for _, ch := range model.Children {
+		if containsAny(ch) {
+			v = true
+			break
+		}
+	}
+	se.anyNested[model] = v
+	return v
+}
+
+func containsAny(c *dtd.Content) bool {
+	if c.Kind == dtd.Any {
+		return true
+	}
+	for _, ch := range c.Children {
+		if containsAny(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// Text records one kept text child of the open element; nonWS reports
+// whether it contains non-whitespace data.
+// dtdvet:noalloc
+func (se *StreamEval) Text(nonWS bool) {
+	f := &se.frames[se.n-1]
+	f.childCount++
+	if nonWS {
+		f.hasText = true
+	}
+	if !f.triples {
+		return
+	}
+	switch f.mode {
+	case modeEmpty:
+		// weightedSize of a text node is exactly 1.
+		f.t.Plus++
+	case modeContent:
+		f.textPlus++
+	}
+}
+
+// DegradeTop marks the open element as over the child budget: its triple
+// degrades to the ANY-style set summary and it is never locally valid.
+func (se *StreamEval) DegradeTop() {
+	se.frames[se.n-1].degraded = true
+}
+
+// End closes the open element. childW is its weighted size (1 +
+// Decay·Σ weighted sizes of its children, text nodes weighing 1). It
+// returns whether the element's direct content is valid for its own
+// declaration — false when undeclared — matching the recorder's
+// decl != nil && LocalValid test.
+// dtdvet:noalloc
+func (se *StreamEval) End(childW float64) (valid bool) {
+	f := &se.frames[se.n-1]
+	se.n--
+	valid = se.conforms(f)
+	var tr Triple
+	if f.triples {
+		tr = se.ownTriple(f)
+	}
+	if se.n == 0 {
+		se.rootT = tr
+		se.rootDeclared = f.declared
+		se.closed = true
+		return valid
+	}
+	p := &se.frames[se.n-1]
+	p.childCount++
+	p.elemCount++
+	se.consume(p, f.id, f.name, f.declared, childW, tr)
+	return valid
+}
+
+// conforms is localConforms over the frame's accumulated state.
+func (se *StreamEval) conforms(f *sframe) bool {
+	if !f.declared || f.decl == nil || f.degraded {
+		// Undeclared elements are never counted valid by the recorder; a
+		// declared-but-nil model cannot arise from the DTD parser but would
+		// be invalid there too. Degraded frames dropped their exact state.
+		return false
+	}
+	switch f.mode {
+	case modeAny:
+		return true
+	case modeEmpty:
+		return f.childCount == 0
+	case modePCDATA:
+		return f.elemCount == 0
+	case modeMixed:
+		return f.mixedOK
+	default:
+		if f.hasText {
+			return false
+		}
+		if f.useTags {
+			return validate.MatchModel(f.decl, f.tags)
+		}
+		return f.vbits[f.a.accept/64]&(1<<(uint(f.a.accept)%64)) != 0
+	}
+}
+
+// ownTriple finalizes the closing frame's triple — the value
+// elementTriple(n, decl, depth, true) computes on the tree.
+func (se *StreamEval) ownTriple(f *sframe) Triple {
+	switch f.mode {
+	case modePCDATA:
+		if f.hasText {
+			f.t.Common++
+		}
+		return f.t
+	case modeContent:
+		if f.degraded {
+			return f.anyT
+		}
+		t := Triple{Minus: 1}
+		if f.cells[f.a.accept].ok {
+			t = f.cells[f.a.accept].t
+		}
+		t.Plus += f.textPlus
+		return t
+	default: // modeAny, modeEmpty, modeMixed
+		return f.t
+	}
+}
+
+// consume applies one closed child element to its parent frame: the
+// parent's triple advances exactly as the corresponding branch of
+// elementTriple would, and its validity state consumes the child's tag.
+// dtdvet:noalloc
+func (se *StreamEval) consume(p *sframe, cid int32, name string, childDeclared bool, childW float64, childT Triple) {
+	decay := se.e.cfg.Decay
+	if p.triples {
+		switch p.mode {
+		case modeAny:
+			if childDeclared {
+				p.t = p.t.Add(partialMatch(1))
+				p.t = p.t.Add(childT.Scale(decay))
+			} else {
+				p.t.Plus += childW
+			}
+		case modeEmpty, modePCDATA:
+			p.t.Plus += childW
+		case modeMixed:
+			if p.inMixedSet(cid) {
+				p.t = p.t.Add(partialMatch(1))
+				if childDeclared {
+					p.t = p.t.Add(childT.Scale(decay))
+				}
+			} else {
+				p.t.Plus += childW
+			}
+		case modeContent:
+			// The ANY-style summary runs alongside the DP so a later budget
+			// overflow can degrade the frame without replaying its children.
+			if childDeclared {
+				p.anyT = p.anyT.Add(partialMatch(1))
+				p.anyT = p.anyT.Add(childT.Scale(decay))
+			} else {
+				p.anyT.Plus += childW
+			}
+			if !p.degraded {
+				delta := partialMatch(1)
+				if childDeclared {
+					delta = delta.Add(childT.Scale(decay))
+				}
+				se.dpStep(p, cid, childW, delta)
+			}
+		}
+	}
+	// Validity consumes the child tag at every depth (recording is not
+	// depth-capped), independent of the triple accumulation above.
+	switch p.mode {
+	case modeMixed:
+		if p.mixedOK && !p.inMixedSet(cid) {
+			p.mixedOK = false
+		}
+	case modeContent:
+		if p.degraded {
+			return
+		}
+		if p.useTags {
+			p.tags = append(p.tags, name)
+			return
+		}
+		se.vStep(p, cid)
+	}
+}
+
+// inMixedSet reports whether cid is in the mixed model's label alphabet.
+// dtdvet:noalloc
+func (p *sframe) inMixedSet(cid int32) bool {
+	if cid == intern.None {
+		return false
+	}
+	for _, lid := range p.set.ids {
+		if lid == cid {
+			return true
+		}
+	}
+	return false
+}
+
+// dpStep advances the parent's DP layer by one child element, mirroring
+// the per-child body of Evaluator.align: the skip move at plus cost
+// childW, the symbol moves at delta, then the epsilon relaxation.
+// dtdvet:noalloc
+func (se *StreamEval) dpStep(p *sframe, cid int32, childW float64, delta Triple) {
+	a := p.a
+	cur, next := p.cells, p.spare
+	for i := range next {
+		next[i] = cell{}
+	}
+	for s := range cur {
+		if !cur[s].ok {
+			continue
+		}
+		se.e.improve(next, s, cur[s].t.Add(Triple{Plus: childW}))
+		for _, edge := range a.syms[s] {
+			if cid == intern.None || cid != edge.id {
+				continue
+			}
+			se.e.improve(next, edge.to, cur[s].t.Add(delta))
+		}
+	}
+	p.cells, p.spare = next, cur
+	se.e.relaxEps(a, p.cells, &se.sc)
+}
+
+// vStep advances the validity reachable set by one child element: exact-ID
+// symbol moves, then the zero-minus epsilon closure.
+// dtdvet:noalloc
+func (se *StreamEval) vStep(p *sframe, cid int32) {
+	a := p.a
+	for i := range p.vspare {
+		p.vspare[i] = 0
+	}
+	for w, word := range p.vbits {
+		for word != 0 {
+			s := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, edge := range a.syms[s] {
+				if cid != intern.None && cid == edge.id {
+					p.vspare[edge.to/64] |= 1 << (uint(edge.to) % 64)
+				}
+			}
+		}
+	}
+	p.vbits, p.vspare = p.vspare, p.vbits
+	se.closure0(a, p.vbits)
+}
+
+// closure0 closes bits over the automaton's zero-minus epsilon edges (the
+// structural edges; skip edges carry a positive minus and are excluded).
+// dtdvet:noalloc
+func (se *StreamEval) closure0(a *nfa, set []uint64) {
+	work := se.sc.work[:0]
+	for w, word := range set {
+		for word != 0 {
+			work = append(work, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, edge := range a.eps[s] {
+			if edge.minus != 0 {
+				continue
+			}
+			if set[edge.to/64]&(1<<(uint(edge.to)%64)) == 0 {
+				set[edge.to/64] |= 1 << (uint(edge.to) % 64)
+				work = append(work, edge.to)
+			}
+		}
+	}
+	se.sc.work = work[:0]
+}
+
+// Result returns the evaluation after the root element has closed: the
+// same Global (and root Triple) Evaluator.Evaluate computes on the tree.
+// The Local degree is not computed on the streaming path.
+func (se *StreamEval) Result() Result {
+	if !se.closed || !se.rootDeclared {
+		return Result{}
+	}
+	t := partialMatch(1).Add(se.rootT.Scale(se.e.cfg.Decay))
+	return Result{Global: se.e.cfg.Eval(t), Triple: t}
+}

@@ -33,9 +33,10 @@ import (
 // walOp is one journaled operation. Op selects the variant; the other
 // fields carry its arguments.
 type walOp struct {
-	// Op is the operation: "doc" (document ingested), "dtd" (DTD
-	// registered), "triggers" (rule set replaced), "trigger" (rule
-	// appended), "evolve" (forced evolution), "reclassify" (forced
+	// Op is the operation: "doc" (document ingested), "sdoc" (document
+	// ingested through the streaming path with a child budget in force),
+	// "dtd" (DTD registered), "triggers" (rule set replaced), "trigger"
+	// (rule appended), "evolve" (forced evolution), "reclassify" (forced
 	// repository re-classification), "autoevolve" (check phase or trigger
 	// rule fired an evolution), "autoreclassify" (trigger rule fired a
 	// repository re-classification).
@@ -47,6 +48,10 @@ type walOp struct {
 	// Text is the operation body: document XML, DTD text, or trigger rule
 	// source.
 	Text string `json:"text,omitempty"`
+	// MaxChildren is the per-element child budget in force for "sdoc" — a
+	// streamed document that degraded under it. Replay re-streams with the
+	// same budget so the degraded statistics land bit-identically.
+	MaxChildren int `json:"max_children,omitempty"`
 }
 
 // journalLocked appends one operation to the attached WAL. Callers hold the
@@ -187,6 +192,10 @@ func (s *Source) applyOp(op walOp) error {
 			return fmt.Errorf("source: WAL document: %w", err)
 		}
 		s.Add(doc)
+	case "sdoc":
+		if err := s.applyStreamOp(op); err != nil {
+			return err
+		}
 	case "dtd":
 		d, err := dtdParse(op.Text, op.Root)
 		if err != nil {

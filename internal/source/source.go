@@ -80,6 +80,16 @@ type Config struct {
 	// ClassifyTopK is the approximate-mode candidate budget; 0 means
 	// classify.DefaultTopK. Ignored in exact mode.
 	ClassifyTopK int
+	// MaxDocBytes bounds the size of one document on the streaming ingest
+	// path (and, at the serving layer, the tree path); 0 means unlimited.
+	// Oversized documents are rejected with xmltree.SizeError.
+	MaxDocBytes int64
+	// MaxChildren bounds the kept children of one element on the streaming
+	// path; an element over the budget degrades (its sequence escalates to
+	// a set summary) instead of growing per-element state without bound.
+	// 0 means unlimited. The budget in force is journaled with each
+	// degraded document, so replay reproduces identical statistics.
+	MaxChildren int
 }
 
 // DefaultConfig returns the thresholds used by the evaluation harness:
@@ -162,6 +172,9 @@ type Source struct {
 	// coordinator (groupcommit.go). Unguarded: an atomic pointer, like
 	// metrics, set once by EnableGroupCommit before traffic.
 	committer atomic.Pointer[groupCommitter]
+	// streamers pools the one-pass ingest consumers (stream.go). Unguarded:
+	// sync.Pool synchronizes internally.
+	streamers sync.Pool
 }
 
 // New returns an empty Source.

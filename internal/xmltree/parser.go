@@ -30,9 +30,24 @@ type Options struct {
 	// MaxDepth bounds element nesting to guard against hostile inputs.
 	// Zero means the default of 1024.
 	MaxDepth int
+	// MaxBytes bounds the total input size in bytes. Inputs past the cap
+	// fail with *SizeError instead of being read to completion, so a
+	// hostile or runaway document cannot exhaust memory through the
+	// tree-building path. Zero means unlimited.
+	MaxBytes int64
 }
 
 const defaultMaxDepth = 1024
+
+// SizeError reports an input rejected for exceeding Options.MaxBytes. The
+// API layer maps it to 413 Request Entity Too Large.
+type SizeError struct {
+	Limit int64
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("xml: input exceeds %d-byte limit", e.Limit)
+}
 
 // Parse reads an entire XML document from r.
 func Parse(r io.Reader) (*Document, error) {
@@ -41,7 +56,19 @@ func Parse(r io.Reader) (*Document, error) {
 
 // ParseWithOptions reads an entire XML document from r using opts.
 func ParseWithOptions(r io.Reader, opts Options) (*Document, error) {
-	data, err := io.ReadAll(r)
+	var data []byte
+	var err error
+	if opts.MaxBytes > 0 {
+		// Read one byte past the cap so an exactly-at-limit input is
+		// distinguishable from an over-limit one without buffering the
+		// excess.
+		data, err = io.ReadAll(io.LimitReader(r, opts.MaxBytes+1))
+		if err == nil && int64(len(data)) > opts.MaxBytes {
+			return nil, &SizeError{Limit: opts.MaxBytes}
+		}
+	} else {
+		data, err = io.ReadAll(r)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("xml: reading input: %w", err)
 	}
@@ -119,7 +146,9 @@ func (p *parser) advance() byte {
 }
 
 func (p *parser) hasPrefix(s string) bool {
-	return strings.HasPrefix(string(p.src[p.pos:]), s)
+	// Compare in place: converting the whole remaining input to a string
+	// would copy it, making text-heavy parses quadratic.
+	return len(p.src)-p.pos >= len(s) && string(p.src[p.pos:p.pos+len(s)]) == s
 }
 
 func (p *parser) expect(s string) error {
@@ -360,6 +389,12 @@ func (p *parser) skipSubsetMarkup() error {
 // internal subset so that references in document content can be expanded.
 // Parameter entities are left to the dtd package.
 func (p *parser) registerSubsetEntities(subset string) {
+	registerSubsetEntities(subset, p.entities)
+}
+
+// registerSubsetEntities is the table-driven core shared with the streaming
+// parser: both must expand exactly the same entity set.
+func registerSubsetEntities(subset string, entities map[string]string) {
 	rest := subset
 	for {
 		i := strings.Index(rest, "<!ENTITY")
@@ -393,7 +428,7 @@ func (p *parser) registerSubsetEntities(subset string) {
 		if end < 0 {
 			return
 		}
-		p.entities[name] = rest[k+1 : k+1+end]
+		entities[name] = rest[k+1 : k+1+end]
 		rest = rest[k+1+end:]
 	}
 }

@@ -1,0 +1,248 @@
+package dtdevolve_test
+
+// Benchmarks and the memory-bound proof of the streaming one-pass ingest
+// (DESIGN.md §15): a synthetic document generated as a stream — never held
+// in memory by the test either — flows through Source.AddStream, and peak
+// HeapAlloc must stay bounded by the open-element path, not the document
+// size.
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dtdevolve"
+	"dtdevolve/internal/classify"
+	"dtdevolve/internal/dtd"
+	"dtdevolve/internal/intern"
+	"dtdevolve/internal/similarity"
+	"dtdevolve/internal/source"
+	"dtdevolve/internal/stream"
+)
+
+const logDTDSrc = `
+<!ELEMENT log (entry)*>
+<!ELEMENT entry (#PCDATA)>`
+
+func logDTD() *dtd.DTD {
+	d := dtd.MustParse(logDTDSrc)
+	d.Name = "log"
+	return d
+}
+
+// synthEntryText is the payload of one synthetic <entry>; with markup each
+// entry contributes ~1 KiB to the stream.
+var synthEntryText = strings.Repeat("x", 1000)
+
+// synthReader streams "<log><entry>x…x</entry>…</log>" with n entries,
+// generating each chunk on demand: the document as a whole never exists in
+// the test process, so the ingest's heap is all there is to measure.
+type synthReader struct {
+	entries int // entries still to emit
+	stage   int // 0 header, 1 entries, 2 footer, 3 done
+	chunk   []byte
+	off     int
+}
+
+func (r *synthReader) reset(entries int) {
+	r.entries, r.stage, r.off = entries, 0, 0
+	r.chunk = r.chunk[:0]
+}
+
+func (r *synthReader) Read(p []byte) (int, error) {
+	for r.off == len(r.chunk) {
+		r.chunk, r.off = r.chunk[:0], 0
+		switch r.stage {
+		case 0:
+			r.chunk = append(r.chunk, "<log>"...)
+			r.stage = 1
+		case 1:
+			if r.entries == 0 {
+				r.stage = 2
+				continue
+			}
+			r.entries--
+			r.chunk = append(r.chunk, "<entry>"...)
+			r.chunk = append(r.chunk, synthEntryText...)
+			r.chunk = append(r.chunk, "</entry>"...)
+		case 2:
+			r.chunk = append(r.chunk, "</log>"...)
+			r.stage = 3
+		case 3:
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, r.chunk[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestStreamIngestBoundedHeap is the tentpole's memory claim: a ~256 MiB
+// document ingests through the bounded streaming path (no WAL, no store —
+// no spool) with peak HeapAlloc under 64 MiB, and still classifies
+// perfectly.
+func TestStreamIngestBoundedHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256 MiB ingest")
+	}
+	cfg := source.DefaultConfig()
+	src := source.New(cfg)
+	src.AddDTD("log", logDTD())
+
+	// ~1015 bytes per entry; 265k entries ≈ 256 MiB.
+	const entries = 265_000
+	var rd synthReader
+	rd.reset(entries)
+
+	runtime.GC()
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	res, err := src.AddStream(&rd)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Classified || res.DTDName != "log" || res.Similarity != 1.0 {
+		t.Fatalf("synthetic log misclassified: %+v", res)
+	}
+	if m := src.Metrics(); m.StreamBytes < 256<<20 {
+		t.Fatalf("streamed only %d bytes, want >= 256 MiB", m.StreamBytes)
+	}
+	const heapBudget = 64 << 20
+	p := peak.Load()
+	t.Logf("streamed %d MiB with peak HeapAlloc %.1f MiB", src.Metrics().StreamBytes>>20, float64(p)/(1<<20))
+	if p >= heapBudget {
+		t.Errorf("peak HeapAlloc = %d MiB, want < 64 MiB", p>>20)
+	}
+}
+
+// BenchmarkStreamIngest measures the full streaming ingest of a ~128 KiB
+// synthetic document through Source.AddStream (bounded mode: classify +
+// record, no journal), reporting document throughput alongside the usual
+// per-op allocations.
+func BenchmarkStreamIngest(b *testing.B) {
+	cfg := source.DefaultConfig()
+	src := source.New(cfg)
+	src.AddDTD("log", logDTD())
+	const entries = 128
+	var size synthReader
+	size.reset(entries)
+	var counted int64
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := size.Read(buf)
+		counted += int64(n)
+		if err != nil {
+			break
+		}
+	}
+	b.SetBytes(counted)
+	var rd synthReader
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rd.reset(entries)
+		res, err := src.AddStream(&rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Classified {
+			b.Fatal("misclassified")
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "docs/s")
+}
+
+// BenchmarkBufferedIngest is the tree-path comparator for
+// BenchmarkStreamIngest — the same synthetic document, parsed to a tree
+// and ingested with Add. Not in the benchgate baseline: it exists to show
+// the streaming path's relative cost, not to gate it.
+func BenchmarkBufferedIngest(b *testing.B) {
+	cfg := source.DefaultConfig()
+	src := source.New(cfg)
+	src.AddDTD("log", logDTD())
+	var gen synthReader
+	gen.reset(128)
+	raw, err := io.ReadAll(&gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		doc, err := dtdevolve.ParseDocumentString(string(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := src.Add(doc); !res.Classified {
+			b.Fatal("misclassified")
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "docs/s")
+}
+
+// BenchmarkStreamEventLoop isolates the steady-state per-event loop — pull
+// parser, per-DTD evaluator, streaming recorder — with a reused Ingestor
+// and pre-built entries, the way Source pools them. The gate pins it at 0
+// allocs/op: the hot loop must not allocate per document, let alone per
+// event.
+func BenchmarkStreamEventLoop(b *testing.B) {
+	tab := intern.NewTable()
+	simCfg := similarity.DefaultConfig()
+	c := classify.NewWithTable(0.7, simCfg, tab)
+	c.Set("log", logDTD())
+	entries := c.StreamEntries()
+
+	var gen synthReader
+	gen.reset(64)
+	var doc bytes.Buffer
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := gen.Read(buf)
+		doc.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	ing := stream.NewIngestor(tab, stream.Config{Decay: simCfg.Decay})
+	rd := bytes.NewReader(doc.Bytes())
+	// Warm the pools (evaluator, parser buffers, recorder lanes).
+	if _, err := ing.Run(rd, entries, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(doc.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(doc.Bytes())
+		out, err := ing.Run(rd, entries, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Scores) != 1 || out.Scores[0].Sim != 1.0 {
+			b.Fatalf("bad outcome: %+v", out)
+		}
+	}
+}
